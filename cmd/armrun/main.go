@@ -1,0 +1,82 @@
+// Command armrun assembles and executes an ARM-flavoured listing on the
+// course's teaching VM, reporting registers, instruction count, and
+// cycle count — the tool behind the ISA-comparison worksheet.
+//
+// Usage:
+//
+//	armrun [-mem words] [-steps n] [-demo] [file.s]
+//
+// With no file, -demo runs the built-in array-sum listing; otherwise the
+// program is read from the named file (or stdin with "-").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pblparallel/internal/armsim"
+)
+
+const demoListing = `
+; sum the integers 1..10 into r0
+        mov   r0, #0
+        mov   r1, #10
+loop:   cmp   r1, #0
+        beq   done
+        add   r0, r0, r1
+        sub   r1, r1, #1
+        b     loop
+done:   hlt
+`
+
+func main() {
+	memWords := flag.Int("mem", 1024, "data memory size in 32-bit words")
+	maxSteps := flag.Int64("steps", 1<<20, "step budget before declaring a runaway loop")
+	demo := flag.Bool("demo", false, "run the built-in demo listing")
+	flag.Parse()
+
+	src := demoListing
+	switch {
+	case *demo || flag.NArg() == 0:
+		// keep the demo
+	case flag.Arg(0) == "-":
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fail(err)
+		}
+		src = string(data)
+	default:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fail(err)
+		}
+		src = string(data)
+	}
+
+	prog, err := armsim.Parse(src)
+	if err != nil {
+		fail(err)
+	}
+	m, err := armsim.NewMachine(*memWords)
+	if err != nil {
+		fail(err)
+	}
+	if err := m.Run(prog, *maxSteps); err != nil {
+		fail(err)
+	}
+	fmt.Printf("halted after %d instructions, %d cycles (code %d bytes)\n",
+		m.Instructions, m.Cycles, prog.SizeBytes())
+	for r := 0; r < armsim.NumRegs-1; r++ {
+		if m.Regs[r] != 0 {
+			fmt.Printf("  r%-2d = %d (%#x)\n", r, m.Regs[r], m.Regs[r])
+		}
+	}
+	fmt.Printf("  flags N=%v Z=%v C=%v V=%v\n", m.N, m.Z, m.C, m.V)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "armrun:", err)
+	os.Exit(1)
+}

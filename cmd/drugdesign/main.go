@@ -1,0 +1,94 @@
+// Command drugdesign runs Assignment 5's timing study on the simulated
+// Raspberry Pi: the sequential / OpenMP / threads comparison, the
+// five-thread rerun, and the maximum-ligand-length-7 rerun, answering
+// the assignment's questions with deterministic virtual-time numbers.
+//
+// Usage:
+//
+//	drugdesign [-ligands N] [-maxlen N] [-threads N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"pblparallel/internal/drugdesign"
+	"pblparallel/internal/pisim"
+)
+
+func main() {
+	ligands := flag.Int("ligands", 120, "number of candidate ligands")
+	maxlen := flag.Int("maxlen", 5, "maximum ligand length")
+	threads := flag.Int("threads", 4, "thread count for the parallel versions")
+	seed := flag.Int64("seed", 101, "ligand-generation seed")
+	flag.Parse()
+
+	p := drugdesign.PaperProblem()
+	p.NLigands = *ligands
+	p.MaxLigandLength = *maxlen
+	p.Seed = *seed
+
+	m, err := pisim.NewMachine(pisim.PaperPi3B())
+	if err != nil {
+		fail(err)
+	}
+
+	// Correctness first: all three approaches must agree.
+	seq, err := drugdesign.RunSequential(p)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("problem: %d ligands, max length %d, protein %q\n", p.NLigands, p.MaxLigandLength, p.Protein)
+	fmt.Printf("max score %d, best ligands %v\n\n", seq.MaxScore, seq.BestLigands)
+	for _, run := range []func() (drugdesign.Result, error){
+		func() (drugdesign.Result, error) { return drugdesign.RunOMP(p, *threads) },
+		func() (drugdesign.Result, error) { return drugdesign.RunThreads(p, *threads) },
+	} {
+		r, err := run()
+		if err != nil {
+			fail(err)
+		}
+		if !r.Equal(seq) {
+			fail(fmt.Errorf("%s disagrees with sequential", r.Approach))
+		}
+	}
+	fmt.Println("all three implementations agree")
+
+	locs := drugdesign.LineCounts()
+	fmt.Printf("\nprogram size: sequential %d lines, omp %d, threads %d\n",
+		locs[drugdesign.Sequential], locs[drugdesign.OMP], locs[drugdesign.Threads])
+
+	printTable := func(title string, prob drugdesign.Problem, threads int) {
+		rows, err := drugdesign.TimingTable(m, prob, threads)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("\n%s (threads=%d)\n", title, threads)
+		tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "approach\tmakespan(cycles)\twall@1.4GHz\tspeedup vs sequential")
+		for _, r := range rows {
+			fmt.Fprintf(tw, "%s\t%d\t%v\t%.2fx\n",
+				r.Approach, r.Result.Makespan, m.Duration(r.Result.Makespan),
+				r.SpeedupVsSequential)
+		}
+		tw.Flush()
+		best, err := drugdesign.Fastest(rows)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("fastest: %s\n", best.Approach)
+	}
+
+	printTable("timing on the simulated Pi 3 B+", p, *threads)
+	printTable("rerun with 5 threads", p, 5)
+	p7 := p
+	p7.MaxLigandLength = 7
+	printTable("rerun with max ligand length 7", p7, *threads)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "drugdesign:", err)
+	os.Exit(1)
+}

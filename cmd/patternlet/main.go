@@ -1,0 +1,54 @@
+// Command patternlet runs the course's shared-memory patternlets —
+// the programs of Assignments 2–4 — on the omp runtime.
+//
+// Usage:
+//
+//	patternlet -list
+//	patternlet [-threads N] <name>...
+//	patternlet [-threads N] all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pblparallel/internal/patternlets"
+)
+
+func main() {
+	threads := flag.Int("threads", 4, "team size (the Pi has 4 cores)")
+	list := flag.Bool("list", false, "list available patternlets and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range patternlets.Registry() {
+			fmt.Printf("%-14s (assignment %d) %s\n", p.Name, p.Assignment, p.Summary)
+		}
+		return
+	}
+	names := flag.Args()
+	if len(names) == 0 {
+		fmt.Fprintln(os.Stderr, "patternlet: name required (or -list); try 'patternlet all'")
+		os.Exit(2)
+	}
+	if len(names) == 1 && names[0] == "all" {
+		names = names[:0]
+		for _, p := range patternlets.Registry() {
+			names = append(names, p.Name)
+		}
+	}
+	for _, name := range names {
+		p, err := patternlets.Lookup(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "patternlet:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (assignment %d): %s ===\n", p.Name, p.Assignment, p.Summary)
+		if err := p.Demo(os.Stdout, *threads); err != nil {
+			fmt.Fprintln(os.Stderr, "patternlet:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,100 @@
+// Command pblstudy runs the full reproduction of the paper's study and
+// prints the Fig.-1 timeline, the survey instrument excerpt, Tables 1–6,
+// and the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	pblstudy [-seed N] [-students N] [-uncalibrated] [-instrument]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pblparallel/internal/core"
+	"pblparallel/internal/pbl"
+	"pblparallel/internal/sensitivity"
+	"pblparallel/internal/survey"
+	"pblparallel/internal/whatif"
+)
+
+func main() {
+	seed := flag.Int64("seed", 0, "override the study seed (0 keeps the paper's)")
+	students := flag.Int("students", 0, "override the cohort size (0 keeps the paper's 124; must be even)")
+	uncal := flag.Bool("uncalibrated", false, "use the uncalibrated response model (ablation)")
+	instrument := flag.Bool("instrument", false, "print the full survey instrument (Fig. 2 for every element) and exit")
+	spring := flag.Bool("spring2019", false, "print the planned Spring 2019 revision and its projected effect, then exit")
+	sens := flag.Int("sensitivity", 0, "re-run the study across N seeds and report statistic distributions, then exit")
+	flag.Parse()
+
+	if *sens > 0 {
+		r, err := sensitivity.Run(20180800, *sens)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(r.Render())
+		return
+	}
+
+	if *instrument {
+		if err := survey.RenderInstrument(os.Stdout, survey.NewBeyerlein()); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *spring {
+		runSpring2019()
+		return
+	}
+
+	cfg := core.PaperStudy()
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	if *students != 0 {
+		if *students%2 != 0 || *students < 8 {
+			fail(fmt.Errorf("students must be even and >= 8, got %d", *students))
+		}
+		cfg.Cohort.NStudents = *students
+		cfg.Cohort.NFemale = *students / 5
+		cfg.Cohort.Section1Females = *students / 10
+	}
+	cfg.Calibrate = !*uncal
+
+	outcome, err := core.Run(cfg)
+	if err != nil {
+		fail(err)
+	}
+	if err := outcome.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+// runSpring2019 prints the revised module, what changed, and the
+// projected effect of the teamwork reinforcement on the weakest
+// correlation of Table 4.
+func runSpring2019() {
+	fall := pbl.NewPaperModule()
+	revised := pbl.NewSpring2019Module()
+	if err := revised.RenderTimeline(os.Stdout); err != nil {
+		fail(err)
+	}
+	diff, err := pbl.Diff(fall, revised)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("\nchanges vs Fall 2018: %d new assignment(s) %v, +%d questions, +%d materials\n\n",
+		len(diff.AddedAssignments), diff.AddedAssignments,
+		diff.AddedQuestionCount, diff.AddedMaterialCount)
+	proj, err := whatif.Project(whatif.TeamworkReinforcement(), 3000, 42)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(proj.Render())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pblstudy:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,13 @@
+// Package pblparallel reproduces "Case Study: Using Project Based
+// Learning to Develop Parallel Programming and Soft Skills" (IPPS 2019)
+// as a Go library: the study engine (cohort, team formation, survey,
+// calibrated response synthesis, statistics) and the course's technical
+// substrate (an OpenMP-like runtime, the patternlet programs, the drug
+// design capstone, MapReduce, an MPI-like runtime, and a simulated
+// Raspberry Pi 3 B+ with virtual time).
+//
+// The root package holds the benchmark harness (bench_test.go): one
+// benchmark per published table and figure, plus ablations. The library
+// itself lives under internal/; cmd/ and examples/ show the public
+// entry points.
+package pblparallel

@@ -1,0 +1,70 @@
+// Drugdesign: Assignment 5's capstone workload through the public API —
+// correctness agreement across the three solutions, then the full
+// virtual-time parameter sweep (threads 1..8, ligand lengths 3..7) on
+// the simulated Raspberry Pi.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pblparallel/internal/drugdesign"
+	"pblparallel/internal/pisim"
+)
+
+func main() {
+	p := drugdesign.PaperProblem()
+	seq, err := drugdesign.RunSequential(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	omp, err := drugdesign.RunOMP(p, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	thr, err := drugdesign.RunThreads(p, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max score %d, best ligands %v\n", seq.MaxScore, seq.BestLigands)
+	fmt.Printf("agreement: omp=%v threads=%v\n\n", seq.Equal(omp), seq.Equal(thr))
+
+	m, err := pisim.NewMachine(pisim.PaperPi3B())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("thread sweep (omp, virtual time on the 4-core Pi):")
+	for _, threads := range []int{1, 2, 3, 4, 5, 6, 8} {
+		vt, err := drugdesign.RunVirtual(m, p, drugdesign.OMP, threads)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %d threads: %8d cycles (%v)\n",
+			threads, vt.Result.Makespan, m.Duration(vt.Result.Makespan))
+	}
+
+	fmt.Println("\nligand-length sweep (all approaches, 4 threads):")
+	for _, maxLen := range []int{3, 4, 5, 6, 7} {
+		prob := p
+		prob.MaxLigandLength = maxLen
+		rows, err := drugdesign.TimingTable(m, prob, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  maxLen %d:", maxLen)
+		for _, r := range rows {
+			fmt.Printf("  %s %8d", r.Approach, r.Result.Makespan)
+		}
+		best, err := drugdesign.Fastest(rows)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  -> fastest %s\n", best.Approach)
+	}
+
+	locs := drugdesign.LineCounts()
+	fmt.Printf("\nprogram size vs performance: sequential %d lines, omp %d, threads %d\n",
+		locs[drugdesign.Sequential], locs[drugdesign.OMP], locs[drugdesign.Threads])
+	fmt.Println("(the omp version is nearly as short as sequential; the threads version carries the queueing code)")
+}

@@ -1,0 +1,75 @@
+// Isatour: the course's ARM-vs-x86 ISA comparison made executable —
+// the worksheet table, the immediate-encoding rule, and the ARM VM
+// running the worksheet micro-programs with instruction and cycle
+// counts. CSc 3210 teaches x86 in lecture; the Pi added the RISC side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pblparallel/internal/armsim"
+	"pblparallel/internal/pisim"
+)
+
+func main() {
+	// The worksheet table.
+	fmt.Println("ARM (Pi) vs x86 (lecture) comparison:")
+	for _, row := range pisim.CompareISAs() {
+		fmt.Printf("  %-22s ARM: %-42s x86: %s\n", row.Axis, row.ARM, row.X86)
+	}
+
+	// The immediate rule in action.
+	fmt.Println("\nimmediate encodings (ARM rotated-8-bit rule):")
+	for _, v := range []uint32{0xFF, 0x3F0, 0xFF000000, 0x101, 0x12345678} {
+		if val, rot, err := pisim.ARMEncodeImmediate(v); err == nil {
+			fmt.Printf("  %#010x -> imm8=%#02x ror #%d\n", v, val, rot)
+		} else {
+			fmt.Printf("  %#010x -> not encodable (needs %d instructions)\n",
+				v, len(armsim.LoadConstant(0, v)))
+		}
+	}
+
+	// Instruction counts for the two worksheet micro-programs.
+	fmt.Println("\ninstruction counts (load 0x12345678; mem += reg):")
+	for _, row := range armsim.CompareInstructionCounts(0x12345678) {
+		fmt.Printf("  %-24s ARM %d vs x86 %d\n", row.Task, row.ARMCount, row.X86Count)
+	}
+
+	// Run the array-sum program on the VM.
+	const n = 10
+	prog, err := armsim.Assemble(armsim.SumArrayProgram(0, n))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := armsim.NewMachine(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		m.Mem[i] = uint32(i + 1)
+	}
+	if err := m.Run(prog, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsum of 1..%d on the ARM VM: r0 = %d\n", n, m.Regs[0])
+	fmt.Printf("executed %d instructions in %d cycles; code size %d bytes (fixed 4-byte words)\n",
+		m.Instructions, m.Cycles, prog.SizeBytes())
+
+	// The mem += reg expansion.
+	memAdd, err := armsim.Assemble(armsim.MemAddProgram(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm2, err := armsim.NewMachine(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm2.Mem[2] = 40
+	vm2.Regs[1] = 2
+	if err := vm2.Run(memAdd, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmem += reg on a load-store machine: ldr/add/str -> mem[8] = %d (%d instructions)\n",
+		vm2.Mem[2], vm2.Instructions)
+}

@@ -1,0 +1,106 @@
+// Mapreduce: Assignment 5's reading in action — word count, inverted
+// index, and distributed grep over the course materials' text, plus the
+// MPI extension (the paper's future work) computing the same word count
+// with explicit message passing.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"pblparallel/internal/mapreduce"
+	"pblparallel/internal/mpi"
+)
+
+var corpus = map[string]string{
+	"assignment2": "identify the components on the raspberry pi\nhow many cores does the cpu have\nsequential and parallel computation",
+	"assignment3": "classify parallel computers based on flynn taxonomy\nshared memory and the threads model\nthe raspberry pi uses a system on chip",
+	"assignment4": "the race condition is difficult to reproduce and debug\nbarrier synchronization and reduction\nmaster worker in openmp",
+	"assignment5": "what is mapreduce and why mapreduce\nopenmp mpi and hadoop\nthe drug design problem in parallel",
+}
+
+func main() {
+	cfg := mapreduce.Config{Mappers: 4, Reducers: 4}
+
+	// Word count.
+	counts, err := mapreduce.Run(mapreduce.WordCount(), corpus, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("word count (top words):")
+	printTop(counts, 6)
+
+	// Inverted index.
+	index, err := mapreduce.Run(mapreduce.InvertedIndex(), corpus, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ninverted index (selected terms):")
+	for _, term := range []string{"parallel", "raspberry", "mapreduce", "barrier"} {
+		fmt.Printf("  %-10s -> %s\n", term, index[term])
+	}
+
+	// Distributed grep.
+	grep, err := mapreduce.Run(mapreduce.Grep("parallel"), corpus, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ngrep \"parallel\" (matching lines per document):")
+	printTop(grep, 10)
+
+	// The MPI flavour: scatter documents over 4 ranks, count locally,
+	// reduce the totals to rank 0 — the distributed-memory version of
+	// the same computation.
+	fmt.Println("\nMPI word total (4 ranks, scatter + reduce):")
+	docs := make([]string, 0, len(corpus))
+	for _, text := range corpus {
+		docs = append(docs, text)
+	}
+	sort.Strings(docs)
+	err = mpi.Run(4, func(c *mpi.Comm) error {
+		part, err := mpi.Scatter(c, 0, docs)
+		if err != nil {
+			return err
+		}
+		local := 0
+		for _, d := range part {
+			local += len(mapreduce.Tokenize(d))
+		}
+		total, err := mpi.Reduce(c, 0, local, func(a, b int) int { return a + b })
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("  total tokens across ranks: %d\n", total)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func printTop(m map[string]string, n int) {
+	type kv struct{ k, v string }
+	items := make([]kv, 0, len(m))
+	for k, v := range m {
+		items = append(items, kv{k, v})
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if len(items[i].v) != len(items[j].v) {
+			return len(items[i].v) > len(items[j].v)
+		}
+		if items[i].v != items[j].v {
+			return items[i].v > items[j].v
+		}
+		return items[i].k < items[j].k
+	})
+	if len(items) > n {
+		items = items[:n]
+	}
+	for _, it := range items {
+		fmt.Printf("  %-12s %s\n", it.k, strings.TrimSpace(it.v))
+	}
+}

@@ -1,0 +1,3 @@
+module pblparallel
+
+go 1.22

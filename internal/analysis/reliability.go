@@ -1,0 +1,49 @@
+package analysis
+
+import (
+	"fmt"
+
+	"pblparallel/internal/stats"
+	"pblparallel/internal/survey"
+)
+
+// ReliabilityKey names one alpha: element, category, and wave.
+func ReliabilityKey(element string, c survey.Category, w survey.Wave) string {
+	return fmt.Sprintf("%s / %s / %s", element, c, w)
+}
+
+// Reliability computes Cronbach's alpha for every element × category ×
+// wave: the internal consistency of the item sets whose averages the
+// paper's Table 4 correlates. Keys come from ReliabilityKey.
+func Reliability(d Dataset) (map[string]float64, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for _, wd := range []survey.WaveData{d.Mid, d.End} {
+		for _, e := range d.Instrument.Elements {
+			for _, c := range survey.Categories {
+				// items[i][j]: item i (0 = definition), student j.
+				items := make([][]float64, e.NItems())
+				for i := range items {
+					items[i] = make([]float64, len(wd.Sheets))
+				}
+				for j, sheet := range wd.Sheets {
+					r, ok := sheet.Get(c, e.Name)
+					if !ok {
+						return nil, fmt.Errorf("analysis: sheet %d missing %q", sheet.StudentID, e.Name)
+					}
+					for i, score := range r.Scores() {
+						items[i][j] = score
+					}
+				}
+				alpha, err := stats.CronbachAlpha(items)
+				if err != nil {
+					return nil, fmt.Errorf("analysis: alpha %s/%v: %w", e.Name, c, err)
+				}
+				out[ReliabilityKey(e.Name, c, wd.Wave)] = alpha
+			}
+		}
+	}
+	return out, nil
+}

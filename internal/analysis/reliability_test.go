@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"pblparallel/internal/survey"
+)
+
+func TestReliabilityAcceptableForCalibratedData(t *testing.T) {
+	big, _ := sharedDatasets(t)
+	alphas, err := Reliability(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 elements × 2 categories × 2 waves.
+	if len(alphas) != 28 {
+		t.Fatalf("%d alphas", len(alphas))
+	}
+	for key, a := range alphas {
+		if a < 0.5 || a > 0.99 {
+			t.Errorf("%s: alpha %.3f outside the acceptable band", key, a)
+		}
+	}
+}
+
+func TestReliabilityKeys(t *testing.T) {
+	big, _ := sharedDatasets(t)
+	alphas, err := Reliability(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ReliabilityKey("Teamwork", survey.ClassEmphasis, survey.MidSemester)
+	if !strings.Contains(key, "Teamwork") || !strings.Contains(key, "Class Emphasis") {
+		t.Fatalf("key = %q", key)
+	}
+	if _, ok := alphas[key]; !ok {
+		t.Fatalf("missing key %q", key)
+	}
+}
+
+func TestReliabilityRejectsBadDataset(t *testing.T) {
+	if _, err := Reliability(Dataset{}); err == nil {
+		t.Fatal("invalid dataset accepted")
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+
+	"pblparallel/internal/paperdata"
+)
+
+// RenderReport writes every reproduced table in a layout mirroring the
+// paper's evaluation section.
+func RenderReport(w io.Writer, rep *Report) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(w, format, args...)
+	}
+	p("Table 1. T-test: Class Emphasis and Personal Growth (N=%d)\n", rep.N)
+	p("  %-16s meanDiff=%+.3f t=%+.3f df=%.0f p=%.3g\n", "Class Emphasis",
+		rep.Table1.ClassEmphasis.MeanDiff, rep.Table1.ClassEmphasis.T,
+		rep.Table1.ClassEmphasis.DF, rep.Table1.ClassEmphasis.P)
+	p("  %-16s meanDiff=%+.3f t=%+.3f df=%.0f p=%.3g\n\n", "Personal Growth",
+		rep.Table1.PersonalGrowth.MeanDiff, rep.Table1.PersonalGrowth.T,
+		rep.Table1.PersonalGrowth.DF, rep.Table1.PersonalGrowth.P)
+
+	p("Table 2. Cohen's d of Course Emphasis\n")
+	p("  M1=%.6f SD1=%.6f  M2=%.6f SD2=%.6f  n=%d\n  %s\n\n",
+		rep.Table2.Mean1, rep.Table2.SD1, rep.Table2.Mean2, rep.Table2.SD2, rep.Table2.N1, rep.Table2)
+
+	p("Table 3. Cohen's d (Effect Size) of Personal Growth\n")
+	p("  M1=%.6f SD1=%.6f  M2=%.6f SD2=%.6f  n=%d\n  %s\n\n",
+		rep.Table3.Mean1, rep.Table3.SD1, rep.Table3.Mean2, rep.Table3.SD2, rep.Table3.N1, rep.Table3)
+
+	p("Table 4. Pearson Correlation Between Class Emphasis and Personal Growth\n")
+	p("  %-32s %-28s %s\n", "Skill", "First Half", "Second Half")
+	for _, skill := range paperdata.Skills {
+		row := rep.Table4[skill]
+		p("  %-32s %-28s %s\n", skill, row.FirstHalf, row.SecondHalf)
+	}
+	p("\n")
+
+	p("Table 5. Ranking of Student Perception of the Course Emphasis\n")
+	renderRankingPair(p, rep.Table5)
+	p("\nTable 6. Ranking of Student Perception of Personal Growth\n")
+	renderRankingPair(p, rep.Table6)
+
+	p("\nEmphasis-vs-growth gaps (redesign threshold %.1f):\n", paperdata.GapActionThreshold)
+	p("  %-32s %-22s %s\n", "Skill", "First Half (gap)", "Second Half (gap)")
+	for i, g1 := range rep.GapsFirstHalf {
+		g2 := rep.GapsSecondHalf[i]
+		flag := func(g GapRow) string {
+			if g.NeedsAttention {
+				return "!"
+			}
+			return " "
+		}
+		p("  %-32s %5.2f-%5.2f=%+5.2f %s   %5.2f-%5.2f=%+5.2f %s\n",
+			g1.Skill, g1.Emphasis, g1.Growth, g1.Gap, flag(g1),
+			g2.Emphasis, g2.Growth, g2.Gap, flag(g2))
+	}
+	return err
+}
+
+func renderRankingPair(p func(string, ...any), pair RankingPair) {
+	p("  %-4s %-40s %s\n", "Rank", "First Half Survey (average)", "Second Half Survey (average)")
+	n := len(pair.FirstHalf)
+	for i := 0; i < n; i++ {
+		first := fmt.Sprintf("%s: %.2f", pair.FirstHalf[i].Name, pair.FirstHalf[i].Score)
+		second := ""
+		if i < len(pair.SecondHalf) {
+			second = fmt.Sprintf("%s: %.2f", pair.SecondHalf[i].Name, pair.SecondHalf[i].Score)
+		}
+		p("  %-4d %-40s %s\n", i+1, first, second)
+	}
+}
+
+// RenderComparison writes the paper-vs-measured metric lines and the
+// qualitative shape checks.
+func RenderComparison(w io.Writer, c Comparison) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(w, format, args...)
+	}
+	p("Paper vs measured (%d metrics):\n", len(c.Metrics))
+	for _, m := range c.Metrics {
+		p("  %s\n", m)
+	}
+	p("\nShape checks (%d):\n", len(c.Shape))
+	for _, s := range c.Shape {
+		mark := "PASS"
+		if !s.Holds {
+			mark = "FAIL"
+		}
+		p("  [%s] %s\n", mark, s.Claim)
+	}
+	return err
+}

@@ -1,0 +1,122 @@
+package analysis
+
+import (
+	"fmt"
+
+	"pblparallel/internal/stats"
+	"pblparallel/internal/survey"
+)
+
+// Robustness collects the checks a t-test-based survey study should
+// report alongside its headline numbers: normality of the per-student
+// category averages in each wave (Jarque-Bera) and confidence intervals
+// for the paired wave differences.
+type Robustness struct {
+	// Normality maps "<category>/<wave>" to its test.
+	Normality map[string]stats.JarqueBeraResult
+	// DiffCI95 maps category name to the 95% CI of (wave1 - wave2)
+	// per-student differences; an interval entirely below zero confirms
+	// the direction of Tables 1-3.
+	DiffCI95 map[string][2]float64
+	// Wilcoxon maps category name to the non-parametric companion of
+	// Table 1's paired t-test — the check that matters when the
+	// Likert-derived averages fail a normality test.
+	Wilcoxon map[string]stats.WilcoxonResult
+}
+
+// CheckRobustness runs the checks over a validated dataset.
+func CheckRobustness(d Dataset) (Robustness, error) {
+	if err := d.Validate(); err != nil {
+		return Robustness{}, err
+	}
+	r := Robustness{
+		Normality: make(map[string]stats.JarqueBeraResult),
+		DiffCI95:  make(map[string][2]float64),
+		Wilcoxon:  make(map[string]stats.WilcoxonResult),
+	}
+	for _, c := range survey.Categories {
+		w1 := d.Mid.CategoryAverages(c)
+		w2 := d.End.CategoryAverages(c)
+		for wave, xs := range map[string][]float64{
+			c.String() + "/" + d.Mid.Wave.String(): w1,
+			c.String() + "/" + d.End.Wave.String(): w2,
+		} {
+			jb, err := stats.JarqueBera(xs)
+			if err != nil {
+				return Robustness{}, fmt.Errorf("analysis: normality %s: %w", wave, err)
+			}
+			r.Normality[wave] = jb
+		}
+		diffs := make([]float64, len(w1))
+		for i := range w1 {
+			diffs[i] = w1[i] - w2[i]
+		}
+		lo, hi, err := stats.MeanCI(diffs, 0.95)
+		if err != nil {
+			return Robustness{}, fmt.Errorf("analysis: CI %s: %w", c, err)
+		}
+		r.DiffCI95[c.String()] = [2]float64{lo, hi}
+		wx, err := stats.WilcoxonSignedRank(w1, w2)
+		if err != nil {
+			return Robustness{}, fmt.Errorf("analysis: wilcoxon %s: %w", c, err)
+		}
+		r.Wilcoxon[c.String()] = wx
+	}
+	return r, nil
+}
+
+// SectionComparison checks the study's two-section design: both
+// sections got the same instructor and methodology, so growth and
+// emphasis should not differ by section. A significant difference would
+// flag a confound.
+type SectionComparison struct {
+	// Welch t-tests of section 1 vs section 2 end-of-term category
+	// averages.
+	Emphasis stats.TTestResult
+	Growth   stats.TTestResult
+	N1, N2   int
+}
+
+// NoSectionEffect reports whether both comparisons are null at alpha.
+func (s SectionComparison) NoSectionEffect(alpha float64) bool {
+	return !s.Emphasis.Significant(alpha) && !s.Growth.Significant(alpha)
+}
+
+// CompareSections splits the end-of-term sheets by section (sectionOf
+// maps student ID to 1 or 2) and runs Welch t-tests between sections.
+func CompareSections(d Dataset, sectionOf func(studentID int) (int, error)) (SectionComparison, error) {
+	if err := d.Validate(); err != nil {
+		return SectionComparison{}, err
+	}
+	if sectionOf == nil {
+		return SectionComparison{}, fmt.Errorf("analysis: nil section mapping")
+	}
+	var e1, e2, g1, g2 []float64
+	for _, sheet := range d.End.Sheets {
+		sec, err := sectionOf(sheet.StudentID)
+		if err != nil {
+			return SectionComparison{}, err
+		}
+		emph := sheet.CategoryAverage(survey.ClassEmphasis)
+		grow := sheet.CategoryAverage(survey.PersonalGrowth)
+		switch sec {
+		case 1:
+			e1 = append(e1, emph)
+			g1 = append(g1, grow)
+		case 2:
+			e2 = append(e2, emph)
+			g2 = append(g2, grow)
+		default:
+			return SectionComparison{}, fmt.Errorf("analysis: student %d in section %d", sheet.StudentID, sec)
+		}
+	}
+	eT, err := stats.WelchTTest(e1, e2)
+	if err != nil {
+		return SectionComparison{}, fmt.Errorf("analysis: section emphasis: %w", err)
+	}
+	gT, err := stats.WelchTTest(g1, g2)
+	if err != nil {
+		return SectionComparison{}, fmt.Errorf("analysis: section growth: %w", err)
+	}
+	return SectionComparison{Emphasis: eT, Growth: gT, N1: len(e1), N2: len(e2)}, nil
+}

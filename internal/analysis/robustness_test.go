@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+
+	"pblparallel/internal/survey"
+)
+
+func TestCheckRobustness(t *testing.T) {
+	big, _ := sharedDatasets(t)
+	r, err := CheckRobustness(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Normality) != 4 {
+		t.Fatalf("%d normality entries", len(r.Normality))
+	}
+	for key, jb := range r.Normality {
+		if jb.N != len(big.Mid.Sheets) {
+			t.Fatalf("%s: n = %d", key, jb.N)
+		}
+	}
+	if len(r.DiffCI95) != 2 {
+		t.Fatalf("%d CI entries", len(r.DiffCI95))
+	}
+	// Wave 2 is higher, so the wave1-wave2 CI lies entirely below zero
+	// at n=3000 — the CI form of Tables 1-3's directional claim.
+	for cat, ci := range r.DiffCI95 {
+		if !(ci[0] < ci[1]) {
+			t.Fatalf("%s: degenerate CI %v", cat, ci)
+		}
+		if ci[1] >= 0 {
+			t.Fatalf("%s: CI %v not entirely below zero", cat, ci)
+		}
+	}
+	// The non-parametric companion agrees with the t-tests: wave 2
+	// dominates, significantly.
+	if len(r.Wilcoxon) != 2 {
+		t.Fatalf("%d wilcoxon entries", len(r.Wilcoxon))
+	}
+	for cat, wx := range r.Wilcoxon {
+		if !wx.Significant(0.001) {
+			t.Fatalf("%s: wilcoxon not significant: %+v", cat, wx)
+		}
+		if wx.WPlus >= wx.WMinus {
+			t.Fatalf("%s: wilcoxon direction inverted: %+v", cat, wx)
+		}
+	}
+}
+
+func TestCheckRobustnessRejectsBadDataset(t *testing.T) {
+	if _, err := CheckRobustness(Dataset{}); err == nil {
+		t.Fatal("invalid dataset accepted")
+	}
+}
+
+func TestCompareSectionsNullEffect(t *testing.T) {
+	big, _ := sharedDatasets(t)
+	// Assign sections deterministically by parity: the generator has no
+	// section effect, so the comparison must be null.
+	sectionOf := func(id int) (int, error) { return 1 + id%2, nil }
+	sc, err := CompareSections(big, sectionOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.N1+sc.N2 != len(big.End.Sheets) {
+		t.Fatalf("sections cover %d of %d", sc.N1+sc.N2, len(big.End.Sheets))
+	}
+	if !sc.NoSectionEffect(0.001) {
+		t.Fatalf("phantom section effect: emphasis p=%v growth p=%v",
+			sc.Emphasis.P, sc.Growth.P)
+	}
+}
+
+func TestCompareSectionsValidation(t *testing.T) {
+	big, _ := sharedDatasets(t)
+	if _, err := CompareSections(big, nil); err == nil {
+		t.Fatal("nil mapping accepted")
+	}
+	if _, err := CompareSections(big, func(int) (int, error) { return 7, nil }); err == nil {
+		t.Fatal("bad section accepted")
+	}
+	if _, err := CompareSections(big, func(id int) (int, error) {
+		return 0, fmt.Errorf("no such student")
+	}); err == nil {
+		t.Fatal("mapping error swallowed")
+	}
+	if _, err := CompareSections(Dataset{}, func(int) (int, error) { return 1, nil }); err == nil {
+		t.Fatal("invalid dataset accepted")
+	}
+}
+
+func TestCompareSectionsRealisticSplit(t *testing.T) {
+	// 62/62 split like the paper's sections.
+	_, ref := sharedDatasets(t)
+	sectionOf := func(id int) (int, error) {
+		if id < 62 {
+			return 1, nil
+		}
+		return 2, nil
+	}
+	sc, err := CompareSections(ref, sectionOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.N1 != 62 || sc.N2 != 62 {
+		t.Fatalf("split %d/%d", sc.N1, sc.N2)
+	}
+	_ = sc.NoSectionEffect(0.05) // value depends on the draw; just exercised
+}
+
+func TestRobustnessNormalityKeysNamed(t *testing.T) {
+	big, _ := sharedDatasets(t)
+	r, err := CheckRobustness(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range survey.Categories {
+		for _, w := range survey.Waves {
+			key := c.String() + "/" + w.String()
+			if _, ok := r.Normality[key]; !ok {
+				t.Fatalf("missing normality key %q (have %v)", key, keys(r.Normality))
+			}
+		}
+	}
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

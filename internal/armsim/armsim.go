@@ -1,0 +1,264 @@
+// Package armsim is a teaching-scale ARM-like virtual machine for the
+// course's ISA exploration: CSc 3210 teaches Intel x86, and the paper
+// chose the Raspberry Pi so students could compare a RISC load-store
+// architecture against it "in terms of data movement, instruction
+// encoding, immediate value representation, and memory layout".
+//
+// The machine executes a small AArch32-flavoured subset: 16 registers
+// (R15 is the program counter), NZCV condition flags, three-operand ALU
+// instructions whose immediates must satisfy the real ARM rotated-8-bit
+// rule (validated through pisim.ARMCanEncodeImmediate), load/store as
+// the only memory instructions, and conditional branches. Every
+// instruction occupies one 4-byte slot and carries a cycle cost, so
+// programs yield instruction and cycle counts comparable across coding
+// styles — the quantities the ISA worksheet asks about.
+package armsim
+
+import (
+	"fmt"
+
+	"pblparallel/internal/pisim"
+)
+
+// Reg names a register R0..R15. R15 is the program counter.
+type Reg int
+
+// PC is the program counter register.
+const PC Reg = 15
+
+// NumRegs is the register-file size.
+const NumRegs = 16
+
+// Valid reports whether the register exists.
+func (r Reg) Valid() bool { return r >= 0 && r < NumRegs }
+
+// String renders the conventional name.
+func (r Reg) String() string {
+	if r == PC {
+		return "pc"
+	}
+	return fmt.Sprintf("r%d", int(r))
+}
+
+// Op is an instruction mnemonic.
+type Op string
+
+// The supported subset.
+const (
+	MOV Op = "mov" // rd := op2
+	MVN Op = "mvn" // rd := ^op2
+	ADD Op = "add" // rd := rn + op2
+	SUB Op = "sub" // rd := rn - op2
+	MUL Op = "mul" // rd := rn * op2 (register operand only, as on ARM)
+	AND Op = "and"
+	ORR Op = "orr"
+	EOR Op = "eor"
+	CMP Op = "cmp" // flags := rn - op2
+	LDR Op = "ldr" // rd := mem[rn + offset]
+	STR Op = "str" // mem[rn + offset] := rd
+	B   Op = "b"   // pc := label
+	BEQ Op = "beq"
+	BNE Op = "bne"
+	BLT Op = "blt"
+	BGE Op = "bge"
+	HLT Op = "hlt" // stop
+)
+
+// ShiftKind is a barrel-shifter operation applied to a register operand
+// — ARM's "flexible second operand", free in the same instruction,
+// versus x86 where a shift is a separate instruction.
+type ShiftKind string
+
+const (
+	NoShift ShiftKind = ""
+	LSL     ShiftKind = "lsl" // logical shift left
+	LSR     ShiftKind = "lsr" // logical shift right
+	ASR     ShiftKind = "asr" // arithmetic shift right
+	ROR     ShiftKind = "ror" // rotate right
+)
+
+// Operand is either a register (optionally barrel-shifted) or an
+// immediate.
+type Operand struct {
+	IsImm bool
+	Reg   Reg
+	Imm   uint32
+	// Shift and ShiftAmt apply only to register operands.
+	Shift    ShiftKind
+	ShiftAmt int
+}
+
+// RegOp builds a register operand.
+func RegOp(r Reg) Operand { return Operand{Reg: r} }
+
+// ShiftedOp builds a barrel-shifted register operand.
+func ShiftedOp(r Reg, kind ShiftKind, amount int) Operand {
+	return Operand{Reg: r, Shift: kind, ShiftAmt: amount}
+}
+
+// ImmOp builds an immediate operand.
+func ImmOp(v uint32) Operand { return Operand{IsImm: true, Imm: v} }
+
+// Instruction is one decoded instruction.
+type Instruction struct {
+	Op     Op
+	Rd, Rn Reg
+	Op2    Operand
+	// Offset is the byte offset for LDR/STR (must be word-aligned).
+	Offset int32
+	// Target is the branch target label.
+	Target string
+	// Label optionally names this instruction's address.
+	Label string
+}
+
+// cycleCost models a simple in-order pipeline: ALU 1, MUL 3, memory 3,
+// untaken branch 1, taken branch 3 (flush), HLT 1.
+func cycleCost(op Op, taken bool) int64 {
+	switch op {
+	case MUL:
+		return 3
+	case LDR, STR:
+		return 3
+	case B, BEQ, BNE, BLT, BGE:
+		if taken {
+			return 3
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// validate checks an instruction's static constraints, including the
+// real ARM immediate-encoding rule.
+func (ins Instruction) validate(index int) error {
+	bad := func(format string, args ...any) error {
+		return fmt.Errorf("armsim: instruction %d (%s): "+format,
+			append([]any{index, ins.Op}, args...)...)
+	}
+	checkReg := func(r Reg, what string) error {
+		if !r.Valid() {
+			return bad("invalid %s register %d", what, int(r))
+		}
+		return nil
+	}
+	checkOp2 := func(allowImm bool) error {
+		if ins.Op2.IsImm {
+			if !allowImm {
+				return bad("immediate operand not allowed")
+			}
+			if ins.Op2.Shift != NoShift {
+				return bad("immediates cannot be barrel-shifted")
+			}
+			if !pisim.ARMCanEncodeImmediate(ins.Op2.Imm) {
+				return bad("immediate %#x is not a rotated-8-bit ARM immediate", ins.Op2.Imm)
+			}
+			return nil
+		}
+		if err := checkReg(ins.Op2.Reg, "operand"); err != nil {
+			return err
+		}
+		switch ins.Op2.Shift {
+		case NoShift:
+			if ins.Op2.ShiftAmt != 0 {
+				return bad("shift amount without a shift kind")
+			}
+		case LSL, LSR, ASR, ROR:
+			if ins.Op2.ShiftAmt < 0 || ins.Op2.ShiftAmt > 31 {
+				return bad("shift amount %d outside 0..31", ins.Op2.ShiftAmt)
+			}
+		default:
+			return bad("unknown shift %q", ins.Op2.Shift)
+		}
+		return nil
+	}
+	switch ins.Op {
+	case MOV, MVN:
+		if err := checkReg(ins.Rd, "destination"); err != nil {
+			return err
+		}
+		return checkOp2(true)
+	case ADD, SUB, AND, ORR, EOR:
+		if err := checkReg(ins.Rd, "destination"); err != nil {
+			return err
+		}
+		if err := checkReg(ins.Rn, "source"); err != nil {
+			return err
+		}
+		return checkOp2(true)
+	case MUL:
+		if err := checkReg(ins.Rd, "destination"); err != nil {
+			return err
+		}
+		if err := checkReg(ins.Rn, "source"); err != nil {
+			return err
+		}
+		if ins.Op2.Shift != NoShift {
+			return bad("MUL does not take the barrel shifter")
+		}
+		return checkOp2(false) // ARM MUL takes registers only
+	case CMP:
+		if err := checkReg(ins.Rn, "source"); err != nil {
+			return err
+		}
+		return checkOp2(true)
+	case LDR, STR:
+		if err := checkReg(ins.Rd, "data"); err != nil {
+			return err
+		}
+		if err := checkReg(ins.Rn, "base"); err != nil {
+			return err
+		}
+		if ins.Offset%4 != 0 {
+			return bad("unaligned offset %d", ins.Offset)
+		}
+		return nil
+	case B, BEQ, BNE, BLT, BGE:
+		if ins.Target == "" {
+			return bad("missing branch target")
+		}
+		return nil
+	case HLT:
+		return nil
+	default:
+		return bad("unknown opcode")
+	}
+}
+
+// Program is a validated instruction sequence with resolved labels.
+type Program struct {
+	Instructions []Instruction
+	labels       map[string]int
+}
+
+// Assemble validates the instructions and resolves labels.
+func Assemble(instrs []Instruction) (*Program, error) {
+	if len(instrs) == 0 {
+		return nil, fmt.Errorf("armsim: empty program")
+	}
+	labels := map[string]int{}
+	for i, ins := range instrs {
+		if ins.Label != "" {
+			if _, dup := labels[ins.Label]; dup {
+				return nil, fmt.Errorf("armsim: duplicate label %q", ins.Label)
+			}
+			labels[ins.Label] = i
+		}
+	}
+	for i, ins := range instrs {
+		if err := ins.validate(i); err != nil {
+			return nil, err
+		}
+		if ins.Target != "" {
+			if _, ok := labels[ins.Target]; !ok {
+				return nil, fmt.Errorf("armsim: instruction %d branches to unknown label %q", i, ins.Target)
+			}
+		}
+	}
+	return &Program{Instructions: instrs, labels: labels}, nil
+}
+
+// SizeBytes is the program's code size: fixed 4 bytes per instruction,
+// the "memory layout" data point of the ISA comparison.
+func (p *Program) SizeBytes() int { return 4 * len(p.Instructions) }

@@ -1,0 +1,393 @@
+package armsim
+
+import (
+	"errors"
+	"math/bits"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pblparallel/internal/pisim"
+)
+
+func mustAssemble(t testing.TB, instrs []Instruction) *Program {
+	t.Helper()
+	p, err := Assemble(instrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t testing.TB, p *Program, memWords int) *Machine {
+	t.Helper()
+	m, err := NewMachine(memWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMovAddSub(t *testing.T) {
+	p := mustAssemble(t, []Instruction{
+		{Op: MOV, Rd: 0, Op2: ImmOp(10)},
+		{Op: ADD, Rd: 1, Rn: 0, Op2: ImmOp(5)},
+		{Op: SUB, Rd: 2, Rn: 1, Op2: RegOp(0)},
+		{Op: MUL, Rd: 3, Rn: 1, Op2: RegOp(2)},
+		{Op: HLT},
+	})
+	m := run(t, p, 0)
+	if m.Regs[0] != 10 || m.Regs[1] != 15 || m.Regs[2] != 5 || m.Regs[3] != 75 {
+		t.Fatalf("regs = %v", m.Regs[:4])
+	}
+	if m.Instructions != 5 {
+		t.Fatalf("instruction count = %d", m.Instructions)
+	}
+}
+
+func TestLogicalOps(t *testing.T) {
+	p := mustAssemble(t, []Instruction{
+		{Op: MOV, Rd: 0, Op2: ImmOp(0xF0)},
+		{Op: AND, Rd: 1, Rn: 0, Op2: ImmOp(0x3C)},
+		{Op: ORR, Rd: 2, Rn: 0, Op2: ImmOp(0x0F)},
+		{Op: EOR, Rd: 3, Rn: 0, Op2: ImmOp(0xFF)},
+		{Op: MVN, Rd: 4, Op2: ImmOp(0)},
+		{Op: HLT},
+	})
+	m := run(t, p, 0)
+	if m.Regs[1] != 0x30 || m.Regs[2] != 0xFF || m.Regs[3] != 0x0F || m.Regs[4] != 0xFFFFFFFF {
+		t.Fatalf("regs = %x", m.Regs[:5])
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	p := mustAssemble(t, []Instruction{
+		{Op: MOV, Rd: 0, Op2: ImmOp(8)}, // base byte address
+		{Op: MOV, Rd: 1, Op2: ImmOp(42)},
+		{Op: STR, Rd: 1, Rn: 0},
+		{Op: LDR, Rd: 2, Rn: 0},
+		{Op: STR, Rd: 2, Rn: 0, Offset: 4},
+		{Op: LDR, Rd: 3, Rn: 0, Offset: 4},
+		{Op: HLT},
+	})
+	m := run(t, p, 8)
+	if m.Mem[2] != 42 || m.Mem[3] != 42 || m.Regs[3] != 42 {
+		t.Fatalf("mem = %v regs = %v", m.Mem[:4], m.Regs[:4])
+	}
+}
+
+func TestBranchesAndFlags(t *testing.T) {
+	// Count down from 3: loop body runs 3 times.
+	p := mustAssemble(t, []Instruction{
+		{Op: MOV, Rd: 0, Op2: ImmOp(3)}, // counter
+		{Op: MOV, Rd: 1, Op2: ImmOp(0)}, // accumulator
+		{Label: "loop", Op: CMP, Rn: 0, Op2: ImmOp(0)},
+		{Op: BEQ, Target: "done"},
+		{Op: ADD, Rd: 1, Rn: 1, Op2: ImmOp(10)},
+		{Op: SUB, Rd: 0, Rn: 0, Op2: ImmOp(1)},
+		{Op: B, Target: "loop"},
+		{Label: "done", Op: HLT},
+	})
+	m := run(t, p, 0)
+	if m.Regs[1] != 30 {
+		t.Fatalf("acc = %d", m.Regs[1])
+	}
+}
+
+func TestSignedBranches(t *testing.T) {
+	// BLT on negative comparison: -1 < 1.
+	p := mustAssemble(t, []Instruction{
+		{Op: MOV, Rd: 0, Op2: ImmOp(0)},
+		{Op: SUB, Rd: 0, Rn: 0, Op2: ImmOp(1)}, // r0 = -1
+		{Op: CMP, Rn: 0, Op2: ImmOp(1)},
+		{Op: BLT, Target: "less"},
+		{Op: MOV, Rd: 1, Op2: ImmOp(0)},
+		{Op: HLT},
+		{Label: "less", Op: MOV, Rd: 1, Op2: ImmOp(1)},
+		{Op: HLT},
+	})
+	m := run(t, p, 0)
+	if m.Regs[1] != 1 {
+		t.Fatal("BLT did not take the signed-less path")
+	}
+	// BGE on equal values.
+	p2 := mustAssemble(t, []Instruction{
+		{Op: MOV, Rd: 0, Op2: ImmOp(5)},
+		{Op: CMP, Rn: 0, Op2: ImmOp(5)},
+		{Op: BGE, Target: "ge"},
+		{Op: MOV, Rd: 1, Op2: ImmOp(0)},
+		{Op: HLT},
+		{Label: "ge", Op: MOV, Rd: 1, Op2: ImmOp(1)},
+		{Op: HLT},
+	})
+	m2 := run(t, p2, 0)
+	if m2.Regs[1] != 1 {
+		t.Fatal("BGE did not take the equal path")
+	}
+}
+
+func TestImmediateRuleEnforced(t *testing.T) {
+	// 0x12345678 is not a rotated-8-bit immediate: assembly must fail.
+	_, err := Assemble([]Instruction{
+		{Op: MOV, Rd: 0, Op2: ImmOp(0x12345678)},
+		{Op: HLT},
+	})
+	if err == nil || !strings.Contains(err.Error(), "immediate") {
+		t.Fatalf("err = %v", err)
+	}
+	// MUL rejects immediates entirely (as on ARM).
+	_, err = Assemble([]Instruction{
+		{Op: MUL, Rd: 0, Rn: 1, Op2: ImmOp(4)},
+		{Op: HLT},
+	})
+	if err == nil {
+		t.Fatal("MUL immediate accepted")
+	}
+}
+
+func TestAssembleValidation(t *testing.T) {
+	cases := [][]Instruction{
+		nil,                                  // empty
+		{{Op: MOV, Rd: 99, Op2: ImmOp(1)}},   // bad register
+		{{Op: B}},                            // missing target
+		{{Op: B, Target: "nowhere"}},         // unknown label
+		{{Op: LDR, Rd: 0, Rn: 1, Offset: 3}}, // unaligned
+		{{Op: Op("frob"), Rd: 0}},            // unknown op
+		{{Label: "x", Op: HLT}, {Label: "x", Op: HLT}}, // duplicate label
+		{{Op: ADD, Rd: 0, Rn: Reg(-1), Op2: ImmOp(1)}}, // bad source
+	}
+	for i, instrs := range cases {
+		if _, err := Assemble(instrs); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestRunawayLoopHitsLimit(t *testing.T) {
+	p := mustAssemble(t, []Instruction{
+		{Label: "spin", Op: B, Target: "spin"},
+	})
+	m, err := NewMachine(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = m.Run(p, 100)
+	var lim *ErrLimit
+	if !errors.As(err, &lim) || lim.Steps != 100 {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFallOffEndHalts(t *testing.T) {
+	p := mustAssemble(t, []Instruction{
+		{Op: MOV, Rd: 0, Op2: ImmOp(7)},
+	})
+	m := run(t, p, 0)
+	if m.Regs[0] != 7 {
+		t.Fatal("instruction did not execute")
+	}
+}
+
+func TestMemoryBounds(t *testing.T) {
+	p := mustAssemble(t, []Instruction{
+		{Op: MOV, Rd: 0, Op2: ImmOp(0x400)},
+		{Op: LDR, Rd: 1, Rn: 0},
+		{Op: HLT},
+	})
+	m, err := NewMachine(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(p, 0); err == nil {
+		t.Fatal("out-of-bounds load accepted")
+	}
+	if _, err := NewMachine(-1); err == nil {
+		t.Fatal("negative memory accepted")
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	// MOV(1) + LDR(3) + STR(3) + taken B... use a straight-line program:
+	// MOV(1) MUL(3) HLT(1) = 5 cycles, 3 instructions.
+	p := mustAssemble(t, []Instruction{
+		{Op: MOV, Rd: 0, Op2: ImmOp(3)},
+		{Op: MUL, Rd: 1, Rn: 0, Op2: RegOp(0)},
+		{Op: HLT},
+	})
+	m := run(t, p, 0)
+	if m.Instructions != 3 || m.Cycles != 5 {
+		t.Fatalf("instructions=%d cycles=%d", m.Instructions, m.Cycles)
+	}
+	// Taken branches cost more than untaken ones.
+	taken := mustAssemble(t, []Instruction{
+		{Op: B, Target: "end"},
+		{Op: HLT},
+		{Label: "end", Op: HLT},
+	})
+	mt := run(t, taken, 0)
+	untaken := mustAssemble(t, []Instruction{
+		{Op: CMP, Rn: 0, Op2: ImmOp(1)}, // r0=0 != 1 → BEQ not taken
+		{Op: BEQ, Target: "end"},
+		{Label: "end", Op: HLT},
+	})
+	mu := run(t, untaken, 0)
+	// taken: B(3)+HLT(1)=4; untaken: CMP(1)+BEQ(1)+HLT(1)=3.
+	if mt.Cycles != 4 || mu.Cycles != 3 {
+		t.Fatalf("taken=%d untaken=%d", mt.Cycles, mu.Cycles)
+	}
+}
+
+func TestSumArrayProgram(t *testing.T) {
+	instrs := SumArrayProgram(16, 5)
+	p := mustAssemble(t, instrs)
+	m, err := NewMachine(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		m.Mem[4+i] = uint32(10 * (i + 1)) // base 16 bytes = word 4
+	}
+	if err := m.Run(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[0] != 150 {
+		t.Fatalf("sum = %d", m.Regs[0])
+	}
+}
+
+func TestSumArrayZeroLength(t *testing.T) {
+	p := mustAssemble(t, SumArrayProgram(0, 0))
+	m := run(t, p, 4)
+	if m.Regs[0] != 0 {
+		t.Fatalf("sum = %d", m.Regs[0])
+	}
+}
+
+func TestMemAddProgram(t *testing.T) {
+	p := mustAssemble(t, MemAddProgram(8))
+	m, err := NewMachine(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Mem[2] = 100
+	m.Regs[1] = 23
+	if err := m.Run(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem[2] != 123 {
+		t.Fatalf("mem = %d", m.Mem[2])
+	}
+	// The load-store expansion is exactly ldr/add/str plus setup + halt.
+	if got := len(p.Instructions); got != 5 {
+		t.Fatalf("program length %d", got)
+	}
+}
+
+// Property: LoadConstant always produces an assemblable sequence that
+// leaves exactly v in the target register, in at most 4 instructions,
+// and in exactly 1 when the value (or its complement) is encodable.
+func TestLoadConstantProperty(t *testing.T) {
+	f := func(v uint32) bool {
+		seq := LoadConstant(5, v)
+		if len(seq) < 1 || len(seq) > 4 {
+			return false
+		}
+		if pisim.ARMCanEncodeImmediate(v) || pisim.ARMCanEncodeImmediate(^v) {
+			if len(seq) != 1 {
+				return false
+			}
+		}
+		seq = append(seq, Instruction{Op: HLT})
+		p, err := Assemble(seq)
+		if err != nil {
+			return false
+		}
+		m, err := NewMachine(0)
+		if err != nil {
+			return false
+		}
+		if err := m.Run(p, 0); err != nil {
+			return false
+		}
+		return m.Regs[5] == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SumArrayProgram computes the true sum for random contents.
+func TestSumArrayProperty(t *testing.T) {
+	f := func(vals []uint16) bool {
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		n := len(vals)
+		p, err := Assemble(SumArrayProgram(0, uint32(n)))
+		if err != nil {
+			return false
+		}
+		m, err := NewMachine(n + 1)
+		if err != nil {
+			return false
+		}
+		var want uint32
+		for i, v := range vals {
+			m.Mem[i] = uint32(v)
+			want += uint32(v)
+		}
+		if err := m.Run(p, 0); err != nil {
+			return false
+		}
+		return m.Regs[0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareInstructionCounts(t *testing.T) {
+	rows := CompareInstructionCounts(0x12345678)
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.ARMCount < r.X86Count {
+			t.Fatalf("%s: ARM %d below x86 %d — load-store machines never win these", r.Task, r.ARMCount, r.X86Count)
+		}
+	}
+	// Simple constant: both sides take one instruction.
+	simple := CompareInstructionCounts(0xFF)
+	if simple[0].ARMCount != 1 || simple[0].X86Count != 1 {
+		t.Fatalf("simple constant: %+v", simple[0])
+	}
+}
+
+func TestProgramSizeBytes(t *testing.T) {
+	p := mustAssemble(t, SumArrayProgram(0, 4))
+	if p.SizeBytes() != 4*len(p.Instructions) {
+		t.Fatal("fixed 4-byte encoding")
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if Reg(3).String() != "r3" || PC.String() != "pc" {
+		t.Fatal("register names")
+	}
+}
+
+func TestRotatedImmediatesAcceptedByAssembler(t *testing.T) {
+	// Every rotation of 0xAB must assemble as a MOV immediate.
+	for rot := 0; rot < 32; rot += 2 {
+		v := bits.RotateLeft32(0xAB, -rot)
+		if _, err := Assemble([]Instruction{
+			{Op: MOV, Rd: 0, Op2: ImmOp(v)},
+			{Op: HLT},
+		}); err != nil {
+			t.Fatalf("rotation %d rejected: %v", rot, err)
+		}
+	}
+}

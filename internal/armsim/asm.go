@@ -1,0 +1,277 @@
+package armsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse assembles ARM-flavoured source text into a Program. The syntax
+// covers what the course's examples use:
+//
+//	; full-line or trailing comments
+//	label:  mov   r0, #10
+//	loop:   add   r1, r1, r0
+//	        ldr   r2, [r3, #4]
+//	        str   r2, [r3]
+//	        cmp   r1, #0x40
+//	        blt   loop
+//	        hlt
+//
+// Registers are r0..r14 plus pc; immediates are #<decimal> or #<hex>
+// and must satisfy the rotated-8-bit rule (checked by Assemble).
+func Parse(src string) (*Program, error) {
+	var instrs []Instruction
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var label string
+		if i := strings.IndexByte(line, ':'); i >= 0 {
+			label = strings.TrimSpace(line[:i])
+			if label == "" || strings.ContainsAny(label, " \t") {
+				return nil, fmt.Errorf("armsim: line %d: bad label %q", lineNo+1, label)
+			}
+			line = strings.TrimSpace(line[i+1:])
+			if line == "" {
+				return nil, fmt.Errorf("armsim: line %d: label %q with no instruction", lineNo+1, label)
+			}
+		}
+		ins, err := parseInstruction(line)
+		if err != nil {
+			return nil, fmt.Errorf("armsim: line %d: %w", lineNo+1, err)
+		}
+		ins.Label = label
+		instrs = append(instrs, ins)
+	}
+	return Assemble(instrs)
+}
+
+// parseInstruction decodes one mnemonic + operand line.
+func parseInstruction(line string) (Instruction, error) {
+	fields := strings.SplitN(line, " ", 2)
+	op := Op(strings.ToLower(strings.TrimSpace(fields[0])))
+	rest := ""
+	if len(fields) == 2 {
+		rest = strings.TrimSpace(fields[1])
+	}
+	args := splitOperands(rest)
+	switch op {
+	case MOV, MVN:
+		if len(args) != 2 && len(args) != 3 {
+			return Instruction{}, fmt.Errorf("%s needs rd, op2 [, shift #n]", op)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, err
+		}
+		op2, err := parseOp2(args[1:])
+		if err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: op, Rd: rd, Op2: op2}, nil
+	case ADD, SUB, MUL, AND, ORR, EOR:
+		if len(args) != 3 && len(args) != 4 {
+			return Instruction{}, fmt.Errorf("%s needs rd, rn, op2 [, shift #n]", op)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, err
+		}
+		rn, err := parseReg(args[1])
+		if err != nil {
+			return Instruction{}, err
+		}
+		op2, err := parseOp2(args[2:])
+		if err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: op, Rd: rd, Rn: rn, Op2: op2}, nil
+	case CMP:
+		if len(args) != 2 && len(args) != 3 {
+			return Instruction{}, fmt.Errorf("cmp needs rn, op2 [, shift #n]")
+		}
+		rn, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, err
+		}
+		op2, err := parseOp2(args[1:])
+		if err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: CMP, Rn: rn, Op2: op2}, nil
+	case LDR, STR:
+		if len(args) != 2 {
+			return Instruction{}, fmt.Errorf("%s needs rd, [rn{, #off}]", op)
+		}
+		rd, err := parseReg(args[0])
+		if err != nil {
+			return Instruction{}, err
+		}
+		rn, off, err := parseAddress(args[1])
+		if err != nil {
+			return Instruction{}, err
+		}
+		return Instruction{Op: op, Rd: rd, Rn: rn, Offset: off}, nil
+	case B, BEQ, BNE, BLT, BGE:
+		if len(args) != 1 || args[0] == "" {
+			return Instruction{}, fmt.Errorf("%s needs a label", op)
+		}
+		return Instruction{Op: op, Target: args[0]}, nil
+	case HLT:
+		if len(args) != 0 {
+			return Instruction{}, fmt.Errorf("hlt takes no operands")
+		}
+		return Instruction{Op: HLT}, nil
+	default:
+		return Instruction{}, fmt.Errorf("unknown mnemonic %q", op)
+	}
+}
+
+// splitOperands splits on commas outside brackets, so "[r2, #4]" stays
+// one operand.
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}
+
+// parseReg decodes r0..r14 and pc.
+func parseReg(s string) (Reg, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "pc" {
+		return PC, nil
+	}
+	if !strings.HasPrefix(s, "r") {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= NumRegs {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return Reg(n), nil
+}
+
+// parseOp2 decodes a flexible second operand from its argument slice:
+// a register or immediate, optionally followed by a barrel-shift
+// specifier ("lsl #2", "lsr #4", "asr #1", "ror #8").
+func parseOp2(args []string) (Operand, error) {
+	base, err := parseOperand(args[0])
+	if err != nil {
+		return Operand{}, err
+	}
+	if len(args) == 1 {
+		return base, nil
+	}
+	if base.IsImm {
+		return Operand{}, fmt.Errorf("immediate operands cannot be shifted")
+	}
+	fields := strings.Fields(strings.ToLower(args[1]))
+	if len(fields) != 2 || !strings.HasPrefix(fields[1], "#") {
+		return Operand{}, fmt.Errorf("bad shift %q (want e.g. \"lsl #2\")", args[1])
+	}
+	kind := ShiftKind(fields[0])
+	switch kind {
+	case LSL, LSR, ASR, ROR:
+	default:
+		return Operand{}, fmt.Errorf("unknown shift kind %q", fields[0])
+	}
+	amt, err := parseImm(fields[1][1:])
+	if err != nil {
+		return Operand{}, err
+	}
+	if amt > 31 {
+		return Operand{}, fmt.Errorf("shift amount %d outside 0..31", amt)
+	}
+	return ShiftedOp(base.Reg, kind, int(amt)), nil
+}
+
+// parseOperand decodes a register or #immediate.
+func parseOperand(s string) (Operand, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasPrefix(s, "#") {
+		v, err := parseImm(s[1:])
+		if err != nil {
+			return Operand{}, err
+		}
+		return ImmOp(v), nil
+	}
+	r, err := parseReg(s)
+	if err != nil {
+		return Operand{}, err
+	}
+	return RegOp(r), nil
+}
+
+// parseAddress decodes "[rn]" or "[rn, #offset]".
+func parseAddress(s string) (Reg, int32, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("bad address %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	parts := strings.Split(inner, ",")
+	rn, err := parseReg(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	switch len(parts) {
+	case 1:
+		return rn, 0, nil
+	case 2:
+		off := strings.TrimSpace(parts[1])
+		if !strings.HasPrefix(off, "#") {
+			return 0, 0, fmt.Errorf("bad offset %q", off)
+		}
+		neg := false
+		body := off[1:]
+		if strings.HasPrefix(body, "-") {
+			neg = true
+			body = body[1:]
+		}
+		v, err := parseImm(body)
+		if err != nil {
+			return 0, 0, err
+		}
+		o := int32(v)
+		if neg {
+			o = -o
+		}
+		return rn, o, nil
+	default:
+		return 0, 0, fmt.Errorf("bad address %q", s)
+	}
+}
+
+// parseImm decodes a decimal or 0x-hex unsigned immediate.
+func parseImm(s string) (uint32, error) {
+	s = strings.TrimSpace(s)
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return uint32(v), nil
+}

@@ -1,0 +1,195 @@
+package armsim
+
+import (
+	"strings"
+	"testing"
+)
+
+const sumListing = `
+; sum the integers 1..5 into r0
+        mov   r0, #0        ; accumulator
+        mov   r1, #5        ; counter
+loop:   cmp   r1, #0
+        beq   done
+        add   r0, r0, r1
+        sub   r1, r1, #1
+        b     loop
+done:   hlt
+`
+
+func TestParseAndRunListing(t *testing.T) {
+	p, err := Parse(sumListing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[0] != 15 {
+		t.Fatalf("sum = %d", m.Regs[0])
+	}
+}
+
+func TestParseMemoryForms(t *testing.T) {
+	src := `
+        mov r0, #8
+        mov r1, #0x2A
+        str r1, [r0]
+        ldr r2, [r0]
+        str r2, [r0, #4]
+        ldr r3, [r0, #4]
+        hlt
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem[2] != 42 || m.Mem[3] != 42 || m.Regs[3] != 42 {
+		t.Fatalf("mem %v regs %v", m.Mem[:4], m.Regs[:4])
+	}
+}
+
+func TestParseNegativeOffset(t *testing.T) {
+	src := `
+        mov r0, #8
+        mov r1, #7
+        str r1, [r0, #-4]
+        hlt
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMachine(4)
+	if err := m.Run(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Mem[1] != 7 {
+		t.Fatalf("mem = %v", m.Mem[:3])
+	}
+}
+
+func TestParsePCRegister(t *testing.T) {
+	// "mov r0, pc" parses (pc is register 15).
+	p, err := Parse("mov r0, pc\nhlt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instructions[0].Op2.Reg != PC {
+		t.Fatalf("op2 = %+v", p.Instructions[0].Op2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown mnemonic":   "frob r0, #1",
+		"bad register":       "mov r99, #1",
+		"bad register name":  "mov x0, #1",
+		"bad immediate":      "mov r0, #zz",
+		"unencodable imm":    "mov r0, #0x12345678",
+		"mov arity":          "mov r0",
+		"add arity":          "add r0, r1",
+		"cmp arity":          "cmp r0",
+		"ldr address":        "ldr r0, r1",
+		"ldr offset":         "ldr r0, [r1, 4]",
+		"branch arity":       "beq",
+		"hlt operands":       "hlt r0",
+		"empty label":        ": mov r0, #1",
+		"label no instr":     "start:",
+		"label with spaces":  "a b: mov r0, #1",
+		"unknown target":     "b nowhere",
+		"address extra part": "ldr r0, [r1, #4, #8]",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src + "\nhlt"); err == nil {
+			t.Fatalf("%s: %q accepted", name, src)
+		}
+	}
+}
+
+func TestParseEmptyProgram(t *testing.T) {
+	if _, err := Parse("; only comments\n\n"); err == nil {
+		t.Fatal("empty program accepted")
+	}
+}
+
+func TestParseTrailingCommentAndCase(t *testing.T) {
+	p, err := Parse("MOV R0, #1 ; set\nHLT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Instructions[0].Op != MOV {
+		t.Fatalf("op = %q", p.Instructions[0].Op)
+	}
+}
+
+func TestSplitOperandsBrackets(t *testing.T) {
+	got := splitOperands("r2, [r3, #4]")
+	if len(got) != 2 || got[0] != "r2" || got[1] != "[r3, #4]" {
+		t.Fatalf("split = %q", got)
+	}
+	if splitOperands("  ") != nil {
+		t.Fatal("blank should split to nil")
+	}
+}
+
+func TestParseRoundTripWorksheet(t *testing.T) {
+	// The generated SumArrayProgram and a hand-written listing of the
+	// same loop agree on results.
+	src := `
+        mov r0, #0
+        mov r2, #0        ; base
+        mov r1, #0        ; index
+loop:   cmp r1, #6
+        bge done
+        ldr r3, [r2]
+        add r0, r0, r3
+        add r2, r2, #4
+        add r1, r1, #1
+        b   loop
+done:   hlt
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMachine(6)
+	for i := range m.Mem {
+		m.Mem[i] = uint32(i * i)
+	}
+	if err := m.Run(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := Assemble(SumArrayProgram(0, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := NewMachine(6)
+	for i := range m2.Mem {
+		m2.Mem[i] = uint32(i * i)
+	}
+	if err := m2.Run(gen, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Regs[0] != m2.Regs[0] {
+		t.Fatalf("listing %d != generated %d", m.Regs[0], m2.Regs[0])
+	}
+}
+
+func TestParseLineNumbersInErrors(t *testing.T) {
+	_, err := Parse("mov r0, #1\nfrob\nhlt")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,181 @@
+package armsim
+
+import "fmt"
+
+// Machine executes a Program over a word-addressable memory.
+type Machine struct {
+	// Regs is the register file; Regs[PC] counts in instructions.
+	Regs [NumRegs]uint32
+	// Mem is the data memory, byte-addressed through word loads/stores.
+	Mem []uint32
+	// Flags.
+	N, Z, C, V bool
+	// Counters.
+	Instructions int64
+	Cycles       int64
+}
+
+// NewMachine allocates a machine with the given data-memory size in
+// words.
+func NewMachine(memWords int) (*Machine, error) {
+	if memWords < 0 {
+		return nil, fmt.Errorf("armsim: negative memory size")
+	}
+	return &Machine{Mem: make([]uint32, memWords)}, nil
+}
+
+// ErrLimit is returned when execution exceeds the step budget.
+type ErrLimit struct{ Steps int64 }
+
+// Error implements error.
+func (e *ErrLimit) Error() string {
+	return fmt.Sprintf("armsim: execution exceeded %d steps (runaway loop?)", e.Steps)
+}
+
+// Run executes the program from its first instruction until HLT, a fall
+// off the end, or the step limit. Registers and memory persist across
+// calls; PC is reset at entry.
+func (m *Machine) Run(p *Program, maxSteps int64) error {
+	if p == nil || len(p.Instructions) == 0 {
+		return fmt.Errorf("armsim: nil or empty program")
+	}
+	if maxSteps <= 0 {
+		maxSteps = 1 << 20
+	}
+	m.Regs[PC] = 0
+	for steps := int64(0); ; steps++ {
+		if steps >= maxSteps {
+			return &ErrLimit{Steps: maxSteps}
+		}
+		pc := int(m.Regs[PC])
+		if pc < 0 || pc >= len(p.Instructions) {
+			return nil // fell off the end: implicit halt
+		}
+		ins := p.Instructions[pc]
+		taken, err := m.step(p, ins)
+		if err != nil {
+			return fmt.Errorf("armsim: at %d: %w", pc, err)
+		}
+		m.Instructions++
+		m.Cycles += cycleCost(ins.Op, taken)
+		if ins.Op == HLT {
+			return nil
+		}
+		if !taken {
+			m.Regs[PC] = uint32(pc + 1)
+		}
+	}
+}
+
+// op2value evaluates the flexible second operand, applying the barrel
+// shifter to register operands.
+func (m *Machine) op2value(o Operand) uint32 {
+	if o.IsImm {
+		return o.Imm
+	}
+	v := m.Regs[o.Reg]
+	switch o.Shift {
+	case LSL:
+		return v << (o.ShiftAmt % 32)
+	case LSR:
+		return v >> (o.ShiftAmt % 32)
+	case ASR:
+		return uint32(int32(v) >> (o.ShiftAmt % 32))
+	case ROR:
+		n := uint(o.ShiftAmt % 32)
+		if n == 0 {
+			return v
+		}
+		return v>>n | v<<(32-n)
+	default:
+		return v
+	}
+}
+
+// setNZ updates the N and Z flags from a result.
+func (m *Machine) setNZ(v uint32) {
+	m.N = int32(v) < 0
+	m.Z = v == 0
+}
+
+// step executes one instruction, returning whether a branch was taken
+// (meaning PC was already updated).
+func (m *Machine) step(p *Program, ins Instruction) (taken bool, err error) {
+	branch := func(cond bool) bool {
+		if cond {
+			m.Regs[PC] = uint32(p.labels[ins.Target])
+			return true
+		}
+		return false
+	}
+	switch ins.Op {
+	case MOV:
+		m.Regs[ins.Rd] = m.op2value(ins.Op2)
+	case MVN:
+		m.Regs[ins.Rd] = ^m.op2value(ins.Op2)
+	case ADD:
+		m.Regs[ins.Rd] = m.Regs[ins.Rn] + m.op2value(ins.Op2)
+	case SUB:
+		m.Regs[ins.Rd] = m.Regs[ins.Rn] - m.op2value(ins.Op2)
+	case MUL:
+		m.Regs[ins.Rd] = m.Regs[ins.Rn] * m.op2value(ins.Op2)
+	case AND:
+		m.Regs[ins.Rd] = m.Regs[ins.Rn] & m.op2value(ins.Op2)
+	case ORR:
+		m.Regs[ins.Rd] = m.Regs[ins.Rn] | m.op2value(ins.Op2)
+	case EOR:
+		m.Regs[ins.Rd] = m.Regs[ins.Rn] ^ m.op2value(ins.Op2)
+	case CMP:
+		a := m.Regs[ins.Rn]
+		b := m.op2value(ins.Op2)
+		r := a - b
+		m.setNZ(r)
+		m.C = a >= b
+		m.V = (int32(a) < 0) != (int32(b) < 0) && (int32(r) < 0) != (int32(a) < 0)
+		return false, nil
+	case LDR:
+		addr, err := m.address(ins)
+		if err != nil {
+			return false, err
+		}
+		m.Regs[ins.Rd] = m.Mem[addr]
+	case STR:
+		addr, err := m.address(ins)
+		if err != nil {
+			return false, err
+		}
+		m.Mem[addr] = m.Regs[ins.Rd]
+		return false, nil
+	case B:
+		return branch(true), nil
+	case BEQ:
+		return branch(m.Z), nil
+	case BNE:
+		return branch(!m.Z), nil
+	case BLT:
+		return branch(m.N != m.V), nil
+	case BGE:
+		return branch(m.N == m.V), nil
+	case HLT:
+		return false, nil
+	default:
+		return false, fmt.Errorf("unknown op %q", ins.Op)
+	}
+	if ins.Op != STR && ins.Op != CMP {
+		m.setNZ(m.Regs[ins.Rd])
+	}
+	return false, nil
+}
+
+// address computes and bounds-checks a word-memory index.
+func (m *Machine) address(ins Instruction) (int, error) {
+	byteAddr := int64(int32(m.Regs[ins.Rn])) + int64(ins.Offset)
+	if byteAddr < 0 || byteAddr%4 != 0 {
+		return 0, fmt.Errorf("bad address %d", byteAddr)
+	}
+	idx := int(byteAddr / 4)
+	if idx >= len(m.Mem) {
+		return 0, fmt.Errorf("address %d beyond memory (%d words)", byteAddr, len(m.Mem))
+	}
+	return idx, nil
+}

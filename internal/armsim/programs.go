@@ -1,0 +1,100 @@
+package armsim
+
+import "pblparallel/internal/pisim"
+
+// This file holds the worksheet programs the ISA comparison runs: how
+// many instructions a constant load takes, what a memory increment costs
+// on a load-store machine, and a complete array-sum loop.
+
+// LoadConstant synthesizes instructions placing the 32-bit constant v in
+// rd using only rotated-8-bit immediates, the way assemblers expand
+// ldr rd, =const on pre-MOVW ARM: MOV or MVN when one instruction
+// suffices, otherwise MOV of one byte field followed by ORRs of the
+// remaining fields (up to 4 instructions).
+func LoadConstant(rd Reg, v uint32) []Instruction {
+	if pisim.ARMCanEncodeImmediate(v) {
+		return []Instruction{{Op: MOV, Rd: rd, Op2: ImmOp(v)}}
+	}
+	if pisim.ARMCanEncodeImmediate(^v) {
+		return []Instruction{{Op: MVN, Rd: rd, Op2: ImmOp(^v)}}
+	}
+	var out []Instruction
+	for shift := 0; shift < 32; shift += 8 {
+		field := v & (0xFF << shift)
+		if field == 0 {
+			continue
+		}
+		if len(out) == 0 {
+			out = append(out, Instruction{Op: MOV, Rd: rd, Op2: ImmOp(field)})
+		} else {
+			out = append(out, Instruction{Op: ORR, Rd: rd, Rn: rd, Op2: ImmOp(field)})
+		}
+	}
+	if len(out) == 0 { // v == 0, but 0 is encodable; kept for safety
+		out = append(out, Instruction{Op: MOV, Rd: rd, Op2: ImmOp(0)})
+	}
+	return out
+}
+
+// MemAddProgram increments the word at byte address addr by the value
+// in R1 — the load-store machine's three-instruction expansion of x86's
+// single "add [mem], reg" (the worksheet's data-movement comparison).
+// R2 is used as the base register, R3 as the scratch.
+func MemAddProgram(addr uint32) []Instruction {
+	instrs := LoadConstant(2, addr)
+	instrs = append(instrs,
+		Instruction{Op: LDR, Rd: 3, Rn: 2},
+		Instruction{Op: ADD, Rd: 3, Rn: 3, Op2: RegOp(1)},
+		Instruction{Op: STR, Rd: 3, Rn: 2},
+		Instruction{Op: HLT},
+	)
+	return instrs
+}
+
+// SumArrayProgram sums n words starting at byte address base into R0 —
+// the sequential-computation baseline students write before
+// parallelizing it. Registers: R0 sum, R1 index counter, R2 pointer.
+func SumArrayProgram(base uint32, n uint32) []Instruction {
+	var instrs []Instruction
+	instrs = append(instrs, Instruction{Op: MOV, Rd: 0, Op2: ImmOp(0)})
+	instrs = append(instrs, LoadConstant(2, base)...)
+	instrs = append(instrs,
+		Instruction{Op: MOV, Rd: 1, Op2: ImmOp(0)},
+		Instruction{Label: "loop", Op: CMP, Rn: 1, Op2: ImmOp(n)},
+		Instruction{Op: BGE, Target: "done"},
+		Instruction{Op: LDR, Rd: 3, Rn: 2},
+		Instruction{Op: ADD, Rd: 0, Rn: 0, Op2: RegOp(3)},
+		Instruction{Op: ADD, Rd: 2, Rn: 2, Op2: ImmOp(4)},
+		Instruction{Op: ADD, Rd: 1, Rn: 1, Op2: ImmOp(1)},
+		Instruction{Op: B, Target: "loop"},
+		Instruction{Label: "done", Op: HLT},
+	)
+	return instrs
+}
+
+// InstructionCountComparison pairs this machine's instruction counts for
+// the two worksheet micro-programs against the x86 counts from the
+// pisim ISA model, quantifying the RISC/CISC data-movement gap.
+type InstructionCountComparison struct {
+	Task     string
+	ARMCount int
+	X86Count int
+}
+
+// CompareInstructionCounts produces the worksheet's count table for a
+// given constant value.
+func CompareInstructionCounts(constant uint32) []InstructionCountComparison {
+	x86 := pisim.X86_64()
+	return []InstructionCountComparison{
+		{
+			Task:     "load 32-bit constant",
+			ARMCount: len(LoadConstant(0, constant)),
+			X86Count: pisim.LoadConstantInstructions(x86, constant),
+		},
+		{
+			Task:     "mem += reg",
+			ARMCount: 3,
+			X86Count: pisim.MemoryToMemoryAdd(x86),
+		},
+	}
+}

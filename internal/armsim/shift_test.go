@@ -1,0 +1,128 @@
+package armsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBarrelShifterKinds(t *testing.T) {
+	p := mustAssemble(t, []Instruction{
+		{Op: MOV, Rd: 0, Op2: ImmOp(0xF0)},
+		{Op: MOV, Rd: 1, Op2: ShiftedOp(0, LSL, 4)}, // 0xF00
+		{Op: MOV, Rd: 2, Op2: ShiftedOp(0, LSR, 4)}, // 0x0F
+		{Op: MVN, Rd: 3, Op2: ImmOp(0)},             // 0xFFFFFFFF
+		{Op: MOV, Rd: 4, Op2: ShiftedOp(3, ASR, 8)}, // still all ones (arithmetic)
+		{Op: MOV, Rd: 5, Op2: ShiftedOp(0, ROR, 8)}, // 0xF0000000
+		{Op: HLT},
+	})
+	m := run(t, p, 0)
+	if m.Regs[1] != 0xF00 || m.Regs[2] != 0x0F {
+		t.Fatalf("lsl/lsr = %#x/%#x", m.Regs[1], m.Regs[2])
+	}
+	if m.Regs[4] != 0xFFFFFFFF {
+		t.Fatalf("asr = %#x", m.Regs[4])
+	}
+	if m.Regs[5] != 0xF0000000 {
+		t.Fatalf("ror = %#x", m.Regs[5])
+	}
+}
+
+func TestShifterInALUOps(t *testing.T) {
+	// The idiom the worksheet highlights: multiply-by-5 in ONE ARM
+	// instruction (add r1, r0, r0, lsl #2) vs two on x86.
+	p, err := Parse(`
+        mov r0, #7
+        add r1, r0, r0, lsl #2
+        hlt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := run(t, p, 0)
+	if m.Regs[1] != 35 {
+		t.Fatalf("7*5 = %d", m.Regs[1])
+	}
+}
+
+func TestShifterParserForms(t *testing.T) {
+	for _, src := range []string{
+		"mov r1, r0, lsl #2\nhlt",
+		"mov r1, r0, LSR #31\nhlt",
+		"cmp r0, r1, asr #1\nhlt",
+		"sub r2, r1, r0, ror #16\nhlt",
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Fatalf("%q rejected: %v", src, err)
+		}
+	}
+}
+
+func TestShifterParserErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"shifted immediate": "mov r1, #4, lsl #2\nhlt",
+		"bad kind":          "mov r1, r0, rol #2\nhlt",
+		"missing hash":      "mov r1, r0, lsl 2\nhlt",
+		"amount too big":    "mov r1, r0, lsl #32\nhlt",
+		"mul shift":         "mul r1, r0, r2, lsl #1\nhlt",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+func TestShiftValidation(t *testing.T) {
+	// Assemble-level validation mirrors the parser's.
+	if _, err := Assemble([]Instruction{
+		{Op: MOV, Rd: 0, Op2: Operand{Reg: 1, Shift: "weird", ShiftAmt: 1}},
+		{Op: HLT},
+	}); err == nil {
+		t.Fatal("unknown shift kind accepted")
+	}
+	if _, err := Assemble([]Instruction{
+		{Op: MOV, Rd: 0, Op2: Operand{Reg: 1, Shift: LSL, ShiftAmt: 40}},
+		{Op: HLT},
+	}); err == nil {
+		t.Fatal("oversized shift accepted")
+	}
+	if _, err := Assemble([]Instruction{
+		{Op: MOV, Rd: 0, Op2: Operand{Reg: 1, ShiftAmt: 3}},
+		{Op: HLT},
+	}); err == nil {
+		t.Fatal("amount without kind accepted")
+	}
+	if _, err := Assemble([]Instruction{
+		{Op: MOV, Rd: 0, Op2: Operand{IsImm: true, Imm: 4, Shift: LSL, ShiftAmt: 1}},
+		{Op: HLT},
+	}); err == nil {
+		t.Fatal("shifted immediate accepted")
+	}
+}
+
+// Property: LSL by n equals multiplication by 2^n (mod 2^32), and
+// LSR then LSL by the same n clears the low bits.
+func TestShifterSemanticsProperty(t *testing.T) {
+	f := func(v uint32, nRaw uint8) bool {
+		n := int(nRaw) % 32
+		p, err := Assemble(append(
+			LoadConstant(0, v),
+			Instruction{Op: MOV, Rd: 1, Op2: ShiftedOp(0, LSL, n)},
+			Instruction{Op: MOV, Rd: 2, Op2: ShiftedOp(0, LSR, n)},
+			Instruction{Op: HLT},
+		))
+		if err != nil {
+			return false
+		}
+		m, err := NewMachine(0)
+		if err != nil {
+			return false
+		}
+		if err := m.Run(p, 0); err != nil {
+			return false
+		}
+		return m.Regs[1] == v<<n && m.Regs[2] == v>>n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,209 @@
+package cohort
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pblparallel/internal/paperdata"
+)
+
+func TestPaperConfigComposition(t *testing.T) {
+	c, err := Generate(PaperConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Students) != paperdata.NStudents {
+		t.Fatalf("n = %d", len(c.Students))
+	}
+	m, f := c.CountGender()
+	if m != paperdata.NMale || f != paperdata.NFemale {
+		t.Fatalf("gender = %d/%d, want %d/%d", m, f, paperdata.NMale, paperdata.NFemale)
+	}
+	s1 := c.Section(1)
+	s2 := c.Section(2)
+	if len(s1) != paperdata.SectionEnrollment || len(s2) != paperdata.SectionEnrollment {
+		t.Fatalf("sections = %d/%d", len(s1), len(s2))
+	}
+	f1 := 0
+	for _, s := range s1 {
+		if s.Gender == Female {
+			f1++
+		}
+	}
+	if f1 != paperdata.Section1Females {
+		t.Fatalf("section1 females = %d, want %d", f1, paperdata.Section1Females)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(PaperConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(PaperConfig(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Students {
+		sa, sb := a.Students[i], b.Students[i]
+		if sa.GPA != sb.GPA || sa.Gender != sb.Gender || sa.Aptitude != sb.Aptitude {
+			t.Fatalf("student %d differs across same-seed runs", i)
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a, _ := Generate(PaperConfig(), 1)
+	b, _ := Generate(PaperConfig(), 2)
+	same := 0
+	for i := range a.Students {
+		if a.Students[i].GPA == b.Students[i].GPA {
+			same++
+		}
+	}
+	if same == len(a.Students) {
+		t.Fatal("different seeds produced identical GPAs")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{NStudents: 0},
+		{NStudents: 10, NFemale: 11},
+		{NStudents: 10, NFemale: 2, Sections: 3},
+		{NStudents: 10, NFemale: 2, Sections: 2, Section1Females: 3},
+		{NStudents: 10, NFemale: 2, Sections: 2, Section1Females: 1, FriendCliqueRate: 2},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg, 1); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestStudentValidate(t *testing.T) {
+	good := Student{ID: 1, Section: 1, GPA: 3.0}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Student{
+		{ID: 1, Section: 3, GPA: 3},
+		{ID: 1, Section: 1, GPA: 4.5},
+		{ID: 1, Section: 1, GPA: 3, Programming: 9},
+		{ID: 1, Section: 1, GPA: 3, Friends: []int{1}},
+	}
+	for i, s := range cases {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAbilityBounds(t *testing.T) {
+	c, err := Generate(PaperConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.Students {
+		a := s.Ability()
+		if a < 0 || a > 1 {
+			t.Fatalf("student %d ability %v outside [0,1]", s.ID, a)
+		}
+	}
+}
+
+func TestFriendshipsSymmetric(t *testing.T) {
+	c, err := Generate(PaperConfig(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.Students {
+		for _, f := range s.Friends {
+			other, err := c.ByID(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !hasFriend(other.Friends, s.ID) {
+				t.Fatalf("friendship %d->%d not symmetric", s.ID, f)
+			}
+			if other.Section != s.Section {
+				t.Fatalf("cross-section friendship %d-%d", s.ID, f)
+			}
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	c, _ := Generate(PaperConfig(), 1)
+	s, err := c.ByID(17)
+	if err != nil || s.ID != 17 {
+		t.Fatalf("ByID(17) = %v, %v", s.ID, err)
+	}
+	if _, err := c.ByID(9999); err == nil {
+		t.Fatal("expected error for unknown ID")
+	}
+}
+
+func TestGenderString(t *testing.T) {
+	if Male.String() != "M" || Female.String() != "F" {
+		t.Fatal("gender strings")
+	}
+}
+
+func TestExperienceLevelValid(t *testing.T) {
+	for _, e := range []ExperienceLevel{0, 2, 4} {
+		if !e.Valid() {
+			t.Fatalf("%d should be valid", e)
+		}
+	}
+	for _, e := range []ExperienceLevel{-1, 5} {
+		if e.Valid() {
+			t.Fatalf("%d should be invalid", e)
+		}
+	}
+}
+
+// Property: any valid config generates a cohort that validates, has the
+// requested composition, and only in-range attributes.
+func TestGeneratePropertyComposition(t *testing.T) {
+	f := func(seed int64, nRaw, fRaw uint8) bool {
+		n := 20 + int(nRaw)%200
+		if n%2 == 1 {
+			n++ // two even sections
+		}
+		nf := int(fRaw) % (n / 2)
+		cfg := Config{
+			NStudents: n, NFemale: nf, Sections: 2,
+			Section1Females:  nf / 2,
+			FriendCliqueRate: 0.2,
+		}
+		c, err := Generate(cfg, seed)
+		if err != nil {
+			return false
+		}
+		if c.Validate() != nil {
+			return false
+		}
+		m, f := c.CountGender()
+		return m+f == n && f == nf
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleSectionConfig(t *testing.T) {
+	cfg := Config{NStudents: 30, NFemale: 6, Sections: 1, FriendCliqueRate: 0}
+	c, err := Generate(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Section(1)) != 30 || len(c.Section(2)) != 0 {
+		t.Fatal("single-section assignment wrong")
+	}
+	for _, s := range c.Students {
+		if len(s.Friends) != 0 {
+			t.Fatal("friendships seeded at rate 0")
+		}
+	}
+}

@@ -1,0 +1,376 @@
+package drugdesign
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"pblparallel/internal/pisim"
+)
+
+func TestScoreKnownValues(t *testing.T) {
+	cases := []struct {
+		ligand, protein string
+		want            int
+	}{
+		{"", "abc", 0},
+		{"abc", "", 0},
+		{"abc", "abc", 3},
+		{"ace", "abcde", 3},
+		{"aec", "abcde", 2},
+		{"xyz", "abc", 0},
+		{"cat", "the cat in the hat", 3},
+		{"tca", "the cat in the hat", 3}, // t..c..a all appear in order
+	}
+	for _, c := range cases {
+		if got := Score(c.ligand, c.protein); got != c.want {
+			t.Fatalf("Score(%q,%q) = %d, want %d", c.ligand, c.protein, got, c.want)
+		}
+	}
+}
+
+// Property: LCS score is symmetric, bounded by min length, and equals
+// len(ligand) when ligand is a subsequence of protein.
+func TestScoreProperties(t *testing.T) {
+	f := func(aRaw, bRaw []byte) bool {
+		a := asLetters(aRaw, 12)
+		b := asLetters(bRaw, 40)
+		s := Score(a, b)
+		if s != Score(b, a) {
+			return false
+		}
+		if s > len(a) || s > len(b) || s < 0 {
+			return false
+		}
+		// Concatenating ligand into protein guarantees full score.
+		return Score(a, b+a) == len(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func asLetters(raw []byte, max int) string {
+	if len(raw) > max {
+		raw = raw[:max]
+	}
+	var b strings.Builder
+	for _, x := range raw {
+		b.WriteByte('a' + x%26)
+	}
+	return b.String()
+}
+
+func TestLigandsDeterministic(t *testing.T) {
+	p := PaperProblem()
+	a, err := p.Ligands()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Ligands()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != p.NLigands {
+		t.Fatalf("%d ligands", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ligand generation nondeterministic")
+		}
+		if len(a[i]) < 1 || len(a[i]) > p.MaxLigandLength {
+			t.Fatalf("ligand %q outside length bounds", a[i])
+		}
+		for _, ch := range a[i] {
+			if ch < 'a' || ch > 'z' {
+				t.Fatalf("ligand %q has non-letter", a[i])
+			}
+		}
+	}
+}
+
+func TestLigandLengthSweepGrowsWork(t *testing.T) {
+	// Longer max length → strictly more total scoring work (the reason
+	// the maxLen=7 rerun is slower).
+	work := func(maxLen int) int {
+		p := PaperProblem()
+		p.MaxLigandLength = maxLen
+		ls, err := p.Ligands()
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for _, l := range ls {
+			total += len(l)
+		}
+		return total
+	}
+	if !(work(5) < work(7)) {
+		t.Fatal("maxLen 7 did not increase work")
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	bad := []Problem{
+		{NLigands: 0, MaxLigandLength: 5, Protein: "x"},
+		{NLigands: 5, MaxLigandLength: 0, Protein: "x"},
+		{NLigands: 5, MaxLigandLength: 5, Protein: ""},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+		if _, err := p.Ligands(); err == nil {
+			t.Fatalf("case %d Ligands accepted", i)
+		}
+	}
+}
+
+func TestAllApproachesAgree(t *testing.T) {
+	p := PaperProblem()
+	seq, err := RunSequential(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.MaxScore < 1 {
+		t.Fatalf("max score = %d; workload degenerate", seq.MaxScore)
+	}
+	for _, threads := range []int{1, 2, 4, 5, 8} {
+		o, err := RunOMP(p, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.Equal(o) {
+			t.Fatalf("omp(%d) = %+v, want %+v", threads, o, seq)
+		}
+		th, err := RunThreads(p, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.Equal(th) {
+			t.Fatalf("threads(%d) = %+v, want %+v", threads, th, seq)
+		}
+	}
+}
+
+// Property: agreement holds across random problem configurations.
+func TestApproachAgreementProperty(t *testing.T) {
+	f := func(seed int64, nRaw, lenRaw, thrRaw uint8) bool {
+		p := Problem{
+			NLigands:        1 + int(nRaw)%60,
+			MaxLigandLength: 1 + int(lenRaw)%7,
+			Protein:         DefaultProtein,
+			Seed:            seed,
+		}
+		threads := 1 + int(thrRaw)%6
+		seq, err := RunSequential(p)
+		if err != nil {
+			return false
+		}
+		o, err := RunOMP(p, threads)
+		if err != nil {
+			return false
+		}
+		th, err := RunThreads(p, threads)
+		if err != nil {
+			return false
+		}
+		return seq.Equal(o) && seq.Equal(th)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	p := PaperProblem()
+	if _, err := RunOMP(p, 0); err == nil {
+		t.Fatal("0 threads accepted by omp")
+	}
+	if _, err := RunThreads(p, 0); err == nil {
+		t.Fatal("0 threads accepted by threads")
+	}
+	bad := p
+	bad.NLigands = 0
+	if _, err := RunSequential(bad); err == nil {
+		t.Fatal("bad problem accepted")
+	}
+}
+
+func TestResultEqualAndNormalize(t *testing.T) {
+	a := Result{MaxScore: 3, BestLigands: []string{"b", "a", "b"}}
+	a.normalize()
+	if len(a.BestLigands) != 2 || a.BestLigands[0] != "a" || a.BestLigands[1] != "b" {
+		t.Fatalf("normalize = %v", a.BestLigands)
+	}
+	b := Result{MaxScore: 3, BestLigands: []string{"a", "b"}}
+	if !a.Equal(b) {
+		t.Fatal("Equal false negative")
+	}
+	c := Result{MaxScore: 4, BestLigands: []string{"a", "b"}}
+	if a.Equal(c) {
+		t.Fatal("Equal ignored score")
+	}
+	d := Result{MaxScore: 3, BestLigands: []string{"a", "c"}}
+	if a.Equal(d) {
+		t.Fatal("Equal ignored ligand set")
+	}
+}
+
+func newPi(t testing.TB) *pisim.Machine {
+	t.Helper()
+	m, err := pisim.NewMachine(pisim.PaperPi3B())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestVirtualParallelBeatsSequential(t *testing.T) {
+	m := newPi(t)
+	rows, err := TimingTable(m, PaperProblem(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	var seq, o, th VirtualTiming
+	for _, r := range rows {
+		switch r.Approach {
+		case Sequential:
+			seq = r
+		case OMP:
+			o = r
+		case Threads:
+			th = r
+		}
+	}
+	// Both parallel versions beat sequential on the 4-core Pi.
+	if o.Result.Makespan >= seq.Result.Makespan {
+		t.Fatalf("omp %d not below sequential %d", o.Result.Makespan, seq.Result.Makespan)
+	}
+	if th.Result.Makespan >= seq.Result.Makespan {
+		t.Fatalf("threads %d not below sequential %d", th.Result.Makespan, seq.Result.Makespan)
+	}
+	// Speedup is sublinear (under 4x on 4 cores with overheads).
+	if s := o.Result.Speedup(); s <= 1.5 || s >= 4 {
+		t.Fatalf("omp speedup %.2f outside (1.5,4)", s)
+	}
+	// OpenMP edges out the hand-rolled pool (lower per-task overhead)…
+	if o.Result.Makespan > th.Result.Makespan {
+		t.Fatalf("omp %d slower than threads %d", o.Result.Makespan, th.Result.Makespan)
+	}
+	// …but they are comparable (within 15%), as the exemplar observes.
+	if float64(th.Result.Makespan) > 1.15*float64(o.Result.Makespan) {
+		t.Fatalf("threads %d not comparable to omp %d", th.Result.Makespan, o.Result.Makespan)
+	}
+	fastest, err := Fastest(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fastest.Approach != OMP {
+		t.Fatalf("fastest = %s", fastest.Approach)
+	}
+	// Cross-approach speedups: sequential is 1.0 by construction, and the
+	// comparable speedups order the same way as the makespans.
+	if seq.SpeedupVsSequential != 1.0 {
+		t.Fatalf("sequential speedup = %v", seq.SpeedupVsSequential)
+	}
+	if !(o.SpeedupVsSequential >= th.SpeedupVsSequential) {
+		t.Fatalf("comparable speedups disagree with makespans: omp %.3f vs threads %.3f",
+			o.SpeedupVsSequential, th.SpeedupVsSequential)
+	}
+}
+
+func TestVirtualFiveThreadsNoBetterThanFour(t *testing.T) {
+	// "Increase the number of threads to 5": on 4 cores, the fifth
+	// thread cannot help.
+	m := newPi(t)
+	four, err := RunVirtual(m, PaperProblem(), OMP, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	five, err := RunVirtual(m, PaperProblem(), OMP, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if five.Result.Makespan < four.Result.Makespan {
+		t.Fatalf("5 threads %d beat 4 threads %d on a 4-core machine",
+			five.Result.Makespan, four.Result.Makespan)
+	}
+}
+
+func TestVirtualLigandLengthSevenSlower(t *testing.T) {
+	m := newPi(t)
+	p5 := PaperProblem()
+	p7 := PaperProblem()
+	p7.MaxLigandLength = 7
+	for _, a := range Approaches {
+		r5, err := RunVirtual(m, p5, a, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r7, err := RunVirtual(m, p7, a, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r7.Result.Makespan <= r5.Result.Makespan {
+			t.Fatalf("%s: maxLen 7 (%d) not slower than 5 (%d)", a, r7.Result.Makespan, r5.Result.Makespan)
+		}
+	}
+}
+
+func TestVirtualFewerThreadsSlower(t *testing.T) {
+	m := newPi(t)
+	two, err := RunVirtual(m, PaperProblem(), Threads, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := RunVirtual(m, PaperProblem(), Threads, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Result.Makespan <= four.Result.Makespan {
+		t.Fatalf("2 threads %d not slower than 4 %d", two.Result.Makespan, four.Result.Makespan)
+	}
+}
+
+func TestRunVirtualValidation(t *testing.T) {
+	m := newPi(t)
+	if _, err := RunVirtual(nil, PaperProblem(), OMP, 4); err == nil {
+		t.Fatal("nil machine accepted")
+	}
+	if _, err := RunVirtual(m, Problem{}, OMP, 4); err == nil {
+		t.Fatal("bad problem accepted")
+	}
+	if _, err := RunVirtual(m, PaperProblem(), OMP, 0); err == nil {
+		t.Fatal("0 threads accepted")
+	}
+	if _, err := RunVirtual(m, PaperProblem(), Approach("gpu"), 4); err == nil {
+		t.Fatal("unknown approach accepted")
+	}
+	if _, err := Fastest(nil); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}
+
+func TestLineCounts(t *testing.T) {
+	counts := LineCounts()
+	for _, a := range Approaches {
+		if counts[a] < 5 {
+			t.Fatalf("%s counted %d lines", a, counts[a])
+		}
+	}
+	// The exemplar's observation: sequential is the shortest, the
+	// hand-rolled threads solution the longest.
+	if !(counts[Sequential] < counts[Threads]) {
+		t.Fatalf("sequential %d not shorter than threads %d", counts[Sequential], counts[Threads])
+	}
+	if !(counts[OMP] <= counts[Threads]) {
+		t.Fatalf("omp %d longer than threads %d", counts[OMP], counts[Threads])
+	}
+	if LineCount(Approach("gpu")) != 0 {
+		t.Fatal("unknown approach should count 0")
+	}
+}

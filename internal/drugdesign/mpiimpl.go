@@ -1,0 +1,61 @@
+package drugdesign
+
+import (
+	"fmt"
+
+	"pblparallel/internal/mpi"
+)
+
+// RunMPI solves the drug-design problem on the message-passing runtime —
+// the distributed-memory solution the paper's planned MPI extension
+// would assign: rank 0 scatters the ligand pool, every rank scores its
+// share locally (no shared memory anywhere), and a rank-ordered
+// reduction combines the partial results.
+func RunMPI(p Problem, ranks int) (Result, error) {
+	if ranks < 1 {
+		return Result{}, fmt.Errorf("drugdesign: %d ranks", ranks)
+	}
+	ligands, err := p.Ligands()
+	if err != nil {
+		return Result{}, err
+	}
+	// Pad the pool to a scatterable multiple with empty ligands (score
+	// -1 never competes) so Scatter's divisibility rule holds.
+	padded := append([]string(nil), ligands...)
+	for len(padded)%ranks != 0 {
+		padded = append(padded, "")
+	}
+	var res Result
+	err = mpi.Run(ranks, func(c *mpi.Comm) error {
+		var in []string
+		if c.Rank() == 0 {
+			in = padded
+		}
+		part, err := mpi.Scatter(c, 0, in)
+		if err != nil {
+			return err
+		}
+		local := Result{MaxScore: -1}
+		for _, l := range part {
+			if l == "" {
+				continue
+			}
+			local = merge(local, l, Score(l, p.Protein))
+		}
+		folded, err := mpi.Reduce(c, 0, local, combine)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			res = folded
+		}
+		return nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	res.Approach = "mpi"
+	res.Threads = ranks
+	res.normalize()
+	return res, nil
+}

@@ -1,0 +1,64 @@
+package drugdesign
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRunMPIAgreesWithSequential(t *testing.T) {
+	p := PaperProblem()
+	seq, err := RunSequential(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Include rank counts that do not divide the pool (padding path).
+	for _, ranks := range []int{1, 2, 3, 4, 7} {
+		got, err := RunMPI(p, ranks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !seq.Equal(got) {
+			t.Fatalf("mpi(%d) = %+v, want %+v", ranks, got, seq)
+		}
+		if got.Approach != "mpi" || got.Threads != ranks {
+			t.Fatalf("metadata = %+v", got)
+		}
+	}
+}
+
+func TestRunMPIValidation(t *testing.T) {
+	if _, err := RunMPI(PaperProblem(), 0); err == nil {
+		t.Fatal("0 ranks accepted")
+	}
+	bad := PaperProblem()
+	bad.Protein = ""
+	if _, err := RunMPI(bad, 2); err == nil {
+		t.Fatal("bad problem accepted")
+	}
+}
+
+// Property: the distributed solution agrees with sequential across
+// random problems and rank counts.
+func TestRunMPIAgreementProperty(t *testing.T) {
+	f := func(seed int64, nRaw, ranksRaw uint8) bool {
+		p := Problem{
+			NLigands:        1 + int(nRaw)%40,
+			MaxLigandLength: 4,
+			Protein:         DefaultProtein,
+			Seed:            seed,
+		}
+		ranks := 1 + int(ranksRaw)%6
+		seq, err := RunSequential(p)
+		if err != nil {
+			return false
+		}
+		got, err := RunMPI(p, ranks)
+		if err != nil {
+			return false
+		}
+		return seq.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package mapreduce
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits contents into lowercase words, the tokenizer all three
+// built-in jobs share.
+func Tokenize(contents string) []string {
+	fields := strings.FieldsFunc(contents, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsNumber(r)
+	})
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		out = append(out, strings.ToLower(f))
+	}
+	return out
+}
+
+// WordCount is the canonical example from the reading: emit (word, "1")
+// per occurrence, reduce by summing.
+func WordCount() Job {
+	return Job{
+		Name: "wordcount",
+		Map: func(docID, contents string, emit func(KeyValue)) {
+			for _, w := range Tokenize(contents) {
+				emit(KeyValue{Key: w, Value: "1"})
+			}
+		},
+		Reduce: func(key string, values []string) string {
+			total := 0
+			for _, v := range values {
+				n, err := strconv.Atoi(v)
+				if err == nil {
+					total += n
+				}
+			}
+			return strconv.Itoa(total)
+		},
+	}
+}
+
+// InvertedIndex is the reading's second example: word → sorted list of
+// documents containing it.
+func InvertedIndex() Job {
+	return Job{
+		Name: "invertedindex",
+		Map: func(docID, contents string, emit func(KeyValue)) {
+			seen := map[string]bool{}
+			for _, w := range Tokenize(contents) {
+				if !seen[w] {
+					seen[w] = true
+					emit(KeyValue{Key: w, Value: docID})
+				}
+			}
+		},
+		Reduce: func(key string, values []string) string {
+			sort.Strings(values)
+			out := values[:0]
+			for i, v := range values {
+				if i == 0 || v != values[i-1] {
+					out = append(out, v)
+				}
+			}
+			return strings.Join(out, ",")
+		},
+	}
+}
+
+// Grep is the reading's distributed-grep example: for each document
+// containing the pattern, emit the count of matching lines.
+func Grep(pattern string) Job {
+	return Job{
+		Name: "grep",
+		Map: func(docID, contents string, emit func(KeyValue)) {
+			count := 0
+			for _, line := range strings.Split(contents, "\n") {
+				if strings.Contains(line, pattern) {
+					count++
+				}
+			}
+			if count > 0 {
+				emit(KeyValue{Key: docID, Value: strconv.Itoa(count)})
+			}
+		},
+		Reduce: func(key string, values []string) string {
+			total := 0
+			for _, v := range values {
+				n, err := strconv.Atoi(v)
+				if err == nil {
+					total += n
+				}
+			}
+			return strconv.Itoa(total)
+		},
+	}
+}

@@ -1,0 +1,191 @@
+// Package mapreduce implements the programming model of Assignment 5's
+// reading, "Introduction to Parallel Programming and MapReduce": a map
+// phase over input documents emitting key/value pairs, a shuffle that
+// groups values by key into partitions, and a reduce phase producing one
+// output value per key. Mappers and reducers run as bounded worker
+// pools; results are deterministic regardless of worker interleaving
+// because the shuffle sorts values and the reduce output is keyed.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// KeyValue is one intermediate pair.
+type KeyValue struct {
+	Key   string
+	Value string
+}
+
+// MapFunc consumes one document and emits intermediate pairs.
+type MapFunc func(docID, contents string, emit func(KeyValue))
+
+// ReduceFunc folds all values for one key into the final value.
+type ReduceFunc func(key string, values []string) string
+
+// Job bundles a named map/reduce pair.
+type Job struct {
+	Name   string
+	Map    MapFunc
+	Reduce ReduceFunc
+}
+
+// Validate rejects incomplete jobs.
+func (j Job) Validate() error {
+	if j.Map == nil || j.Reduce == nil {
+		return fmt.Errorf("mapreduce: job %q needs both Map and Reduce", j.Name)
+	}
+	return nil
+}
+
+// Config sizes the two worker pools.
+type Config struct {
+	Mappers  int
+	Reducers int
+}
+
+// DefaultConfig uses four of each, matching the Pi's core count.
+func DefaultConfig() Config { return Config{Mappers: 4, Reducers: 4} }
+
+// Validate rejects non-positive pools.
+func (c Config) Validate() error {
+	if c.Mappers < 1 || c.Reducers < 1 {
+		return fmt.Errorf("mapreduce: pools %d/%d must be positive", c.Mappers, c.Reducers)
+	}
+	return nil
+}
+
+// partition assigns a key to one of n reduce partitions.
+func partition(key string, n int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(n))
+}
+
+// Run executes the job over the inputs (docID → contents) and returns
+// the final key → value table.
+func Run(job Job, inputs map[string]string, cfg Config) (map[string]string, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Deterministic document order.
+	docIDs := make([]string, 0, len(inputs))
+	for id := range inputs {
+		docIDs = append(docIDs, id)
+	}
+	sort.Strings(docIDs)
+
+	// Map phase: a bounded pool over documents; each partition gets its
+	// own mutex-guarded bucket.
+	buckets := make([]map[string][]string, cfg.Reducers)
+	bucketMu := make([]sync.Mutex, cfg.Reducers)
+	for i := range buckets {
+		buckets[i] = make(map[string][]string)
+	}
+	docCh := make(chan string, len(docIDs))
+	for _, id := range docIDs {
+		docCh <- id
+	}
+	close(docCh)
+	var wg sync.WaitGroup
+	panics := make(chan error, cfg.Mappers)
+	for w := 0; w < cfg.Mappers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- fmt.Errorf("mapreduce: map worker panicked: %v", r)
+				}
+			}()
+			for id := range docCh {
+				job.Map(id, inputs[id], func(kv KeyValue) {
+					p := partition(kv.Key, cfg.Reducers)
+					bucketMu[p].Lock()
+					buckets[p][kv.Key] = append(buckets[p][kv.Key], kv.Value)
+					bucketMu[p].Unlock()
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-panics:
+		return nil, err
+	default:
+	}
+
+	// Shuffle: within each partition, sort each key's values so reduce
+	// sees a canonical order regardless of mapper interleaving.
+	for _, b := range buckets {
+		for _, vs := range b {
+			sort.Strings(vs)
+		}
+	}
+
+	// Reduce phase: one worker per partition, pooled.
+	out := make(map[string]string)
+	var outMu sync.Mutex
+	partCh := make(chan int, cfg.Reducers)
+	for p := 0; p < cfg.Reducers; p++ {
+		partCh <- p
+	}
+	close(partCh)
+	for w := 0; w < cfg.Reducers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics <- fmt.Errorf("mapreduce: reduce worker panicked: %v", r)
+				}
+			}()
+			for p := range partCh {
+				for key, vs := range buckets[p] {
+					v := job.Reduce(key, vs)
+					outMu.Lock()
+					out[key] = v
+					outMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-panics:
+		return nil, err
+	default:
+	}
+	return out, nil
+}
+
+// RunSequential executes the job without any concurrency — the reference
+// the tests compare the parallel engine against.
+func RunSequential(job Job, inputs map[string]string) (map[string]string, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	docIDs := make([]string, 0, len(inputs))
+	for id := range inputs {
+		docIDs = append(docIDs, id)
+	}
+	sort.Strings(docIDs)
+	grouped := make(map[string][]string)
+	for _, id := range docIDs {
+		job.Map(id, inputs[id], func(kv KeyValue) {
+			grouped[kv.Key] = append(grouped[kv.Key], kv.Value)
+		})
+	}
+	out := make(map[string]string, len(grouped))
+	for key, vs := range grouped {
+		sort.Strings(vs)
+		out[key] = job.Reduce(key, vs)
+	}
+	return out, nil
+}

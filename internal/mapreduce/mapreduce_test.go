@@ -1,0 +1,202 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+var sampleDocs = map[string]string{
+	"doc1": "the cat in the hat",
+	"doc2": "the hat wore the hat",
+	"doc3": "cat hat party",
+}
+
+func TestWordCountKnown(t *testing.T) {
+	out, err := Run(WordCount(), sampleDocs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"the": "4", "cat": "2", "in": "1", "hat": "4", "wore": "1", "party": "1",
+	}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("out = %v, want %v", out, want)
+	}
+}
+
+func TestInvertedIndexKnown(t *testing.T) {
+	out, err := Run(InvertedIndex(), sampleDocs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["hat"] != "doc1,doc2,doc3" {
+		t.Fatalf("hat -> %q", out["hat"])
+	}
+	if out["cat"] != "doc1,doc3" {
+		t.Fatalf("cat -> %q", out["cat"])
+	}
+	if out["wore"] != "doc2" {
+		t.Fatalf("wore -> %q", out["wore"])
+	}
+}
+
+func TestGrepKnown(t *testing.T) {
+	docs := map[string]string{
+		"a": "x\nneedle here\nnothing\nneedle again",
+		"b": "no match",
+		"c": "needle",
+	}
+	out, err := Run(Grep("needle"), docs, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"a": "2", "c": "1"}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("out = %v, want %v", out, want)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, job := range []Job{WordCount(), InvertedIndex(), Grep("hat")} {
+		seq, err := RunSequential(job, sampleDocs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []Config{{1, 1}, {2, 3}, {4, 4}, {8, 2}} {
+			par, err := Run(job, sampleDocs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(seq, par) {
+				t.Fatalf("%s %+v: %v != %v", job.Name, cfg, par, seq)
+			}
+		}
+	}
+}
+
+// Property: for random corpora, the parallel engine matches the
+// sequential reference and word counts sum to the token count.
+func TestWordCountProperty(t *testing.T) {
+	f := func(seed int64, nDocs, mappers, reducers uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		docs := map[string]string{}
+		vocab := []string{"pi", "core", "thread", "race", "omp", "team"}
+		totalTokens := 0
+		for d := 0; d < 1+int(nDocs)%8; d++ {
+			n := rng.Intn(50)
+			words := make([]string, n)
+			for i := range words {
+				words[i] = vocab[rng.Intn(len(vocab))]
+			}
+			totalTokens += n
+			docs[fmt.Sprintf("doc%02d", d)] = strings.Join(words, " ")
+		}
+		cfg := Config{Mappers: 1 + int(mappers)%6, Reducers: 1 + int(reducers)%6}
+		par, err := Run(WordCount(), docs, cfg)
+		if err != nil {
+			return false
+		}
+		seq, err := RunSequential(WordCount(), docs)
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(par, seq) {
+			return false
+		}
+		sum := 0
+		for _, v := range par {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return false
+			}
+			sum += n
+		}
+		return sum == totalTokens
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Job{Name: "broken"}, sampleDocs, DefaultConfig()); err == nil {
+		t.Fatal("incomplete job accepted")
+	}
+	if _, err := Run(WordCount(), sampleDocs, Config{Mappers: 0, Reducers: 2}); err == nil {
+		t.Fatal("zero mappers accepted")
+	}
+	if _, err := Run(WordCount(), sampleDocs, Config{Mappers: 2, Reducers: 0}); err == nil {
+		t.Fatal("zero reducers accepted")
+	}
+	if _, err := RunSequential(Job{}, sampleDocs); err == nil {
+		t.Fatal("incomplete job accepted by sequential")
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	out, err := Run(WordCount(), nil, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestMapPanicSurfacesAsError(t *testing.T) {
+	job := Job{
+		Name:   "panicky",
+		Map:    func(docID, contents string, emit func(KeyValue)) { panic("map boom") },
+		Reduce: func(key string, values []string) string { return "" },
+	}
+	if _, err := Run(job, sampleDocs, DefaultConfig()); err == nil {
+		t.Fatal("map panic not surfaced")
+	}
+}
+
+func TestReducePanicSurfacesAsError(t *testing.T) {
+	job := WordCount()
+	job.Reduce = func(key string, values []string) string { panic("reduce boom") }
+	if _, err := Run(job, sampleDocs, DefaultConfig()); err == nil {
+		t.Fatal("reduce panic not surfaced")
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("The CAT, in-the hat! 42 times")
+	want := []string{"the", "cat", "in", "the", "hat", "42", "times"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tokens = %v", got)
+	}
+	if len(Tokenize("")) != 0 {
+		t.Fatal("empty input should yield no tokens")
+	}
+}
+
+func TestPartitionStableAndInRange(t *testing.T) {
+	for _, key := range []string{"a", "hat", "zebra", ""} {
+		p1 := partition(key, 7)
+		p2 := partition(key, 7)
+		if p1 != p2 {
+			t.Fatalf("partition(%q) unstable", key)
+		}
+		if p1 < 0 || p1 >= 7 {
+			t.Fatalf("partition(%q) = %d", key, p1)
+		}
+	}
+}
+
+func TestPartitionSpreads(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		seen[partition(fmt.Sprintf("key%d", i), 4)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only %d partitions used", len(seen))
+	}
+}

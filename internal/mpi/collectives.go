@@ -1,0 +1,152 @@
+package mpi
+
+import "fmt"
+
+// Bcast distributes root's value to every rank and returns it; on
+// non-root ranks the input value is ignored (MPI_Bcast semantics).
+func Bcast[T any](c *Comm, root int, value T) (T, error) {
+	var zero T
+	if root < 0 || root >= c.Size() {
+		return zero, fmt.Errorf("mpi: bcast root %d of %d", root, c.Size())
+	}
+	if c.Rank() == root {
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.Send(r, tagBcast, value); err != nil {
+				return zero, err
+			}
+		}
+		return value, nil
+	}
+	got, _, err := c.Recv(root, tagBcast)
+	if err != nil {
+		return zero, err
+	}
+	v, ok := got.(T)
+	if !ok {
+		return zero, fmt.Errorf("mpi: bcast type mismatch: %T", got)
+	}
+	return v, nil
+}
+
+// Reduce folds every rank's value with op (associative, applied in rank
+// order) and delivers the result to root; other ranks receive the zero
+// value. op runs only on root, as in a gather-then-fold MPI_Reduce.
+func Reduce[T any](c *Comm, root int, value T, op func(a, b T) T) (T, error) {
+	var zero T
+	if root < 0 || root >= c.Size() {
+		return zero, fmt.Errorf("mpi: reduce root %d of %d", root, c.Size())
+	}
+	if op == nil {
+		return zero, fmt.Errorf("mpi: nil reduce op")
+	}
+	if c.Rank() != root {
+		return zero, c.Send(root, tagReduce, value)
+	}
+	acc := value
+	// Collect in rank order for deterministic non-commutative folds.
+	values := make(map[int]T, c.Size()-1)
+	for i := 0; i < c.Size()-1; i++ {
+		got, src, err := c.Recv(AnySource, tagReduce)
+		if err != nil {
+			return zero, err
+		}
+		v, ok := got.(T)
+		if !ok {
+			return zero, fmt.Errorf("mpi: reduce type mismatch: %T", got)
+		}
+		values[src] = v
+	}
+	// Fold rank 0..size-1 with root's own value in its slot.
+	acc = zero
+	first := true
+	for r := 0; r < c.Size(); r++ {
+		var v T
+		if r == root {
+			v = value
+		} else {
+			v = values[r]
+		}
+		if first {
+			acc = v
+			first = false
+		} else {
+			acc = op(acc, v)
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce is Reduce followed by Bcast: every rank gets the fold.
+func Allreduce[T any](c *Comm, value T, op func(a, b T) T) (T, error) {
+	var zero T
+	red, err := Reduce(c, 0, value, op)
+	if err != nil {
+		return zero, err
+	}
+	return Bcast(c, 0, red)
+}
+
+// Scatter splits root's slice into size contiguous parts and delivers
+// part r to rank r. len(values) must be divisible by size on root.
+func Scatter[T any](c *Comm, root int, values []T) ([]T, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mpi: scatter root %d of %d", root, c.Size())
+	}
+	if c.Rank() == root {
+		if len(values)%c.Size() != 0 {
+			return nil, fmt.Errorf("mpi: scatter %d values over %d ranks", len(values), c.Size())
+		}
+		per := len(values) / c.Size()
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			part := append([]T(nil), values[r*per:(r+1)*per]...)
+			if err := c.Send(r, tagScatter, part); err != nil {
+				return nil, err
+			}
+		}
+		return append([]T(nil), values[root*per:(root+1)*per]...), nil
+	}
+	got, _, err := c.Recv(root, tagScatter)
+	if err != nil {
+		return nil, err
+	}
+	part, ok := got.([]T)
+	if !ok {
+		return nil, fmt.Errorf("mpi: scatter type mismatch: %T", got)
+	}
+	return part, nil
+}
+
+// Gather collects each rank's slice onto root, concatenated in rank
+// order; non-root ranks receive nil.
+func Gather[T any](c *Comm, root int, part []T) ([]T, error) {
+	if root < 0 || root >= c.Size() {
+		return nil, fmt.Errorf("mpi: gather root %d of %d", root, c.Size())
+	}
+	if c.Rank() != root {
+		return nil, c.Send(root, tagGather, append([]T(nil), part...))
+	}
+	parts := make(map[int][]T, c.Size())
+	parts[root] = part
+	for i := 0; i < c.Size()-1; i++ {
+		got, src, err := c.Recv(AnySource, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		p, ok := got.([]T)
+		if !ok {
+			return nil, fmt.Errorf("mpi: gather type mismatch: %T", got)
+		}
+		parts[src] = p
+	}
+	var out []T
+	for r := 0; r < c.Size(); r++ {
+		out = append(out, parts[r]...)
+	}
+	return out, nil
+}

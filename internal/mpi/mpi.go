@@ -1,0 +1,206 @@
+// Package mpi is a small message-passing runtime modeled on the MPI
+// subset the paper plans to teach next ("we plan to extend the module to
+// include writing code for multicore processors and distributed memory
+// using Message Passing Interface (MPI)"): ranks with private state,
+// matched point-to-point Send/Recv with tags, and the collectives the
+// CSinParallel MPI module introduces — Barrier, Bcast, Reduce,
+// Allreduce, Scatter, and Gather.
+//
+// Each rank runs as a goroutine with no shared variables; all
+// communication goes through the communicator, which is the
+// distributed-memory lesson the extension exists to teach.
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// message is one point-to-point transfer.
+type message struct {
+	from, tag int
+	data      any
+}
+
+// world is the shared fabric of one Run.
+type world struct {
+	size    int
+	inboxes []chan message
+	barrier *centralBarrier
+}
+
+// Comm is one rank's communicator handle.
+type Comm struct {
+	w    *world
+	rank int
+	// pending holds messages received ahead of a matching Recv.
+	pending []message
+}
+
+// Rank returns the caller's rank (0-based).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// AnySource matches any sender in Recv, like MPI_ANY_SOURCE.
+const AnySource = -1
+
+// AnyTag matches any tag in Recv, like MPI_ANY_TAG.
+const AnyTag = -1
+
+// internal tags used by the collectives; user tags must be >= 0.
+const (
+	tagBcast = -1000 - iota
+	tagReduce
+	tagScatter
+	tagGather
+	tagAllreduce
+)
+
+// Send delivers data to rank `to` with the given tag. Inboxes are
+// buffered, so Send blocks only when the receiver is far behind.
+func (c *Comm) Send(to, tag int, data any) error {
+	if to < 0 || to >= c.w.size {
+		return fmt.Errorf("mpi: send to rank %d of %d", to, c.w.size)
+	}
+	if tag < 0 && !isInternalTag(tag) {
+		return fmt.Errorf("mpi: negative tag %d is reserved", tag)
+	}
+	c.w.inboxes[to] <- message{from: c.rank, tag: tag, data: data}
+	return nil
+}
+
+func isInternalTag(tag int) bool {
+	return tag <= tagBcast && tag >= tagAllreduce
+}
+
+// Recv blocks until a message matching (from, tag) arrives and returns
+// its payload and actual source. Use AnySource/AnyTag as wildcards.
+// Messages from the same sender are received in the order sent.
+func (c *Comm) Recv(from, tag int) (data any, source int, err error) {
+	if from != AnySource && (from < 0 || from >= c.w.size) {
+		return nil, 0, fmt.Errorf("mpi: recv from rank %d of %d", from, c.w.size)
+	}
+	match := func(m message) bool {
+		return (from == AnySource || m.from == from) && (tag == AnyTag || m.tag == tag)
+	}
+	for i, m := range c.pending {
+		if match(m) {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			return m.data, m.from, nil
+		}
+	}
+	for {
+		m := <-c.w.inboxes[c.rank]
+		if match(m) {
+			return m.data, m.from, nil
+		}
+		c.pending = append(c.pending, m)
+	}
+}
+
+// Sendrecv performs a send and a receive concurrently, the idiom that
+// avoids the pairwise-exchange deadlock the MPI module warns about.
+func (c *Comm) Sendrecv(to, sendTag int, data any, from, recvTag int) (any, int, error) {
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Send(to, sendTag, data) }()
+	got, src, err := c.Recv(from, recvTag)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := <-errCh; err != nil {
+		return nil, 0, err
+	}
+	return got, src, nil
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() { c.w.barrier.wait() }
+
+// centralBarrier is a reusable counting barrier.
+type centralBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	count   int
+	phase   int
+}
+
+func newCentralBarrier(n int) *centralBarrier {
+	b := &centralBarrier{parties: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *centralBarrier) wait() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.count++
+	if b.count == b.parties {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for b.phase == phase {
+		b.cond.Wait()
+	}
+}
+
+// RankError wraps a failure on one rank.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+// Error implements error.
+func (e *RankError) Error() string { return fmt.Sprintf("mpi: rank %d: %v", e.Rank, e.Err) }
+
+// Unwrap exposes the underlying error.
+func (e *RankError) Unwrap() error { return e.Err }
+
+// Run launches size ranks, each executing body with its own
+// communicator, and joins them. The first failing rank's error is
+// returned (lowest rank wins); a panic on any rank is converted to an
+// error on that rank.
+func Run(size int, body func(c *Comm) error) error {
+	if size < 1 {
+		return fmt.Errorf("mpi: world size %d", size)
+	}
+	if body == nil {
+		return fmt.Errorf("mpi: nil body")
+	}
+	w := &world{
+		size:    size,
+		inboxes: make([]chan message, size),
+		barrier: newCentralBarrier(size),
+	}
+	for i := range w.inboxes {
+		w.inboxes[i] = make(chan message, 1024)
+	}
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = &RankError{Rank: rank, Err: fmt.Errorf("panic: %v", p)}
+				}
+			}()
+			if err := body(&Comm{w: w, rank: rank}); err != nil {
+				errs[rank] = &RankError{Rank: rank, Err: err}
+			}
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+// Package mpipatterns implements the "Getting Started with Message
+// Passing using MPI" patterns (CSinParallel, reference [17]) that the
+// paper's conclusion schedules for the Spring 2019 extension of the
+// module: the SPMD hello, the ring pass, the master-worker message
+// pattern, distributed trapezoidal integration, and odd-even
+// transposition sort — each built on the mpi runtime.
+package mpipatterns
+
+import (
+	"fmt"
+
+	"pblparallel/internal/mpi"
+)
+
+// Hello runs the SPMD hello-world: every rank reports its identity to
+// rank 0, which returns the messages in rank order.
+func Hello(size int) ([]string, error) {
+	out := make([]string, size)
+	err := mpi.Run(size, func(c *mpi.Comm) error {
+		msg := fmt.Sprintf("Greetings from process %d of %d!", c.Rank(), c.Size())
+		if c.Rank() == 0 {
+			out[0] = msg
+			for i := 1; i < c.Size(); i++ {
+				got, src, err := c.Recv(mpi.AnySource, 0)
+				if err != nil {
+					return err
+				}
+				s, ok := got.(string)
+				if !ok {
+					return fmt.Errorf("mpipatterns: hello payload %T", got)
+				}
+				out[src] = s
+			}
+			return nil
+		}
+		return c.Send(0, 0, msg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Ring passes a token once around the ring, each rank adding its rank
+// number; the returned value is the token after the full circuit
+// (sum of 0..size-1 plus the seed).
+func Ring(size int, seed int) (int, error) {
+	if size < 2 {
+		return 0, fmt.Errorf("mpipatterns: ring needs >= 2 ranks, got %d", size)
+	}
+	final := 0
+	err := mpi.Run(size, func(c *mpi.Comm) error {
+		next := (c.Rank() + 1) % c.Size()
+		prev := (c.Rank() - 1 + c.Size()) % c.Size()
+		if c.Rank() == 0 {
+			if err := c.Send(next, 0, seed+0); err != nil {
+				return err
+			}
+			got, _, err := c.Recv(prev, 0)
+			if err != nil {
+				return err
+			}
+			final = got.(int)
+			return nil
+		}
+		got, _, err := c.Recv(prev, 0)
+		if err != nil {
+			return err
+		}
+		return c.Send(next, 0, got.(int)+c.Rank())
+	})
+	if err != nil {
+		return 0, err
+	}
+	return final, nil
+}
+
+// MasterWorker distributes nTasks over size-1 workers by self-scheduling
+// (workers request work; the master replies with a task or a stop
+// signal), the message-passing analogue of Assignment 4's pattern.
+// It returns tasksDone[rank] for each worker rank.
+func MasterWorker(size, nTasks int) (map[int]int, error) {
+	if size < 2 {
+		return nil, fmt.Errorf("mpipatterns: master-worker needs >= 2 ranks")
+	}
+	if nTasks < 0 {
+		return nil, fmt.Errorf("mpipatterns: negative task count")
+	}
+	const (
+		tagRequest = 1
+		tagTask    = 2
+		tagReport  = 3
+		stopTask   = -1 // sentinel task number meaning "no more work"
+	)
+	done := make(map[int]int)
+	err := mpi.Run(size, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			next := 0
+			stopped := 0
+			for stopped < c.Size()-1 {
+				_, src, err := c.Recv(mpi.AnySource, tagRequest)
+				if err != nil {
+					return err
+				}
+				task := stopTask
+				if next < nTasks {
+					task = next
+					next++
+				} else {
+					stopped++
+				}
+				if err := c.Send(src, tagTask, task); err != nil {
+					return err
+				}
+			}
+			for i := 1; i < c.Size(); i++ {
+				got, src, err := c.Recv(mpi.AnySource, tagReport)
+				if err != nil {
+					return err
+				}
+				n, ok := got.(int)
+				if !ok {
+					return fmt.Errorf("mpipatterns: report payload %T", got)
+				}
+				done[src] = n
+			}
+			return nil
+		}
+		count := 0
+		for {
+			if err := c.Send(0, tagRequest, nil); err != nil {
+				return err
+			}
+			got, _, err := c.Recv(0, tagTask)
+			if err != nil {
+				return err
+			}
+			task, ok := got.(int)
+			if !ok {
+				return fmt.Errorf("mpipatterns: task payload %T", got)
+			}
+			if task == stopTask {
+				break
+			}
+			count++ // "process" the task
+		}
+		return c.Send(0, tagReport, count)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return done, nil
+}

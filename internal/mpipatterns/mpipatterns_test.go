@@ -1,0 +1,223 @@
+package mpipatterns
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHello(t *testing.T) {
+	lines, err := Hello(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 5 {
+		t.Fatalf("%d lines", len(lines))
+	}
+	for r, l := range lines {
+		want := fmt.Sprintf("Greetings from process %d of 5!", r)
+		if l != want {
+			t.Fatalf("line %d = %q, want %q", r, l, want)
+		}
+	}
+}
+
+func TestHelloSingleRank(t *testing.T) {
+	lines, err := Hello(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 1 || lines[0] == "" {
+		t.Fatalf("lines = %v", lines)
+	}
+}
+
+func TestRing(t *testing.T) {
+	got, err := Ring(6, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 100 + 0 + 1 + 2 + 3 + 4 + 5
+	if got != want {
+		t.Fatalf("ring = %d, want %d", got, want)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := Ring(1, 0); err == nil {
+		t.Fatal("single-rank ring accepted")
+	}
+}
+
+func TestMasterWorkerSelfScheduling(t *testing.T) {
+	done, err := MasterWorker(4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 3 {
+		t.Fatalf("%d workers reported", len(done))
+	}
+	total := 0
+	for rank, n := range done {
+		if rank == 0 {
+			t.Fatal("master reported work")
+		}
+		if n < 0 {
+			t.Fatalf("rank %d count %d", rank, n)
+		}
+		total += n
+	}
+	if total != 30 {
+		t.Fatalf("total tasks %d, want 30", total)
+	}
+}
+
+func TestMasterWorkerNoTasks(t *testing.T) {
+	done, err := MasterWorker(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank, n := range done {
+		if n != 0 {
+			t.Fatalf("rank %d did %d tasks of 0", rank, n)
+		}
+	}
+}
+
+func TestMasterWorkerValidation(t *testing.T) {
+	if _, err := MasterWorker(1, 5); err == nil {
+		t.Fatal("no-worker config accepted")
+	}
+	if _, err := MasterWorker(3, -1); err == nil {
+		t.Fatal("negative tasks accepted")
+	}
+}
+
+func TestTrapezoidMatchesAnalytic(t *testing.T) {
+	// ∫₀¹ x dx = 0.5 exactly under the trapezoid rule.
+	got, err := Trapezoid(4, func(x float64) float64 { return x }, 0, 1, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("integral = %v", got)
+	}
+}
+
+func TestTrapezoidMatchesSingleRank(t *testing.T) {
+	f := func(x float64) float64 { return math.Sin(x) + x*x }
+	one, err := Trapezoid(1, f, 0, 2, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ranks := range []int{2, 3, 4, 7} {
+		many, err := Trapezoid(ranks, f, 0, 2, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(one-many) > 1e-9 {
+			t.Fatalf("%d ranks: %v != %v", ranks, many, one)
+		}
+	}
+}
+
+func TestTrapezoidValidation(t *testing.T) {
+	if _, err := Trapezoid(4, nil, 0, 1, 100); err == nil {
+		t.Fatal("nil integrand accepted")
+	}
+	if _, err := Trapezoid(4, math.Sin, 0, 1, 2); err == nil {
+		t.Fatal("fewer trapezoids than ranks accepted")
+	}
+	if _, err := Trapezoid(2, math.Sin, 1, 0, 100); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+}
+
+func TestOddEvenSortKnown(t *testing.T) {
+	xs := []int{9, 3, 7, 1, 8, 2, 6, 4}
+	got, err := OddEvenSort(4, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int(nil), xs...)
+	sort.Ints(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sorted = %v, want %v", got, want)
+	}
+}
+
+func TestOddEvenSortValidation(t *testing.T) {
+	if _, err := OddEvenSort(3, []int{1, 2}); err == nil {
+		t.Fatal("indivisible input accepted")
+	}
+	if _, err := OddEvenSort(0, nil); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+}
+
+// Property: OddEvenSort sorts any divisible random input, any rank count.
+func TestOddEvenSortProperty(t *testing.T) {
+	f := func(seed int64, sizeRaw, perRaw uint8) bool {
+		size := 1 + int(sizeRaw)%6
+		per := 1 + int(perRaw)%8
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]int, size*per)
+		for i := range xs {
+			xs[i] = rng.Intn(1000)
+		}
+		got, err := OddEvenSort(size, xs)
+		if err != nil {
+			return false
+		}
+		want := append([]int(nil), xs...)
+		sort.Ints(want)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOddEvenPartner(t *testing.T) {
+	// Phase 0 (even): pairs (0,1), (2,3), ...
+	if oddEvenPartner(0, 0) != 1 || oddEvenPartner(1, 0) != 0 {
+		t.Fatal("even phase pairing")
+	}
+	// Phase 1 (odd): pairs (1,2), (3,4), ...; rank 0 sits out (partner -1).
+	if oddEvenPartner(1, 1) != 2 || oddEvenPartner(2, 1) != 1 {
+		t.Fatal("odd phase pairing")
+	}
+	if oddEvenPartner(0, 1) != -1 {
+		t.Fatal("rank 0 should sit out odd phases")
+	}
+}
+
+func TestMergeSorted(t *testing.T) {
+	got := mergeSorted([]int{1, 4, 6}, []int{2, 3, 7})
+	want := []int{1, 2, 3, 4, 6, 7}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge = %v", got)
+	}
+	if len(mergeSorted(nil, nil)) != 0 {
+		t.Fatal("empty merge")
+	}
+}
+
+// Property: Ring total is seed + size*(size-1)/2 for any size >= 2.
+func TestRingProperty(t *testing.T) {
+	f := func(sizeRaw uint8, seed int16) bool {
+		size := 2 + int(sizeRaw)%7
+		got, err := Ring(size, int(seed))
+		if err != nil {
+			return false
+		}
+		return got == int(seed)+size*(size-1)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,170 @@
+package mpipatterns
+
+import (
+	"fmt"
+
+	"pblparallel/internal/mpi"
+)
+
+// Trapezoid integrates f over [a,b] with n trapezoids across size ranks:
+// rank 0 broadcasts the parameters, each rank integrates a contiguous
+// sub-interval, and a sum-reduction delivers the total to rank 0 — the
+// distributed-memory version of the Assignment 4 patternlet, and the
+// first "real" program of the MPI getting-started module.
+func Trapezoid(size int, f func(float64) float64, a, b float64, n int) (float64, error) {
+	if f == nil {
+		return 0, fmt.Errorf("mpipatterns: nil integrand")
+	}
+	if n < size || n < 1 {
+		return 0, fmt.Errorf("mpipatterns: need at least one trapezoid per rank (n=%d, size=%d)", n, size)
+	}
+	if b < a {
+		return 0, fmt.Errorf("mpipatterns: inverted interval [%v,%v]", a, b)
+	}
+	type params struct {
+		A, B float64
+		N    int
+	}
+	total := 0.0
+	err := mpi.Run(size, func(c *mpi.Comm) error {
+		// Rank 0 owns the parameters; everyone learns them by Bcast
+		// (the data starts on one node in distributed memory).
+		p, err := mpi.Bcast(c, 0, params{A: a, B: b, N: n})
+		if err != nil {
+			return err
+		}
+		h := (p.B - p.A) / float64(p.N)
+		// Contiguous split of trapezoid indices.
+		per := p.N / c.Size()
+		extra := p.N % c.Size()
+		lo := c.Rank()*per + min(c.Rank(), extra)
+		cnt := per
+		if c.Rank() < extra {
+			cnt++
+		}
+		local := 0.0
+		for i := lo; i < lo+cnt; i++ {
+			x0 := p.A + float64(i)*h
+			local += (f(x0) + f(x0+h)) / 2 * h
+		}
+		sum, err := mpi.Reduce(c, 0, local, func(x, y float64) float64 { return x + y })
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			total = sum
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// OddEvenSort sorts xs with the odd-even transposition algorithm over
+// size ranks: each rank sorts its local block, then size phases of
+// pairwise exchange-and-keep with alternating neighbours. len(xs) must
+// be divisible by size. The sorted slice is returned from rank 0.
+func OddEvenSort(size int, xs []int) ([]int, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpipatterns: size %d", size)
+	}
+	if len(xs)%size != 0 {
+		return nil, fmt.Errorf("mpipatterns: %d values not divisible by %d ranks", len(xs), size)
+	}
+	out := make([]int, 0, len(xs))
+	err := mpi.Run(size, func(c *mpi.Comm) error {
+		var in []int
+		if c.Rank() == 0 {
+			in = xs
+		}
+		local, err := mpi.Scatter(c, 0, in)
+		if err != nil {
+			return err
+		}
+		sortInts(local)
+		for phase := 0; phase < c.Size(); phase++ {
+			partner := oddEvenPartner(c.Rank(), phase)
+			if partner < 0 || partner >= c.Size() {
+				c.Barrier() // keep phases aligned even when idle
+				continue
+			}
+			got, _, err := c.Sendrecv(partner, 10+phase, append([]int(nil), local...), partner, 10+phase)
+			if err != nil {
+				return err
+			}
+			theirs, ok := got.([]int)
+			if !ok {
+				return fmt.Errorf("mpipatterns: exchange payload %T", got)
+			}
+			merged := mergeSorted(local, theirs)
+			if c.Rank() < partner {
+				copy(local, merged[:len(local)])
+			} else {
+				copy(local, merged[len(merged)-len(local):])
+			}
+			c.Barrier()
+		}
+		all, err := mpi.Gather(c, 0, local)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = append(out, all...)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// oddEvenPartner returns the exchange partner for a rank in a phase, or
+// -1 when the rank sits out.
+func oddEvenPartner(rank, phase int) int {
+	if phase%2 == 0 {
+		if rank%2 == 0 {
+			return rank + 1
+		}
+		return rank - 1
+	}
+	if rank%2 == 1 {
+		return rank + 1
+	}
+	return rank - 1
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// mergeSorted merges two sorted slices.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

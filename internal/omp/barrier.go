@@ -1,0 +1,71 @@
+package omp
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrBarrierBroken is returned from Barrier.Wait when the barrier was
+// poisoned because a team member died (panicked) and can never arrive.
+var ErrBarrierBroken = errors.New("omp: barrier broken: a team member exited abnormally")
+
+// Barrier is a reusable (cyclic) barrier for a fixed party count, the
+// runtime behind ThreadContext.Barrier and the implicit barriers of
+// Single, Sections, and For.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+	broken  bool
+}
+
+// NewBarrier creates a barrier for n parties. It panics for n < 1; a
+// zero-party barrier is a programming error, not a runtime condition.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("omp: NewBarrier requires n >= 1")
+	}
+	b := &Barrier{parties: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Parties returns the party count.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Wait blocks until all parties have called Wait for the current phase,
+// then releases them together and resets for the next phase. It returns
+// ErrBarrierBroken if the barrier was (or becomes) poisoned.
+func (b *Barrier) Wait() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.broken {
+		return ErrBarrierBroken
+	}
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		return nil
+	}
+	for b.phase == phase && !b.broken {
+		b.cond.Wait()
+	}
+	if b.broken {
+		return ErrBarrierBroken
+	}
+	return nil
+}
+
+// Break poisons the barrier, waking all waiters with ErrBarrierBroken.
+// Used when a team member panics and can never arrive.
+func (b *Barrier) Break() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.broken = true
+	b.cond.Broadcast()
+}

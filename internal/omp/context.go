@@ -1,0 +1,101 @@
+package omp
+
+// ThreadContext is one team member's view of the parallel region: its
+// identity plus the work-sharing and synchronization constructs.
+type ThreadContext struct {
+	tid  int
+	team *team
+
+	// Per-thread epochs for the work-sharing constructs that must be
+	// reached by every team member in the same order (OpenMP's rule for
+	// single and sections).
+	singleCount   int
+	sectionsCount int
+	loopCount     int
+
+	// curGroup is the current task region's child group (tasking).
+	curGroup *taskGroup
+}
+
+// ThreadNum is omp_get_thread_num().
+func (tc *ThreadContext) ThreadNum() int { return tc.tid }
+
+// NumThreads is omp_get_num_threads().
+func (tc *ThreadContext) NumThreads() int { return tc.team.n }
+
+// Barrier blocks until every team member has reached it — the
+// patternlet's "coordination: synchronization with a barrier".
+func (tc *ThreadContext) Barrier() error { return tc.team.barrier.Wait() }
+
+// Master runs f on thread 0 only, with no implied barrier (OpenMP
+// master semantics).
+func (tc *ThreadContext) Master(f func()) {
+	if tc.tid == 0 {
+		f()
+	}
+}
+
+// Critical runs f under the named critical section's lock. All callers
+// using the same name across the team are mutually exclusive; the empty
+// name is the anonymous critical section.
+func (tc *ThreadContext) Critical(name string, f func()) {
+	m := tc.team.criticalFor(name)
+	m.Lock()
+	defer m.Unlock()
+	f()
+}
+
+// Single runs f on exactly one team member — whichever arrives first —
+// and then joins all members at an implicit barrier, matching OpenMP's
+// single construct. Every team member must call Single the same number
+// of times, or the region deadlocks (as in OpenMP).
+func (tc *ThreadContext) Single(f func()) error {
+	epoch := tc.singleCount
+	tc.singleCount++
+	tm := tc.team
+	tm.singleMu.Lock()
+	if tm.singleEpoch == nil {
+		tm.singleEpoch = make(map[int]bool)
+	}
+	claimed := tm.singleEpoch[epoch]
+	if !claimed {
+		tm.singleEpoch[epoch] = true
+	}
+	tm.singleMu.Unlock()
+	if !claimed {
+		f()
+	}
+	return tc.Barrier()
+}
+
+// Sections distributes the given blocks over the team: each block runs
+// exactly once, on whichever thread claims it first, followed by an
+// implicit barrier. Every team member must call Sections with the same
+// block count, as OpenMP requires.
+func (tc *ThreadContext) Sections(blocks ...func()) error {
+	epoch := tc.sectionsCount
+	tc.sectionsCount++
+	tm := tc.team
+	for {
+		tm.sectionsMu.Lock()
+		if tm.sectionTickets == nil {
+			tm.sectionTickets = make(map[int]*int)
+		}
+		next, ok := tm.sectionTickets[epoch]
+		if !ok {
+			v := 0
+			next = &v
+			tm.sectionTickets[epoch] = next
+		}
+		i := *next
+		if i < len(blocks) {
+			*next = i + 1
+		}
+		tm.sectionsMu.Unlock()
+		if i >= len(blocks) {
+			break
+		}
+		blocks[i]()
+	}
+	return tc.Barrier()
+}

@@ -1,0 +1,51 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Lock mirrors omp_lock_t: an explicit mutual-exclusion lock usable
+// outside any structured construct. The zero value is unlocked and ready
+// to use (omp_init_lock is implicit).
+type Lock struct {
+	mu sync.Mutex
+}
+
+// Set acquires the lock (omp_set_lock).
+func (l *Lock) Set() { l.mu.Lock() }
+
+// Unset releases the lock (omp_unset_lock).
+func (l *Lock) Unset() { l.mu.Unlock() }
+
+// Test tries to acquire without blocking (omp_test_lock), reporting
+// whether it succeeded.
+func (l *Lock) Test() bool { return l.mu.TryLock() }
+
+// AtomicInt64 is a shared counter with both correct (atomic) and
+// deliberately unsynchronized read-modify-write operations. The course's
+// Assignment 2/4 data-race patternlet needs a shared counter whose
+// unsynchronized increments demonstrably lose updates; RacyAdd exhibits
+// exactly that lost-update behaviour while remaining race-detector clean
+// (every individual load and store is atomic — the *composition* is what
+// races, which is the lesson).
+type AtomicInt64 struct {
+	v atomic.Int64
+}
+
+// Load returns the current value.
+func (a *AtomicInt64) Load() int64 { return a.v.Load() }
+
+// Store sets the value.
+func (a *AtomicInt64) Store(x int64) { a.v.Store(x) }
+
+// Add increments atomically — the correct "#pragma omp atomic".
+func (a *AtomicInt64) Add(delta int64) int64 { return a.v.Add(delta) }
+
+// RacyAdd performs load-then-store without atomicity of the pair,
+// modeling an unsynchronized x = x + delta. Concurrent RacyAdds lose
+// updates, which is precisely the data-race lesson of Assignment 2.
+func (a *AtomicInt64) RacyAdd(delta int64) {
+	cur := a.v.Load()
+	a.v.Store(cur + delta)
+}

@@ -1,0 +1,159 @@
+// Package omp is a small OpenMP-like shared-memory runtime on top of
+// goroutines. It provides the constructs the course's patternlets
+// exercise: fork-join parallel regions with a thread team, work-sharing
+// parallel-for loops with static, static-chunked, dynamic, and guided
+// schedules, reductions with deterministic combine order, barriers,
+// critical sections, single/master blocks, sections, and locks.
+//
+// The analogy is structural, not syntactic: an OpenMP "#pragma omp
+// parallel" becomes omp.Parallel(func(tc *omp.ThreadContext) { ... }),
+// and the clauses become methods on the ThreadContext. Variables declared
+// inside the closure are private; captured variables are shared — the
+// same scoping rule OpenMP teaches, which is why the data-race patternlet
+// translates directly.
+package omp
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// DefaultNumThreads mirrors omp_get_max_threads(): the value used when a
+// region does not request an explicit team size. Like a real OpenMP
+// runtime it honours OMP_NUM_THREADS when set to a positive integer and
+// otherwise uses the available parallelism.
+func DefaultNumThreads() int {
+	if env := os.Getenv("OMP_NUM_THREADS"); env != "" {
+		if n, err := strconv.Atoi(env); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// config collects the clauses of a parallel region.
+type config struct {
+	numThreads int
+}
+
+// Option configures a parallel region, playing the role of OpenMP
+// clauses and environment variables.
+type Option func(*config)
+
+// WithNumThreads sets the team size, like num_threads(n) /
+// OMP_NUM_THREADS. Values below 1 are rejected at region entry.
+func WithNumThreads(n int) Option {
+	return func(c *config) { c.numThreads = n }
+}
+
+// RegionPanicError wraps a panic raised inside a team member so the
+// fork-join caller sees it as an error instead of a crashed goroutine.
+type RegionPanicError struct {
+	ThreadNum int
+	Value     any
+}
+
+// Error describes the failed thread.
+func (e *RegionPanicError) Error() string {
+	return fmt.Sprintf("omp: thread %d panicked: %v", e.ThreadNum, e.Value)
+}
+
+// Parallel runs body on every member of a freshly forked team and joins
+// them all before returning — the fork-join patternlet. body receives the
+// thread's context (thread number, team size, and the work-sharing and
+// synchronization constructs).
+//
+// If any team member panics, Parallel recovers the panic, lets the other
+// members finish, and returns a *RegionPanicError for the lowest-numbered
+// failed thread.
+func Parallel(body func(tc *ThreadContext), opts ...Option) error {
+	cfg := config{numThreads: DefaultNumThreads()}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	n := cfg.numThreads
+	if n < 1 {
+		return fmt.Errorf("omp: num_threads %d < 1", n)
+	}
+	tm := &team{
+		n:        n,
+		barrier:  NewBarrier(n),
+		critical: make(map[string]*sync.Mutex),
+	}
+	panics := make([]*RegionPanicError, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for tid := 0; tid < n; tid++ {
+		go func(tid int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panics[tid] = &RegionPanicError{ThreadNum: tid, Value: r}
+					// A panicked member can no longer reach barriers;
+					// poison them so siblings don't deadlock.
+					tm.barrier.Break()
+				}
+			}()
+			body(&ThreadContext{tid: tid, team: tm})
+		}(tid)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			return p
+		}
+	}
+	return nil
+}
+
+// team is the shared state of one parallel region.
+type team struct {
+	n       int
+	barrier *Barrier
+
+	mu       sync.Mutex
+	critical map[string]*sync.Mutex
+
+	// single / sections bookkeeping, keyed by per-thread call epoch.
+	singleMu       sync.Mutex
+	singleEpoch    map[int]bool
+	sectionsMu     sync.Mutex
+	sectionTickets map[int]*int
+	loopMu         sync.Mutex
+	loopTickets    map[int]*int64
+	orderedMu      sync.Mutex
+	ordered        map[int]*orderedState
+	tasks          *taskPool // lazily created under mu by pool()
+}
+
+// loopTicket returns the shared chunk counter for the loop at the given
+// call epoch, creating it on first use.
+func (tm *team) loopTicket(epoch int) *int64 {
+	tm.loopMu.Lock()
+	defer tm.loopMu.Unlock()
+	if tm.loopTickets == nil {
+		tm.loopTickets = make(map[int]*int64)
+	}
+	t, ok := tm.loopTickets[epoch]
+	if !ok {
+		t = new(int64)
+		tm.loopTickets[epoch] = t
+	}
+	return t
+}
+
+// criticalFor returns the mutex guarding the named critical section,
+// creating it on first use (OpenMP's named criticals).
+func (tm *team) criticalFor(name string) *sync.Mutex {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	m, ok := tm.critical[name]
+	if !ok {
+		m = &sync.Mutex{}
+		tm.critical[name] = m
+	}
+	return m
+}

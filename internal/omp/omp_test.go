@@ -1,0 +1,618 @@
+package omp
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelTeamSize(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7} {
+		var count atomic.Int64
+		seen := make([]bool, n)
+		var mu sync.Mutex
+		err := Parallel(func(tc *ThreadContext) {
+			count.Add(1)
+			if tc.NumThreads() != n {
+				t.Errorf("NumThreads = %d, want %d", tc.NumThreads(), n)
+			}
+			mu.Lock()
+			seen[tc.ThreadNum()] = true
+			mu.Unlock()
+		}, WithNumThreads(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if count.Load() != int64(n) {
+			t.Fatalf("body ran %d times, want %d", count.Load(), n)
+		}
+		for tid, ok := range seen {
+			if !ok {
+				t.Fatalf("thread %d never ran", tid)
+			}
+		}
+	}
+}
+
+func TestDefaultNumThreadsEnv(t *testing.T) {
+	t.Setenv("OMP_NUM_THREADS", "3")
+	if got := DefaultNumThreads(); got != 3 {
+		t.Fatalf("OMP_NUM_THREADS honored as %d, want 3", got)
+	}
+	t.Setenv("OMP_NUM_THREADS", "0")
+	if got := DefaultNumThreads(); got < 1 {
+		t.Fatalf("invalid env gave %d", got)
+	}
+	t.Setenv("OMP_NUM_THREADS", "banana")
+	if got := DefaultNumThreads(); got < 1 {
+		t.Fatalf("garbage env gave %d", got)
+	}
+}
+
+func TestParallelDefaultTeam(t *testing.T) {
+	var n atomic.Int64
+	if err := Parallel(func(tc *ThreadContext) { n.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if int(n.Load()) != DefaultNumThreads() {
+		t.Fatalf("default team = %d, want %d", n.Load(), DefaultNumThreads())
+	}
+}
+
+func TestParallelRejectsBadTeam(t *testing.T) {
+	if err := Parallel(func(tc *ThreadContext) {}, WithNumThreads(0)); err == nil {
+		t.Fatal("expected error for 0 threads")
+	}
+	if err := Parallel(func(tc *ThreadContext) {}, WithNumThreads(-3)); err == nil {
+		t.Fatal("expected error for negative threads")
+	}
+}
+
+func TestParallelPanicPropagates(t *testing.T) {
+	err := Parallel(func(tc *ThreadContext) {
+		if tc.ThreadNum() == 1 {
+			panic("boom")
+		}
+	}, WithNumThreads(4))
+	var pe *RegionPanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want RegionPanicError", err)
+	}
+	if pe.ThreadNum != 1 || pe.Value != "boom" {
+		t.Fatalf("panic info = %+v", pe)
+	}
+	if pe.Error() == "" {
+		t.Fatal("empty Error()")
+	}
+}
+
+func TestParallelPanicDoesNotDeadlockBarrier(t *testing.T) {
+	// Thread 1 panics before the barrier; others must not hang.
+	err := Parallel(func(tc *ThreadContext) {
+		if tc.ThreadNum() == 1 {
+			panic("dead")
+		}
+		if berr := tc.Barrier(); berr == nil {
+			t.Error("barrier should be broken")
+		}
+	}, WithNumThreads(4))
+	if err == nil {
+		t.Fatal("expected panic error")
+	}
+}
+
+func TestBarrierRendezvous(t *testing.T) {
+	const n = 8
+	const rounds = 20
+	var before, after atomic.Int64
+	err := Parallel(func(tc *ThreadContext) {
+		for r := 0; r < rounds; r++ {
+			before.Add(1)
+			if err := tc.Barrier(); err != nil {
+				t.Error(err)
+				return
+			}
+			// At this point every member has finished the phase.
+			if got := before.Load(); got < int64((r+1)*n) {
+				t.Errorf("round %d: only %d arrivals before release", r, got)
+				return
+			}
+			after.Add(1)
+			if err := tc.Barrier(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}, WithNumThreads(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Load() != n*rounds || after.Load() != n*rounds {
+		t.Fatalf("arrivals %d/%d", before.Load(), after.Load())
+	}
+}
+
+func TestBarrierStandalone(t *testing.T) {
+	b := NewBarrier(3)
+	if b.Parties() != 3 {
+		t.Fatalf("parties = %d", b.Parties())
+	}
+	var wg sync.WaitGroup
+	var released atomic.Int64
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := b.Wait(); err != nil {
+				t.Error(err)
+			}
+			released.Add(1)
+		}()
+	}
+	wg.Wait()
+	if released.Load() != 3 {
+		t.Fatalf("released %d", released.Load())
+	}
+}
+
+func TestBarrierBreak(t *testing.T) {
+	b := NewBarrier(2)
+	done := make(chan error, 1)
+	go func() { done <- b.Wait() }()
+	b.Break()
+	if err := <-done; !errors.Is(err, ErrBarrierBroken) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := b.Wait(); !errors.Is(err, ErrBarrierBroken) {
+		t.Fatalf("post-break Wait = %v", err)
+	}
+}
+
+func TestNewBarrierPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestMasterRunsOnThreadZeroOnly(t *testing.T) {
+	var ran atomic.Int64
+	var tid atomic.Int64
+	tid.Store(-1)
+	err := Parallel(func(tc *ThreadContext) {
+		tc.Master(func() {
+			ran.Add(1)
+			tid.Store(int64(tc.ThreadNum()))
+		})
+	}, WithNumThreads(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 || tid.Load() != 0 {
+		t.Fatalf("master ran %d times on thread %d", ran.Load(), tid.Load())
+	}
+}
+
+func TestSingleRunsExactlyOnce(t *testing.T) {
+	var ran atomic.Int64
+	err := Parallel(func(tc *ThreadContext) {
+		if err := tc.Single(func() { ran.Add(1) }); err != nil {
+			t.Error(err)
+		}
+	}, WithNumThreads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("single ran %d times", ran.Load())
+	}
+}
+
+func TestConsecutiveSinglesAreDistinct(t *testing.T) {
+	const rounds = 5
+	var ran atomic.Int64
+	err := Parallel(func(tc *ThreadContext) {
+		for r := 0; r < rounds; r++ {
+			if err := tc.Single(func() { ran.Add(1) }); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != rounds {
+		t.Fatalf("singles ran %d times, want %d", ran.Load(), rounds)
+	}
+}
+
+func TestSingleImpliesBarrier(t *testing.T) {
+	// After Single returns, the single body must have completed for all
+	// threads, even non-executing ones.
+	var value atomic.Int64
+	err := Parallel(func(tc *ThreadContext) {
+		if err := tc.Single(func() { value.Store(42) }); err != nil {
+			t.Error(err)
+			return
+		}
+		if value.Load() != 42 {
+			t.Errorf("thread %d observed %d after Single", tc.ThreadNum(), value.Load())
+		}
+	}, WithNumThreads(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSectionsEachBlockOnce(t *testing.T) {
+	counts := make([]atomic.Int64, 5)
+	err := Parallel(func(tc *ThreadContext) {
+		blocks := make([]func(), len(counts))
+		for i := range blocks {
+			i := i
+			blocks[i] = func() { counts[i].Add(1) }
+		}
+		if err := tc.Sections(blocks...); err != nil {
+			t.Error(err)
+		}
+	}, WithNumThreads(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("block %d ran %d times", i, counts[i].Load())
+		}
+	}
+}
+
+func TestConsecutiveSectionsAreDistinct(t *testing.T) {
+	var total atomic.Int64
+	err := Parallel(func(tc *ThreadContext) {
+		for r := 0; r < 3; r++ {
+			if err := tc.Sections(
+				func() { total.Add(1) },
+				func() { total.Add(1) },
+			); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() != 6 {
+		t.Fatalf("sections ran %d blocks, want 6", total.Load())
+	}
+}
+
+func TestCriticalMutualExclusion(t *testing.T) {
+	const n = 8
+	const iters = 200
+	counter := 0 // plain shared int: safe only if Critical really excludes
+	err := Parallel(func(tc *ThreadContext) {
+		for i := 0; i < iters; i++ {
+			tc.Critical("count", func() { counter++ })
+		}
+	}, WithNumThreads(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counter != n*iters {
+		t.Fatalf("counter = %d, want %d", counter, n*iters)
+	}
+}
+
+func TestNamedCriticalsAreIndependent(t *testing.T) {
+	// Two different names must use different locks; same name must share.
+	tm := &team{n: 2, critical: make(map[string]*sync.Mutex)}
+	a1 := tm.criticalFor("a")
+	a2 := tm.criticalFor("a")
+	b := tm.criticalFor("b")
+	if a1 != a2 {
+		t.Fatal("same name produced different locks")
+	}
+	if a1 == b {
+		t.Fatal("different names share a lock")
+	}
+}
+
+func TestLock(t *testing.T) {
+	var l Lock
+	l.Set()
+	if l.Test() {
+		t.Fatal("Test acquired a held lock")
+	}
+	l.Unset()
+	if !l.Test() {
+		t.Fatal("Test failed on a free lock")
+	}
+	l.Unset()
+}
+
+func TestAtomicAddCorrect(t *testing.T) {
+	var a AtomicInt64
+	const n = 8
+	const iters = 1000
+	err := Parallel(func(tc *ThreadContext) {
+		for i := 0; i < iters; i++ {
+			a.Add(1)
+		}
+	}, WithNumThreads(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Load() != n*iters {
+		t.Fatalf("atomic count = %d, want %d", a.Load(), n*iters)
+	}
+}
+
+func TestRacyAddLosesUpdatesEventually(t *testing.T) {
+	// The data-race patternlet: unsynchronized read-modify-write loses
+	// updates. On a single-core host preemption is rare, so retry a few
+	// times; if every attempt is exact the host gave us no interleaving
+	// and the test is skipped rather than failed.
+	const n = 8
+	const iters = 20000
+	for attempt := 0; attempt < 5; attempt++ {
+		var a AtomicInt64
+		err := Parallel(func(tc *ThreadContext) {
+			for i := 0; i < iters; i++ {
+				a.RacyAdd(1)
+			}
+		}, WithNumThreads(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Load() < n*iters {
+			return // lost updates observed: lesson demonstrated
+		}
+	}
+	t.Skip("no interleaving observed on this host; cannot demonstrate lost updates")
+}
+
+func TestAtomicStoreLoad(t *testing.T) {
+	var a AtomicInt64
+	a.Store(7)
+	if a.Load() != 7 {
+		t.Fatal("store/load roundtrip")
+	}
+}
+
+// Property: every schedule covers each iteration exactly once, for any
+// range, chunk, and team size.
+func TestScheduleCoverageProperty(t *testing.T) {
+	f := func(countRaw, chunkRaw, threadsRaw uint8, kind uint8) bool {
+		count := int(countRaw) % 200
+		chunk := 1 + int(chunkRaw)%7
+		threads := 1 + int(threadsRaw)%8
+		var sched Schedule
+		switch kind % 4 {
+		case 0:
+			sched = Static{}
+		case 1:
+			sched = StaticChunk{Chunk: chunk}
+		case 2:
+			sched = Dynamic{Chunk: chunk}
+		default:
+			sched = Guided{MinChunk: chunk}
+		}
+		hits := make([]atomic.Int64, count)
+		err := Parallel(func(tc *ThreadContext) {
+			ferr := tc.For(0, count, sched, func(i int) {
+				hits[i].Add(1)
+			})
+			if ferr != nil {
+				panic(ferr)
+			}
+		}, WithNumThreads(threads))
+		if err != nil {
+			return false
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticEqualChunks(t *testing.T) {
+	// 12 iterations over 4 threads: thread k gets [3k, 3k+3).
+	var mu sync.Mutex
+	got := map[int][]int{}
+	err := Parallel(func(tc *ThreadContext) {
+		mine, err := tc.ForCollect(0, 12, Static{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		got[tc.ThreadNum()] = mine
+		mu.Unlock()
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tid := 0; tid < 4; tid++ {
+		want := []int{3 * tid, 3*tid + 1, 3*tid + 2}
+		if len(got[tid]) != 3 {
+			t.Fatalf("thread %d got %v", tid, got[tid])
+		}
+		for i := range want {
+			if got[tid][i] != want[i] {
+				t.Fatalf("thread %d got %v, want %v", tid, got[tid], want)
+			}
+		}
+	}
+}
+
+func TestStaticUnevenRemainder(t *testing.T) {
+	// 10 iterations over 4 threads: sizes 3,3,2,2.
+	sizes := map[int]int{}
+	var mu sync.Mutex
+	err := Parallel(func(tc *ThreadContext) {
+		mine, err := tc.ForCollect(0, 10, Static{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		sizes[tc.ThreadNum()] = len(mine)
+		mu.Unlock()
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]int{0: 3, 1: 3, 2: 2, 3: 2}
+	for tid, w := range want {
+		if sizes[tid] != w {
+			t.Fatalf("thread %d size %d, want %d (all %v)", tid, sizes[tid], w, sizes)
+		}
+	}
+}
+
+func TestStaticChunkRoundRobin(t *testing.T) {
+	// schedule(static,2) over 12 iterations, 3 threads: thread 0 gets
+	// chunks {0,1},{6,7}; thread 1 {2,3},{8,9}; thread 2 {4,5},{10,11}.
+	var mu sync.Mutex
+	got := map[int][]int{}
+	err := Parallel(func(tc *ThreadContext) {
+		mine, err := tc.ForCollect(0, 12, StaticChunk{Chunk: 2})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		got[tc.ThreadNum()] = mine
+		mu.Unlock()
+	}, WithNumThreads(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int][]int{
+		0: {0, 1, 6, 7},
+		1: {2, 3, 8, 9},
+		2: {4, 5, 10, 11},
+	}
+	for tid, w := range want {
+		if len(got[tid]) != len(w) {
+			t.Fatalf("thread %d got %v want %v", tid, got[tid], w)
+		}
+		for i := range w {
+			if got[tid][i] != w[i] {
+				t.Fatalf("thread %d got %v want %v", tid, got[tid], w)
+			}
+		}
+	}
+}
+
+func TestForRangeOffset(t *testing.T) {
+	// Non-zero lo: indices must be global.
+	var mu sync.Mutex
+	var all []int
+	err := For(5, 15, Dynamic{Chunk: 3}, func(tid, i int) {
+		mu.Lock()
+		all = append(all, i)
+		mu.Unlock()
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Ints(all)
+	if len(all) != 10 || all[0] != 5 || all[9] != 14 {
+		t.Fatalf("indices = %v", all)
+	}
+}
+
+func TestForValidation(t *testing.T) {
+	err := Parallel(func(tc *ThreadContext) {
+		if err := tc.For(3, 1, Static{}, func(int) {}); err == nil {
+			t.Error("inverted range accepted")
+		}
+	}, WithNumThreads(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := For(0, 10, nil, func(int, int) {}); err == nil {
+		t.Fatal("nil schedule accepted")
+	}
+	if err := For(0, 10, Dynamic{Chunk: 0}, func(int, int) {}); err == nil {
+		t.Fatal("zero chunk accepted")
+	}
+	if err := For(0, 10, StaticChunk{Chunk: -1}, func(int, int) {}); err == nil {
+		t.Fatal("negative chunk accepted")
+	}
+	if err := For(0, 10, Guided{MinChunk: 0}, func(int, int) {}); err == nil {
+		t.Fatal("zero guided chunk accepted")
+	}
+	if err := For(0, 10, Static{}, nil); err == nil {
+		t.Fatal("nil body accepted")
+	}
+}
+
+func TestEmptyRange(t *testing.T) {
+	ran := false
+	err := For(4, 4, Static{}, func(tid, i int) { ran = true }, WithNumThreads(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("body ran on empty range")
+	}
+}
+
+func TestConsecutiveLoopsDoNotMixTickets(t *testing.T) {
+	// Two dynamic loops back-to-back in one region must each cover their
+	// ranges exactly once.
+	hitsA := make([]atomic.Int64, 50)
+	hitsB := make([]atomic.Int64, 70)
+	err := Parallel(func(tc *ThreadContext) {
+		if err := tc.For(0, 50, Dynamic{Chunk: 3}, func(i int) { hitsA[i].Add(1) }); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := tc.For(0, 70, Dynamic{Chunk: 2}, func(i int) { hitsB[i].Add(1) }); err != nil {
+			t.Error(err)
+			return
+		}
+	}, WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hitsA {
+		if hitsA[i].Load() != 1 {
+			t.Fatalf("loop A index %d hit %d times", i, hitsA[i].Load())
+		}
+	}
+	for i := range hitsB {
+		if hitsB[i].Load() != 1 {
+			t.Fatalf("loop B index %d hit %d times", i, hitsB[i].Load())
+		}
+	}
+}
+
+func TestScheduleNames(t *testing.T) {
+	cases := map[string]Schedule{
+		"static":    Static{},
+		"static,3":  StaticChunk{Chunk: 3},
+		"dynamic,2": Dynamic{Chunk: 2},
+		"guided,1":  Guided{MinChunk: 1},
+	}
+	for want, s := range cases {
+		if got := s.name(); got != want {
+			t.Fatalf("name = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+// Package paperdata embeds every number the paper publishes in its
+// evaluation (Tables 1–6, scale anchors, and cohort facts) so the
+// reproduction harness can report paper-vs-measured side by side.
+//
+// Values are transcribed verbatim from:
+//
+//	A. A. Younis, R. Sunderraman, M. Metzler, A. G. Bourgeois,
+//	"Case Study: Using Project Based Learning to Develop Parallel
+//	Programming and Soft Skills", IPPS 2019.
+package paperdata
+
+// Skill names exactly as the survey and Tables 4–6 use them.
+const (
+	Teamwork             = "Teamwork"
+	InformationGathering = "Information Gathering"
+	ProblemDefinition    = "Problem Definition"
+	IdeaGeneration       = "Idea Generation"
+	EvaluationDecision   = "Evaluation and Decision Making"
+	Implementation       = "Implementation"
+	Communication        = "Communication"
+)
+
+// Skills lists the seven survey elements in the order the instrument
+// presents them (Section II.B of the paper).
+var Skills = []string{
+	Teamwork,
+	InformationGathering,
+	ProblemDefinition,
+	IdeaGeneration,
+	EvaluationDecision,
+	Implementation,
+	Communication,
+}
+
+// Cohort facts (Section III.A).
+const (
+	NStudents = 124
+	NMale     = 98
+	NFemale   = 26
+	NTeams    = 26
+	// NSections and per-section enrollment (Section II.A).
+	NSections         = 2
+	SectionEnrollment = 62
+	Section1Females   = 16
+	Section2Females   = 10
+	// Team size bounds ("four or five students per group").
+	TeamSizeMin = 4
+	TeamSizeMax = 5
+)
+
+// Course structure (Fig. 1 and Section II.A).
+const (
+	SemesterWeeks       = 15
+	NAssignments        = 5
+	AssignmentWeeks     = 2
+	PBLGradeWeight      = 0.25 // 25% of the overall grade
+	MidSurveyWeek       = 8    // first survey at the semester midpoint
+	EndSurveyWeek       = 15   // second survey at the end of term
+	RaspberryPiKitPrice = 59   // USD, per group
+	NQuizzes            = 5    // one after each assignment
+)
+
+// TTestRow mirrors one row of Table 1.
+type TTestRow struct {
+	MeanDiff float64
+	T        float64
+	N        int
+	P        float64
+}
+
+// Table1 holds the paper's paired t-tests (Table 1). Note the paper's
+// published p-values (0.039, 0.002) are larger than the exact two-tailed
+// p for the published t at df=123 (≈0.0096, ≈1.2e-6); the reproduction
+// reports exact values and treats the paper's as significance claims.
+var Table1 = map[string]TTestRow{
+	"Class Emphasis":  {MeanDiff: -0.10, T: -2.63, N: 124, P: 0.039},
+	"Personal Growth": {MeanDiff: -0.20, T: -5.11, N: 124, P: 0.002},
+}
+
+// CohensDTable mirrors Tables 2 and 3.
+type CohensDTable struct {
+	Mean1, SD1 float64
+	Mean2, SD2 float64
+	N          int
+	PooledSD   float64
+	D          float64
+}
+
+// Table2 is Cohen's d of course emphasis (Table 2).
+var Table2 = CohensDTable{
+	Mean1: 4.023068, SD1: 0.232416,
+	Mean2: 4.124365, SD2: 0.172052,
+	N: 124, PooledSD: 0.204474, D: 0.50,
+}
+
+// Table3 is Cohen's d of personal growth (Table 3).
+var Table3 = CohensDTable{
+	Mean1: 3.81, SD1: 0.262204,
+	Mean2: 4.01, SD2: 0.198497,
+	N: 124, PooledSD: 0.232542, D: 0.86,
+}
+
+// CorrelationRow is one skill row of Table 4 (both semester halves).
+type CorrelationRow struct {
+	FirstHalfR  float64
+	SecondHalfR float64
+	// Both halves report p < 0.001 at N = 124 for every skill.
+}
+
+// Table4 holds the Pearson correlations between class emphasis and
+// personal growth (Table 4).
+var Table4 = map[string]CorrelationRow{
+	Teamwork:             {FirstHalfR: 0.38, SecondHalfR: 0.47},
+	InformationGathering: {FirstHalfR: 0.66, SecondHalfR: 0.68},
+	ProblemDefinition:    {FirstHalfR: 0.62, SecondHalfR: 0.61},
+	IdeaGeneration:       {FirstHalfR: 0.64, SecondHalfR: 0.57},
+	EvaluationDecision:   {FirstHalfR: 0.73, SecondHalfR: 0.73},
+	Implementation:       {FirstHalfR: 0.59, SecondHalfR: 0.61},
+	Communication:        {FirstHalfR: 0.67, SecondHalfR: 0.67},
+}
+
+// RankingTable maps skill → composite score for one survey wave.
+type RankingTable map[string]float64
+
+// Table5FirstHalf and Table5SecondHalf are the course-emphasis composite
+// rankings (Table 5).
+var (
+	Table5FirstHalf = RankingTable{
+		Teamwork:             4.38,
+		Implementation:       4.16,
+		ProblemDefinition:    4.09,
+		IdeaGeneration:       4.04,
+		Communication:        4.02,
+		InformationGathering: 3.81,
+		EvaluationDecision:   3.66,
+	}
+	Table5SecondHalf = RankingTable{
+		Teamwork:             4.41,
+		Implementation:       4.25,
+		ProblemDefinition:    4.19,
+		IdeaGeneration:       4.09,
+		Communication:        4.03,
+		InformationGathering: 3.91,
+		EvaluationDecision:   3.98,
+	}
+)
+
+// Table6FirstHalf and Table6SecondHalf are the personal-growth composite
+// rankings (Table 6).
+var (
+	Table6FirstHalf = RankingTable{
+		Teamwork:             4.14,
+		Implementation:       4.05,
+		ProblemDefinition:    3.89,
+		IdeaGeneration:       3.84,
+		Communication:        3.83,
+		InformationGathering: 3.62,
+		EvaluationDecision:   3.36,
+	}
+	Table6SecondHalf = RankingTable{
+		Teamwork:             4.33,
+		Implementation:       4.22,
+		ProblemDefinition:    4.00,
+		IdeaGeneration:       3.97,
+		Communication:        3.97,
+		InformationGathering: 3.84,
+		EvaluationDecision:   3.77,
+	}
+)
+
+// EmphasisScaleAnchors are the Class Emphasis Likert anchors (Section II.B).
+var EmphasisScaleAnchors = [5]string{
+	"Did not discuss",
+	"Minor emphasis",
+	"Some emphasis",
+	"Significant emphasis",
+	"Major emphasis",
+}
+
+// GrowthScaleAnchors are the Personal Growth Likert anchors.
+var GrowthScaleAnchors = [5]string{
+	"I did not use this skill within this class",
+	"I used previous skills and had little growth",
+	"I grew some and gained a few new skills",
+	"I experienced a significant growth and added several skills",
+	"I experienced a tremendous growth and added many new skills",
+}
+
+// ImplementationGapSecondHalf is the emphasis-growth gap for
+// Implementation in the second half that the Discussion highlights
+// (4.25 − 4.22 = 0.03, the one element with "almost no difference").
+const ImplementationGapSecondHalf = 0.03
+
+// GapActionThreshold is the Beyerlein guideline the paper cites: only a
+// perceived emphasis−growth gap above 0.2 should trigger course redesign.
+const GapActionThreshold = 0.2

@@ -1,0 +1,192 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSkillsComplete(t *testing.T) {
+	if len(Skills) != 7 {
+		t.Fatalf("got %d skills, want 7", len(Skills))
+	}
+	seen := map[string]bool{}
+	for _, s := range Skills {
+		if seen[s] {
+			t.Fatalf("duplicate skill %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestCohortArithmetic(t *testing.T) {
+	if NMale+NFemale != NStudents {
+		t.Fatalf("%d + %d != %d", NMale, NFemale, NStudents)
+	}
+	if NSections*SectionEnrollment != NStudents {
+		t.Fatalf("sections don't sum to cohort")
+	}
+	if Section1Females+Section2Females != NFemale {
+		t.Fatalf("per-section females don't sum")
+	}
+	// 26 teams of 4-5 must be able to hold 124 students.
+	if NTeams*TeamSizeMin > NStudents || NTeams*TeamSizeMax < NStudents {
+		t.Fatalf("26 teams of 4..5 cannot hold %d students", NStudents)
+	}
+}
+
+func TestCourseStructure(t *testing.T) {
+	if NAssignments*AssignmentWeeks > SemesterWeeks {
+		t.Fatal("assignments exceed the semester")
+	}
+	if MidSurveyWeek >= EndSurveyWeek || EndSurveyWeek != SemesterWeeks {
+		t.Fatalf("survey weeks %d,%d inconsistent", MidSurveyWeek, EndSurveyWeek)
+	}
+}
+
+func TestTablesCoverAllSkills(t *testing.T) {
+	for _, tbl := range []RankingTable{Table5FirstHalf, Table5SecondHalf, Table6FirstHalf, Table6SecondHalf} {
+		if len(tbl) != len(Skills) {
+			t.Fatalf("ranking table has %d entries, want %d", len(tbl), len(Skills))
+		}
+		for _, s := range Skills {
+			if _, ok := tbl[s]; !ok {
+				t.Fatalf("skill %q missing", s)
+			}
+		}
+	}
+	if len(Table4) != len(Skills) {
+		t.Fatalf("Table4 has %d rows", len(Table4))
+	}
+}
+
+func TestCohensDTablesInternallyConsistent(t *testing.T) {
+	for name, tbl := range map[string]CohensDTable{"Table2": Table2, "Table3": Table3} {
+		pooled := math.Sqrt((tbl.SD1*tbl.SD1 + tbl.SD2*tbl.SD2) / 2)
+		if math.Abs(pooled-tbl.PooledSD) > 1e-5 {
+			t.Fatalf("%s: pooled %v != published %v", name, pooled, tbl.PooledSD)
+		}
+		d := (tbl.Mean2 - tbl.Mean1) / pooled
+		if math.Abs(d-tbl.D) > 0.005 {
+			t.Fatalf("%s: d %v != published %v", name, d, tbl.D)
+		}
+	}
+}
+
+func TestTable1SignsMatchNarrative(t *testing.T) {
+	for name, row := range Table1 {
+		// Second-wave means are higher, so diff (wave1-wave2) and t are negative.
+		if row.MeanDiff >= 0 || row.T >= 0 {
+			t.Fatalf("%s: expected negative diff and t, got %+v", name, row)
+		}
+		if row.P >= 0.05 {
+			t.Fatalf("%s: paper claims significance, p=%v", name, row.P)
+		}
+	}
+	// Growth effect is stronger than emphasis effect.
+	if !(math.Abs(Table1["Personal Growth"].T) > math.Abs(Table1["Class Emphasis"].T)) {
+		t.Fatal("growth |t| should exceed emphasis |t|")
+	}
+}
+
+func TestSecondHalfAlwaysHigher(t *testing.T) {
+	// The paper reports every element ranked higher in the second half,
+	// for both emphasis and growth.
+	for _, s := range Skills {
+		if Table5SecondHalf[s] < Table5FirstHalf[s] {
+			t.Fatalf("emphasis for %q decreased: %v -> %v", s, Table5FirstHalf[s], Table5SecondHalf[s])
+		}
+		if Table6SecondHalf[s] <= Table6FirstHalf[s] {
+			t.Fatalf("growth for %q did not increase: %v -> %v", s, Table6FirstHalf[s], Table6SecondHalf[s])
+		}
+	}
+}
+
+func TestEmphasisExceedsGrowthExceptNoted(t *testing.T) {
+	// Discussion: perceived emphasis is almost always above perceived
+	// growth; Implementation in the second half is the near-exception
+	// with a gap of just 0.03.
+	gap := Table5SecondHalf[Implementation] - Table6SecondHalf[Implementation]
+	if math.Abs(gap-ImplementationGapSecondHalf) > 1e-9 {
+		t.Fatalf("implementation gap = %v, want %v", gap, ImplementationGapSecondHalf)
+	}
+	for _, s := range Skills {
+		if Table5FirstHalf[s] < Table6FirstHalf[s] {
+			t.Fatalf("first half: growth for %q above emphasis", s)
+		}
+		if Table5SecondHalf[s] < Table6SecondHalf[s] {
+			t.Fatalf("second half: growth for %q above emphasis", s)
+		}
+	}
+}
+
+func TestGapThresholdInterpretation(t *testing.T) {
+	// Only gaps > 0.2 warrant redesign per Beyerlein; Implementation's
+	// second-half gap must be comfortably below.
+	if ImplementationGapSecondHalf > GapActionThreshold {
+		t.Fatal("the highlighted gap should be below the action threshold")
+	}
+}
+
+func TestTable4Ranges(t *testing.T) {
+	for skill, row := range Table4 {
+		for _, r := range []float64{row.FirstHalfR, row.SecondHalfR} {
+			if r <= 0 || r >= 1 {
+				t.Fatalf("%s: r=%v outside (0,1)", skill, r)
+			}
+		}
+	}
+	// Narrative checks: EDM is highest (0.73) and first-half Teamwork
+	// lowest (0.38).
+	if Table4[EvaluationDecision].FirstHalfR != 0.73 || Table4[EvaluationDecision].SecondHalfR != 0.73 {
+		t.Fatal("EDM correlations wrong")
+	}
+	for skill, row := range Table4 {
+		if skill == Teamwork {
+			continue
+		}
+		if row.FirstHalfR <= Table4[Teamwork].FirstHalfR {
+			t.Fatalf("%s first-half r %v not above Teamwork's %v", skill, row.FirstHalfR, Table4[Teamwork].FirstHalfR)
+		}
+	}
+}
+
+func TestRankingAveragesMatchCategoryMeans(t *testing.T) {
+	// A strong internal-consistency property of the published data: the
+	// mean of the seven per-skill composites in Tables 5/6 reproduces
+	// the category means of Tables 2/3 to within rounding.
+	avg := func(tbl RankingTable) float64 {
+		sum := 0.0
+		for _, v := range tbl {
+			sum += v
+		}
+		return sum / float64(len(tbl))
+	}
+	cases := []struct {
+		name  string
+		table RankingTable
+		want  float64
+	}{
+		{"Table5 H1 vs Table2 M1", Table5FirstHalf, Table2.Mean1},
+		{"Table5 H2 vs Table2 M2", Table5SecondHalf, Table2.Mean2},
+		{"Table6 H1 vs Table3 M1", Table6FirstHalf, Table3.Mean1},
+		{"Table6 H2 vs Table3 M2", Table6SecondHalf, Table3.Mean2},
+	}
+	for _, c := range cases {
+		if got := avg(c.table); math.Abs(got-c.want) > 0.01 {
+			t.Errorf("%s: %.4f vs %.4f", c.name, got, c.want)
+		}
+	}
+}
+
+func TestScaleAnchors(t *testing.T) {
+	for i, a := range EmphasisScaleAnchors {
+		if a == "" {
+			t.Fatalf("empty emphasis anchor %d", i)
+		}
+	}
+	for i, a := range GrowthScaleAnchors {
+		if a == "" {
+			t.Fatalf("empty growth anchor %d", i)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package patternlets
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"pblparallel/internal/omp"
+)
+
+// Trapezoid integrates f over [a, b] with n trapezoids using the
+// parallel-for reduction — Assignment 4's "Integration Using the
+// Trapezoidal Rule" with its private (local x), shared (f, a, h), and
+// reduction (the sum) clauses.
+func Trapezoid(f func(float64) float64, a, b float64, n, nThreads int) (float64, error) {
+	if f == nil {
+		return 0, fmt.Errorf("patternlets: nil integrand")
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("patternlets: need at least one trapezoid, got %d", n)
+	}
+	if b < a {
+		return 0, fmt.Errorf("patternlets: inverted interval [%v,%v]", a, b)
+	}
+	h := (b - a) / float64(n)
+	interior, err := omp.ForReduce(1, n, omp.Static{}, 0.0,
+		func(x, y float64) float64 { return x + y },
+		func(i int, acc float64) float64 {
+			x := a + float64(i)*h // private per-iteration variable
+			return acc + f(x)
+		},
+		omp.WithNumThreads(nThreads))
+	if err != nil {
+		return 0, err
+	}
+	return h * ((f(a)+f(b))/2 + interior), nil
+}
+
+// TrapezoidSequential is the single-thread reference used in reports.
+func TrapezoidSequential(f func(float64) float64, a, b float64, n int) (float64, error) {
+	return Trapezoid(f, a, b, n, 1)
+}
+
+// BarrierPhase records one thread's progress through the two-phase
+// barrier patternlet ("Coordination: Synchronization with a Barrier"):
+// the thread number it printed before the barrier and after it.
+type BarrierPhase struct {
+	Thread      int
+	BeforeOrder int // arrival order in phase 1 (0-based)
+	AfterOrder  int // arrival order in phase 2
+}
+
+// BarrierCoordination runs the barrier patternlet with the given team
+// size (the patternlet takes the thread count from the command line).
+// The returned phases prove every thread finished phase 1 before any
+// entered phase 2.
+func BarrierCoordination(nThreads int) ([]BarrierPhase, error) {
+	phases := make([]BarrierPhase, nThreads)
+	var mu sync.Mutex
+	before, after := 0, 0
+	err := omp.Parallel(func(tc *omp.ThreadContext) {
+		mu.Lock()
+		phases[tc.ThreadNum()].Thread = tc.ThreadNum()
+		phases[tc.ThreadNum()].BeforeOrder = before
+		before++
+		mu.Unlock()
+		if err := tc.Barrier(); err != nil {
+			panic(err)
+		}
+		mu.Lock()
+		phases[tc.ThreadNum()].AfterOrder = after
+		after++
+		mu.Unlock()
+	}, omp.WithNumThreads(nThreads))
+	if err != nil {
+		return nil, err
+	}
+	return phases, nil
+}
+
+// WorkerRecord reports which worker processed which tasks in the
+// master-worker patternlet.
+type WorkerRecord struct {
+	Worker int
+	Tasks  []int
+}
+
+// MasterWorker runs Assignment 4's "Master-Worker Implementation
+// Strategy": thread 0 (the master) enqueues nTasks task IDs; the other
+// team members drain the queue. Results map each task to the worker that
+// ran it; process is applied to every task exactly once.
+func MasterWorker(nThreads, nTasks int, process func(task int)) ([]WorkerRecord, error) {
+	if nThreads < 2 {
+		return nil, fmt.Errorf("patternlets: master-worker needs >= 2 threads, got %d", nThreads)
+	}
+	if nTasks < 0 {
+		return nil, fmt.Errorf("patternlets: negative task count %d", nTasks)
+	}
+	records := make([]WorkerRecord, nThreads)
+	queue := make(chan int, nTasks)
+	err := omp.Parallel(func(tc *omp.ThreadContext) {
+		records[tc.ThreadNum()].Worker = tc.ThreadNum()
+		if tc.ThreadNum() == 0 {
+			// The master produces work and closes the queue.
+			for task := 0; task < nTasks; task++ {
+				queue <- task
+			}
+			close(queue)
+			return
+		}
+		for task := range queue {
+			if process != nil {
+				process(task)
+			}
+			records[tc.ThreadNum()].Tasks = append(records[tc.ThreadNum()].Tasks, task)
+		}
+	}, omp.WithNumThreads(nThreads))
+	if err != nil {
+		return nil, err
+	}
+	return records, nil
+}
+
+// SpeedupEstimate is the Amdahl's-law helper the Assignment 3 reading
+// walks through: the best speedup for a program whose parallel fraction
+// is p on n cores.
+func SpeedupEstimate(parallelFraction float64, cores int) (float64, error) {
+	if parallelFraction < 0 || parallelFraction > 1 {
+		return 0, fmt.Errorf("patternlets: parallel fraction %v outside [0,1]", parallelFraction)
+	}
+	if cores < 1 {
+		return 0, fmt.Errorf("patternlets: %d cores", cores)
+	}
+	return 1 / ((1 - parallelFraction) + parallelFraction/float64(cores)), nil
+}
+
+// PiByTrapezoid computes π by integrating 4/(1+x²) over [0,1] — the
+// canonical workload students time on the Pi.
+func PiByTrapezoid(n, nThreads int) (float64, error) {
+	return Trapezoid(func(x float64) float64 { return 4 / (1 + x*x) }, 0, 1, n, nThreads)
+}
+
+// PiError returns |estimate - π| for convergence reporting.
+func PiError(estimate float64) float64 { return math.Abs(estimate - math.Pi) }

@@ -1,0 +1,132 @@
+package pbl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pblparallel/internal/cohort"
+	"pblparallel/internal/paperdata"
+)
+
+// Section II's individual assessment: "one quiz after each assignment
+// due date is to be taken (five in total), and two tests are to be
+// taken, one in the middle of the semester (midterm) and the other one
+// at the end of the semester (final exam)". This file simulates those
+// instruments so the grading pipeline can produce full course grades.
+
+// IndividualScores is one student's individual-assessment record.
+type IndividualScores struct {
+	StudentID int
+	Quizzes   []float64 // one per assignment, 0-100
+	Midterm   float64
+	Final     float64
+}
+
+// Validate bounds the scores.
+func (s IndividualScores) Validate() error {
+	if len(s.Quizzes) != paperdata.NQuizzes {
+		return fmt.Errorf("pbl: student %d has %d quizzes", s.StudentID, len(s.Quizzes))
+	}
+	for i, q := range s.Quizzes {
+		if q < 0 || q > 100 {
+			return fmt.Errorf("pbl: student %d quiz %d score %v", s.StudentID, i+1, q)
+		}
+	}
+	if s.Midterm < 0 || s.Midterm > 100 || s.Final < 0 || s.Final > 100 {
+		return fmt.Errorf("pbl: student %d exams %v/%v", s.StudentID, s.Midterm, s.Final)
+	}
+	return nil
+}
+
+// AssessmentModel parameterizes the score simulation.
+type AssessmentModel struct {
+	// BaseMean is the class average for an average-aptitude student.
+	BaseMean float64
+	// AptitudeGain converts one aptitude SD into score points.
+	AptitudeGain float64
+	// NoiseSD is per-instrument noise.
+	NoiseSD float64
+	// LearningGain is added to quiz k proportionally to k/(n-1) and to
+	// the final exam, modeling the course's skill growth (quizzes get
+	// easier relative to ability as the module progresses).
+	LearningGain float64
+}
+
+// DefaultAssessmentModel produces a B-centered class with visible
+// aptitude effects and a modest learning trend.
+func DefaultAssessmentModel() AssessmentModel {
+	return AssessmentModel{
+		BaseMean:     78,
+		AptitudeGain: 8,
+		NoiseSD:      6,
+		LearningGain: 5,
+	}
+}
+
+// Validate bounds the model.
+func (m AssessmentModel) Validate() error {
+	if m.BaseMean < 0 || m.BaseMean > 100 {
+		return fmt.Errorf("pbl: base mean %v", m.BaseMean)
+	}
+	if m.AptitudeGain < 0 || m.NoiseSD < 0 || m.LearningGain < 0 {
+		return fmt.Errorf("pbl: negative model parameter")
+	}
+	return nil
+}
+
+// SimulateAssessment generates every student's quizzes and exams from
+// their latent aptitude, deterministically per seed.
+func SimulateAssessment(c *cohort.Cohort, model AssessmentModel, seed int64) (map[int]IndividualScores, error) {
+	if c == nil || len(c.Students) == 0 {
+		return nil, fmt.Errorf("pbl: empty cohort")
+	}
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[int]IndividualScores, len(c.Students))
+	for _, s := range c.Students {
+		rec := IndividualScores{StudentID: s.ID, Quizzes: make([]float64, paperdata.NQuizzes)}
+		base := model.BaseMean + model.AptitudeGain*s.Aptitude
+		for k := range rec.Quizzes {
+			trend := model.LearningGain * float64(k) / float64(paperdata.NQuizzes-1)
+			rec.Quizzes[k] = clampScore(base + trend + model.NoiseSD*rng.NormFloat64())
+		}
+		rec.Midterm = clampScore(base + model.NoiseSD*rng.NormFloat64())
+		rec.Final = clampScore(base + model.LearningGain + model.NoiseSD*rng.NormFloat64())
+		if err := rec.Validate(); err != nil {
+			return nil, err
+		}
+		out[s.ID] = rec
+	}
+	return out, nil
+}
+
+func clampScore(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 100 {
+		return 100
+	}
+	return x
+}
+
+// FinalCourseGrades combines each student's module scores (from
+// MemberScores) with their simulated individual assessment under the
+// policy, producing the 0-100 course grade per student.
+func FinalCourseGrades(policy GradePolicy, moduleScores map[int][]float64, assessment map[int]IndividualScores) (map[int]float64, error) {
+	out := make(map[int]float64, len(moduleScores))
+	for id, scores := range moduleScores {
+		rec, ok := assessment[id]
+		if !ok {
+			return nil, fmt.Errorf("pbl: no assessment for student %d", id)
+		}
+		g, err := CourseGrade(policy, scores, rec.Quizzes, rec.Midterm, rec.Final)
+		if err != nil {
+			return nil, fmt.Errorf("pbl: student %d: %w", id, err)
+		}
+		out[id] = g
+	}
+	return out, nil
+}

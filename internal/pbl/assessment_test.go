@@ -1,0 +1,163 @@
+package pbl
+
+import (
+	"testing"
+
+	"pblparallel/internal/cohort"
+	"pblparallel/internal/paperdata"
+	"pblparallel/internal/stats"
+)
+
+func paperCohort(t testing.TB) *cohort.Cohort {
+	t.Helper()
+	c, err := cohort.Generate(cohort.PaperConfig(), 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSimulateAssessmentShape(t *testing.T) {
+	c := paperCohort(t)
+	scores, err := SimulateAssessment(c, DefaultAssessmentModel(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != paperdata.NStudents {
+		t.Fatalf("%d records", len(scores))
+	}
+	for id, rec := range scores {
+		if rec.StudentID != id {
+			t.Fatalf("record %d tagged %d", id, rec.StudentID)
+		}
+		if err := rec.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSimulateAssessmentDeterministic(t *testing.T) {
+	c := paperCohort(t)
+	a, err := SimulateAssessment(c, DefaultAssessmentModel(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateAssessment(c, DefaultAssessmentModel(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range a {
+		if a[id].Final != b[id].Final || a[id].Quizzes[0] != b[id].Quizzes[0] {
+			t.Fatal("nondeterministic assessment")
+		}
+	}
+}
+
+func TestAssessmentTracksAptitude(t *testing.T) {
+	c := paperCohort(t)
+	scores, err := SimulateAssessment(c, DefaultAssessmentModel(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apt := make([]float64, 0, len(c.Students))
+	fin := make([]float64, 0, len(c.Students))
+	for _, s := range c.Students {
+		apt = append(apt, s.Aptitude)
+		fin = append(fin, scores[s.ID].Final)
+	}
+	r, err := stats.Pearson(apt, fin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.R < 0.5 {
+		t.Fatalf("aptitude-final correlation %v too weak", r.R)
+	}
+}
+
+func TestAssessmentLearningTrend(t *testing.T) {
+	c := paperCohort(t)
+	scores, err := SimulateAssessment(c, DefaultAssessmentModel(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Across the class, quiz 5 averages above quiz 1 (the learning
+	// trend behind the paper's growth findings).
+	var q1, q5 []float64
+	for _, rec := range scores {
+		q1 = append(q1, rec.Quizzes[0])
+		q5 = append(q5, rec.Quizzes[4])
+	}
+	if stats.MustMean(q5) <= stats.MustMean(q1) {
+		t.Fatalf("no learning trend: q1=%.1f q5=%.1f", stats.MustMean(q1), stats.MustMean(q5))
+	}
+}
+
+func TestSimulateAssessmentValidation(t *testing.T) {
+	c := paperCohort(t)
+	if _, err := SimulateAssessment(nil, DefaultAssessmentModel(), 1); err == nil {
+		t.Fatal("nil cohort accepted")
+	}
+	bad := DefaultAssessmentModel()
+	bad.BaseMean = 150
+	if _, err := SimulateAssessment(c, bad, 1); err == nil {
+		t.Fatal("bad model accepted")
+	}
+	bad = DefaultAssessmentModel()
+	bad.NoiseSD = -1
+	if _, err := SimulateAssessment(c, bad, 1); err == nil {
+		t.Fatal("negative noise accepted")
+	}
+}
+
+func TestIndividualScoresValidate(t *testing.T) {
+	good := IndividualScores{Quizzes: []float64{90, 80, 70, 60, 50}, Midterm: 75, Final: 85}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Quizzes = bad.Quizzes[:3]
+	if err := bad.Validate(); err == nil {
+		t.Fatal("short quizzes accepted")
+	}
+	bad = good
+	bad.Quizzes = []float64{90, 80, 70, 60, 150}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("out-of-range quiz accepted")
+	}
+	bad = good
+	bad.Final = -1
+	if err := bad.Validate(); err == nil {
+		t.Fatal("bad final accepted")
+	}
+}
+
+func TestFinalCourseGrades(t *testing.T) {
+	c := paperCohort(t)
+	assessment, err := SimulateAssessment(c, DefaultAssessmentModel(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moduleScores := map[int][]float64{}
+	for _, s := range c.Students {
+		moduleScores[s.ID] = []float64{85, 88, 90, 92, 95}
+	}
+	grades, err := FinalCourseGrades(PaperPolicy(), moduleScores, assessment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grades) != paperdata.NStudents {
+		t.Fatalf("%d grades", len(grades))
+	}
+	for id, g := range grades {
+		if g < 0 || g > 100 {
+			t.Fatalf("student %d grade %v", id, g)
+		}
+	}
+}
+
+func TestFinalCourseGradesMissingAssessment(t *testing.T) {
+	moduleScores := map[int][]float64{7: {80, 80, 80, 80, 80}}
+	if _, err := FinalCourseGrades(PaperPolicy(), moduleScores, nil); err == nil {
+		t.Fatal("missing assessment accepted")
+	}
+}

@@ -1,0 +1,155 @@
+package pbl
+
+import (
+	"fmt"
+
+	"pblparallel/internal/paperdata"
+	"pblparallel/internal/stats"
+)
+
+// Cooperation grades a member's participation in one assignment, the
+// input to the paper's zero-grade rule.
+type Cooperation int
+
+const (
+	// CoopFull: contributed; receives the team grade.
+	CoopFull Cooperation = iota
+	// CoopPartial: "partially cooperated"; zero for the assignment.
+	CoopPartial
+	// CoopNone: "refuses to cooperate"; zero for the assignment.
+	CoopNone
+)
+
+// String names the level.
+func (c Cooperation) String() string {
+	switch c {
+	case CoopFull:
+		return "full"
+	case CoopPartial:
+		return "partial"
+	case CoopNone:
+		return "none"
+	default:
+		return fmt.Sprintf("Cooperation(%d)", int(c))
+	}
+}
+
+// GradePolicy is Section II's evaluation scheme.
+type GradePolicy struct {
+	// ModuleWeight is the module's share of the course grade (25%).
+	ModuleWeight float64
+	// FeedbackDelayWeeks: grades and feedback return to the team
+	// coordinator this long after the due date (one week).
+	FeedbackDelayWeeks int
+	// PersistenceZeroesRemaining: when non-cooperation persists without
+	// an instructor resolution, all remaining assignments score zero.
+	PersistenceZeroesRemaining bool
+}
+
+// PaperPolicy is the published policy.
+func PaperPolicy() GradePolicy {
+	return GradePolicy{
+		ModuleWeight:               paperdata.PBLGradeWeight,
+		FeedbackDelayWeeks:         1,
+		PersistenceZeroesRemaining: true,
+	}
+}
+
+// AssignmentGrade is one assignment's outcome for one team.
+type AssignmentGrade struct {
+	Assignment int
+	TeamScore  float64 // 0..100, shared by contributing members
+	// Cooperation per member ID.
+	Cooperation map[int]Cooperation
+}
+
+// Validate bounds the score.
+func (g AssignmentGrade) Validate() error {
+	if g.TeamScore < 0 || g.TeamScore > 100 {
+		return fmt.Errorf("pbl: team score %v", g.TeamScore)
+	}
+	return nil
+}
+
+// MemberScores applies the policy to a member's cooperation history
+// across the module's assignments (in order) and that team's scores,
+// returning the member's per-assignment scores. resolvedWith holds
+// assignment numbers after which the instructor resolved a persistent
+// problem (resetting the persistence rule).
+func MemberScores(policy GradePolicy, grades []AssignmentGrade, member int, resolvedWith map[int]bool) ([]float64, error) {
+	out := make([]float64, len(grades))
+	persistent := false
+	priorProblem := false
+	for i, g := range grades {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
+		coop, ok := g.Cooperation[member]
+		if !ok {
+			coop = CoopFull
+		}
+		problem := coop != CoopFull
+		if persistent && policy.PersistenceZeroesRemaining {
+			out[i] = 0
+			continue
+		}
+		if problem {
+			out[i] = 0
+			if priorProblem {
+				persistent = true
+			}
+			priorProblem = true
+		} else {
+			out[i] = g.TeamScore
+			priorProblem = false
+		}
+		if resolvedWith != nil && resolvedWith[g.Assignment] {
+			persistent = false
+			priorProblem = false
+		}
+	}
+	return out, nil
+}
+
+// ModuleGrade averages the member's assignment scores (the five
+// assignments are equally weighted) and scales by the module weight,
+// returning the contribution to the course grade in points (0..25).
+func ModuleGrade(policy GradePolicy, memberScores []float64) (float64, error) {
+	if len(memberScores) == 0 {
+		return 0, stats.ErrInsufficientData
+	}
+	for _, s := range memberScores {
+		if s < 0 || s > 100 {
+			return 0, fmt.Errorf("pbl: member score %v", s)
+		}
+	}
+	return stats.MustMean(memberScores) * policy.ModuleWeight, nil
+}
+
+// CourseGrade combines the module with the individual instruments
+// (Section II: five quizzes, midterm, final). Remaining weight after the
+// module is split half to exams (midterm+final equally) and half to
+// quizzes, a conventional split for the unspecified remainder.
+func CourseGrade(policy GradePolicy, moduleScores []float64, quizzes []float64, midterm, final float64) (float64, error) {
+	module, err := ModuleGrade(policy, moduleScores)
+	if err != nil {
+		return 0, err
+	}
+	if len(quizzes) != paperdata.NQuizzes {
+		return 0, fmt.Errorf("pbl: %d quizzes, want %d", len(quizzes), paperdata.NQuizzes)
+	}
+	for _, q := range quizzes {
+		if q < 0 || q > 100 {
+			return 0, fmt.Errorf("pbl: quiz score %v", q)
+		}
+	}
+	if midterm < 0 || midterm > 100 || final < 0 || final > 100 {
+		return 0, fmt.Errorf("pbl: exam scores %v/%v", midterm, final)
+	}
+	rest := 1 - policy.ModuleWeight
+	quizWeight := rest / 2
+	examWeight := rest / 2
+	return module +
+		stats.MustMean(quizzes)*quizWeight +
+		(midterm+final)/2*examWeight, nil
+}

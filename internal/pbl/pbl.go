@@ -1,0 +1,259 @@
+// Package pbl models the semester-long Project Based Learning module the
+// paper embeds in CSc 3210: the 15-week timeline with five two-week
+// assignments (Fig. 1), each assignment's materials, questions, and
+// deliverables (Section II), the grading policy (25% weight, team
+// grades, the zero-for-non-cooperation rule), and the individual
+// assessment instruments (five quizzes, midterm, final).
+package pbl
+
+import (
+	"fmt"
+	"strings"
+
+	"pblparallel/internal/paperdata"
+)
+
+// Material is one of the six provided learning resources.
+type Material struct {
+	Name   string
+	Source string // citation key in the paper
+}
+
+// The six materials of Section II's implementation list.
+var (
+	MaterialTeamworkBasics = Material{"Teamwork Basics", "[6] MIT OpenCourseWare"}
+	MaterialPiArchitecture = Material{"Raspberry PI Multicore architecture", "[7] CSinParallel workshop"}
+	MaterialPatternlets    = Material{"Shared Memory Parallel Patternlets in OpenMP", "[8] CSinParallel"}
+	MaterialIntroParallel  = Material{"Introduction to Parallel Computing", "[9] LLNL"}
+	MaterialCPUvsSOC       = Material{"CPU vs. SOC - The battle for the future of computing", "[10]"}
+	MaterialMapReduce      = Material{"Introduction to Parallel Programming and MapReduce", "[11] Google"}
+)
+
+// Deliverable is one required component of every assignment.
+type Deliverable string
+
+// The four components Section II requires of each assignment.
+const (
+	DeliverablePlan   Deliverable = "Planning and Scheduling (work breakdown structure)"
+	DeliverableCollab Deliverable = "Collaboration"
+	DeliverableReport Deliverable = "Written Report"
+	DeliverableVideo  Deliverable = "Video Presentation (5-10 minutes, posted on YouTube)"
+)
+
+// Deliverables lists all four in report order.
+var Deliverables = []Deliverable{DeliverablePlan, DeliverableCollab, DeliverableReport, DeliverableVideo}
+
+// Assignment is one two-week project assignment.
+type Assignment struct {
+	Number    int // 1-based
+	Title     string
+	StartWeek int // 1-based semester week
+	Weeks     int
+	Focus     string // "soft skills" or "parallel programming"
+	Materials []Material
+	Questions []string // the reading questions groups answer
+	Programs  []string // patternlet names to create/compile/run/modify
+}
+
+// EndWeek is the last week of the assignment.
+func (a Assignment) EndWeek() int { return a.StartWeek + a.Weeks - 1 }
+
+// Module is the full PBL module.
+type Module struct {
+	SemesterWeeks int
+	Assignments   []Assignment
+	// SurveyWeeks are the two administrations of the growth survey.
+	SurveyWeeks [2]int
+	// GradeWeight is the module's share of the course grade.
+	GradeWeight float64
+}
+
+// NewPaperModule builds the module exactly as Fig. 1 and Section II
+// describe it.
+func NewPaperModule() *Module {
+	return &Module{
+		SemesterWeeks: paperdata.SemesterWeeks,
+		SurveyWeeks:   [2]int{paperdata.MidSurveyWeek, paperdata.EndSurveyWeek},
+		GradeWeight:   paperdata.PBLGradeWeight,
+		Assignments: []Assignment{
+			{
+				Number: 1, Title: "Teamwork basics and teamwork technologies",
+				StartWeek: 2, Weeks: 2, Focus: "soft skills",
+				Materials: []Material{MaterialTeamworkBasics},
+				Questions: []string{
+					"Apply the team Ground Rules: work, facilitator, communication, and meeting norms",
+					"How to handle difficult behavior and group problems",
+					"How to utilize Slack, GitHub, Google Docs, and YouTube for team work",
+				},
+			},
+			{
+				Number: 2, Title: "Parallel computing principles on the Raspberry Pi",
+				StartWeek: 4, Weeks: 2, Focus: "parallel programming",
+				Materials: []Material{MaterialPiArchitecture, MaterialPatternlets, MaterialIntroParallel},
+				Questions: []string{
+					"Identify the components on the Raspberry PI B+",
+					"How many cores does the Raspberry Pi's B+ CPU have?",
+					"Difference between sequential and parallel computation and the practical significance of each",
+					"Identify the basic form of data and task parallelism in computational problems",
+					"Explain the differences between processes and threads",
+					"What is OpenMP and what are OpenMP pragmas?",
+					"What applications benefit from multi-core?",
+				},
+				Programs: []string{"forkjoin", "spmd", "datarace"},
+			},
+			{
+				Number: 3, Title: "Scheduling, Flynn's taxonomy, and the SoC",
+				StartWeek: 6, Weeks: 2, Focus: "parallel programming",
+				Materials: []Material{MaterialPiArchitecture, MaterialPatternlets, MaterialIntroParallel, MaterialCPUvsSOC},
+				Questions: []string{
+					"What is: Task, Pipelining, Shared Memory, Communications, and Synchronization?",
+					"Classify parallel computers based on Flynn's taxonomy",
+					"What are the Parallel Programming Models?",
+					"List and describe the types of Parallel Computer Memory Architecture; which does OpenMP use and why?",
+					"Compare the Shared Memory Model with the Threads Model",
+					"What is System On Chip (SOC)? Does Raspberry PI use SOC?",
+					"Advantages of a System on a Chip over separate CPU, GPU and RAM",
+				},
+				Programs: []string{"parallelloop", "scheduling", "reduction"},
+			},
+			{
+				Number: 4, Title: "Race conditions, barriers, and master-worker",
+				StartWeek: 8, Weeks: 2, Focus: "parallel programming",
+				Materials: []Material{MaterialPatternlets, MaterialIntroParallel},
+				Questions: []string{
+					"What is the race condition? Why is it difficult to reproduce and debug? How can it be fixed?",
+					"Compare collective synchronization (barrier) with collective communication (reduction)",
+					"Compare master-worker with fork-join",
+				},
+				Programs: []string{"trapezoid", "barrier", "masterworker"},
+			},
+			{
+				Number: 5, Title: "MapReduce and the Drug Design capstone",
+				StartWeek: 10, Weeks: 2, Focus: "parallel programming",
+				Materials: []Material{MaterialPiArchitecture, MaterialMapReduce},
+				Questions: []string{
+					"Basic steps in building a parallel program, with an example",
+					"What is MapReduce? What is a map and what is a reduce? Why MapReduce?",
+					"Explain how the MapReduce model is executed",
+					"Three examples expressed as MapReduce computations",
+					"When do we use OpenMP, MPI, and MapReduce (Hadoop), and why?",
+					"Report the Drug Design and DNA problem and its algorithmic strategy",
+					"Which approach is fastest? Program size vs performance? C++11 threads vs OpenMP?",
+					"Rerun with 5 threads and with maximum ligand length 7",
+				},
+				Programs: []string{"drugdesign-seq", "drugdesign-omp", "drugdesign-threads"},
+			},
+		},
+	}
+}
+
+// Validate checks the module against the paper's structural facts.
+func (m *Module) Validate() error {
+	if len(m.Assignments) != paperdata.NAssignments {
+		return fmt.Errorf("pbl: %d assignments, want %d", len(m.Assignments), paperdata.NAssignments)
+	}
+	for i, a := range m.Assignments {
+		if a.Number != i+1 {
+			return fmt.Errorf("pbl: assignment %d numbered %d", i+1, a.Number)
+		}
+		if a.Weeks != paperdata.AssignmentWeeks {
+			return fmt.Errorf("pbl: assignment %d lasts %d weeks", a.Number, a.Weeks)
+		}
+		if a.EndWeek() > m.SemesterWeeks {
+			return fmt.Errorf("pbl: assignment %d ends week %d of %d", a.Number, a.EndWeek(), m.SemesterWeeks)
+		}
+		if i > 0 && a.StartWeek <= m.Assignments[i-1].EndWeek() {
+			return fmt.Errorf("pbl: assignment %d overlaps %d", a.Number, a.Number-1)
+		}
+		if len(a.Materials) == 0 || len(a.Questions) == 0 {
+			return fmt.Errorf("pbl: assignment %d missing materials or questions", a.Number)
+		}
+	}
+	if m.SurveyWeeks[0] >= m.SurveyWeeks[1] || m.SurveyWeeks[1] > m.SemesterWeeks {
+		return fmt.Errorf("pbl: survey weeks %v", m.SurveyWeeks)
+	}
+	if m.GradeWeight <= 0 || m.GradeWeight >= 1 {
+		return fmt.Errorf("pbl: grade weight %v", m.GradeWeight)
+	}
+	return nil
+}
+
+// AssignmentAt returns the assignment active in the given week, if any.
+func (m *Module) AssignmentAt(week int) (Assignment, bool) {
+	for _, a := range m.Assignments {
+		if week >= a.StartWeek && week <= a.EndWeek() {
+			return a, true
+		}
+	}
+	return Assignment{}, false
+}
+
+// FirstHalfAssignments and SecondHalfAssignments partition the module at
+// the mid-semester survey, the split Hypothesis 1 compares.
+func (m *Module) FirstHalfAssignments() []Assignment {
+	var out []Assignment
+	for _, a := range m.Assignments {
+		if a.EndWeek() <= m.SurveyWeeks[0] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// SecondHalfAssignments returns assignments finishing after the
+// mid-semester survey.
+func (m *Module) SecondHalfAssignments() []Assignment {
+	var out []Assignment
+	for _, a := range m.Assignments {
+		if a.EndWeek() > m.SurveyWeeks[0] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ProgramsDeveloped counts the programs written in each semester half —
+// the Discussion's explanation for Implementation's second-half growth
+// ("students had developed more parallel programs (four programs) in the
+// second half than in the first half where students had only developed
+// one program"). A program here is a patternlet set per assignment, as
+// the paper counts them.
+func (m *Module) ProgramsDeveloped() (firstHalf, secondHalf int) {
+	for _, a := range m.FirstHalfAssignments() {
+		if a.Focus == "parallel programming" {
+			firstHalf++
+		}
+	}
+	for _, a := range m.SecondHalfAssignments() {
+		if a.Focus == "parallel programming" {
+			secondHalf++
+		}
+	}
+	return firstHalf, secondHalf
+}
+
+// VideoGuide returns the presentation prompts every member follows.
+func VideoGuide() []string {
+	return []string{
+		"Introduce yourself and your role",
+		"Identify your task for this assignment and 2-3 key things learned",
+		"How you will apply what you learned in your next assignment, academic life, and future job",
+		"The best/most challenging/worst experience you encountered",
+	}
+}
+
+// String renders a one-line summary of an assignment.
+func (a Assignment) String() string {
+	return fmt.Sprintf("A%d (weeks %d-%d, %s): %s", a.Number, a.StartWeek, a.EndWeek(), a.Focus, a.Title)
+}
+
+// Summary renders the whole module compactly.
+func (m *Module) Summary() string {
+	var b strings.Builder
+	for _, a := range m.Assignments {
+		fmt.Fprintln(&b, a.String())
+	}
+	fmt.Fprintf(&b, "surveys: weeks %d and %d; module weight %.0f%%\n",
+		m.SurveyWeeks[0], m.SurveyWeeks[1], m.GradeWeight*100)
+	return b.String()
+}

@@ -1,0 +1,346 @@
+package pbl
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pblparallel/internal/paperdata"
+)
+
+func TestPaperModuleValidates(t *testing.T) {
+	m := NewPaperModule()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModuleMatchesFig1(t *testing.T) {
+	m := NewPaperModule()
+	if len(m.Assignments) != 5 {
+		t.Fatalf("%d assignments", len(m.Assignments))
+	}
+	for _, a := range m.Assignments {
+		if a.Weeks != 2 {
+			t.Fatalf("A%d lasts %d weeks", a.Number, a.Weeks)
+		}
+	}
+	if m.SurveyWeeks[0] != 8 || m.SurveyWeeks[1] != 15 {
+		t.Fatalf("survey weeks %v", m.SurveyWeeks)
+	}
+	if m.GradeWeight != 0.25 {
+		t.Fatalf("weight %v", m.GradeWeight)
+	}
+	// Assignment 1 is the soft-skills module; 2-5 are technical.
+	if m.Assignments[0].Focus != "soft skills" {
+		t.Fatal("A1 focus")
+	}
+	for _, a := range m.Assignments[1:] {
+		if a.Focus != "parallel programming" {
+			t.Fatalf("A%d focus %q", a.Number, a.Focus)
+		}
+	}
+}
+
+func TestAssignmentProgramsMatchPaper(t *testing.T) {
+	m := NewPaperModule()
+	wants := map[int][]string{
+		2: {"forkjoin", "spmd", "datarace"},
+		3: {"parallelloop", "scheduling", "reduction"},
+		4: {"trapezoid", "barrier", "masterworker"},
+		5: {"drugdesign-seq", "drugdesign-omp", "drugdesign-threads"},
+	}
+	for n, want := range wants {
+		got := m.Assignments[n-1].Programs
+		if len(got) != len(want) {
+			t.Fatalf("A%d programs %v", n, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("A%d programs %v, want %v", n, got, want)
+			}
+		}
+	}
+	if len(m.Assignments[0].Programs) != 0 {
+		t.Fatal("A1 should have no programs")
+	}
+}
+
+func TestValidateCatchesBadModules(t *testing.T) {
+	m := NewPaperModule()
+	m.Assignments = m.Assignments[:4]
+	if err := m.Validate(); err == nil {
+		t.Fatal("short module accepted")
+	}
+	m = NewPaperModule()
+	m.Assignments[2].StartWeek = 5 // overlaps A2 (weeks 4-5)
+	if err := m.Validate(); err == nil {
+		t.Fatal("overlap accepted")
+	}
+	m = NewPaperModule()
+	m.Assignments[4].StartWeek = 15
+	if err := m.Validate(); err == nil {
+		t.Fatal("overflow accepted")
+	}
+	m = NewPaperModule()
+	m.SurveyWeeks = [2]int{15, 8}
+	if err := m.Validate(); err == nil {
+		t.Fatal("inverted surveys accepted")
+	}
+	m = NewPaperModule()
+	m.GradeWeight = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	m = NewPaperModule()
+	m.Assignments[1].Questions = nil
+	if err := m.Validate(); err == nil {
+		t.Fatal("missing questions accepted")
+	}
+}
+
+func TestAssignmentAt(t *testing.T) {
+	m := NewPaperModule()
+	if a, ok := m.AssignmentAt(5); !ok || a.Number != 2 {
+		t.Fatalf("week 5 -> %v %v", a.Number, ok)
+	}
+	if _, ok := m.AssignmentAt(1); ok {
+		t.Fatal("week 1 has no assignment")
+	}
+	if _, ok := m.AssignmentAt(14); ok {
+		t.Fatal("week 14 has no assignment")
+	}
+}
+
+func TestHalfPartition(t *testing.T) {
+	m := NewPaperModule()
+	first := m.FirstHalfAssignments()
+	second := m.SecondHalfAssignments()
+	if len(first)+len(second) != 5 {
+		t.Fatalf("partition %d+%d", len(first), len(second))
+	}
+	// A1-A4 end by week 8? A4 runs weeks 8-9 → second half. So first
+	// half is A1-A3... wait: A1 w2-3, A2 w4-5, A3 w6-7, A4 w8-9, A5 w10-11.
+	if len(first) != 3 || len(second) != 2 {
+		t.Fatalf("split %d/%d, want 3/2", len(first), len(second))
+	}
+}
+
+func TestProgramsDeveloped(t *testing.T) {
+	// The Discussion: one program (set) in the first half, four in the
+	// second... with our week layout A2 (ending week 5) and A3 (ending
+	// week 7) land in the first half. The invariant that matters for the
+	// Implementation-gap narrative is that the second half has at least
+	// as much programming as the first and the first half includes the
+	// soft-skills assignment instead.
+	m := NewPaperModule()
+	first, second := m.ProgramsDeveloped()
+	if first+second != 4 {
+		t.Fatalf("%d+%d programming assignments", first, second)
+	}
+	if second < first-1 {
+		t.Fatalf("second half (%d) should carry comparable programming load to first (%d)", second, first)
+	}
+}
+
+func TestVideoGuide(t *testing.T) {
+	g := VideoGuide()
+	if len(g) != 4 {
+		t.Fatalf("%d prompts", len(g))
+	}
+	for _, p := range g {
+		if p == "" {
+			t.Fatal("empty prompt")
+		}
+	}
+}
+
+func TestTimelineEvents(t *testing.T) {
+	m := NewPaperModule()
+	events := m.Timeline()
+	// 1 formation + 5*2 assignment edges + 2 surveys.
+	if len(events) != 13 {
+		t.Fatalf("%d events", len(events))
+	}
+	for _, e := range events {
+		if e.Week < 1 || e.Week > m.SemesterWeeks {
+			t.Fatalf("event week %d", e.Week)
+		}
+		if e.Label == "" {
+			t.Fatal("empty label")
+		}
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	m := NewPaperModule()
+	var b strings.Builder
+	if err := m.RenderTimeline(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"Fig. 1", "week  1", "week 15",
+		"team formation", "survey 1 (mid-semester)", "survey 2 (end of term)",
+		"assignment 5 begins",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines != paperdata.SemesterWeeks+1 {
+		t.Fatalf("%d lines", lines)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := NewPaperModule().Summary()
+	if !strings.Contains(s, "A1") || !strings.Contains(s, "25%") {
+		t.Fatalf("summary:\n%s", s)
+	}
+}
+
+func TestMemberScoresFullCooperation(t *testing.T) {
+	grades := []AssignmentGrade{
+		{Assignment: 1, TeamScore: 90},
+		{Assignment: 2, TeamScore: 80},
+	}
+	scores, err := MemberScores(PaperPolicy(), grades, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != 90 || scores[1] != 80 {
+		t.Fatalf("scores = %v", scores)
+	}
+}
+
+func TestMemberScoresZeroRule(t *testing.T) {
+	grades := []AssignmentGrade{
+		{Assignment: 1, TeamScore: 90, Cooperation: map[int]Cooperation{7: CoopPartial}},
+		{Assignment: 2, TeamScore: 80},
+	}
+	scores, err := MemberScores(PaperPolicy(), grades, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != 0 {
+		t.Fatalf("partial cooperation scored %v", scores[0])
+	}
+	if scores[1] != 80 {
+		t.Fatalf("recovered assignment scored %v", scores[1])
+	}
+}
+
+func TestMemberScoresPersistenceRule(t *testing.T) {
+	grades := []AssignmentGrade{
+		{Assignment: 1, TeamScore: 90, Cooperation: map[int]Cooperation{7: CoopNone}},
+		{Assignment: 2, TeamScore: 80, Cooperation: map[int]Cooperation{7: CoopNone}},
+		{Assignment: 3, TeamScore: 70},
+		{Assignment: 4, TeamScore: 60},
+	}
+	scores, err := MemberScores(PaperPolicy(), grades, 7, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two consecutive problems without resolution: zeroes for the rest.
+	want := []float64{0, 0, 0, 0}
+	for i := range want {
+		if scores[i] != want[i] {
+			t.Fatalf("scores = %v, want %v", scores, want)
+		}
+	}
+}
+
+func TestMemberScoresResolutionResets(t *testing.T) {
+	grades := []AssignmentGrade{
+		{Assignment: 1, TeamScore: 90, Cooperation: map[int]Cooperation{7: CoopNone}},
+		{Assignment: 2, TeamScore: 80, Cooperation: map[int]Cooperation{7: CoopNone}},
+		{Assignment: 3, TeamScore: 70},
+	}
+	scores, err := MemberScores(PaperPolicy(), grades, 7, map[int]bool{2: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] != 0 || scores[1] != 0 {
+		t.Fatalf("problem assignments scored %v", scores[:2])
+	}
+	if scores[2] != 70 {
+		t.Fatalf("post-resolution assignment scored %v", scores[2])
+	}
+}
+
+func TestMemberScoresValidation(t *testing.T) {
+	grades := []AssignmentGrade{{Assignment: 1, TeamScore: 150}}
+	if _, err := MemberScores(PaperPolicy(), grades, 1, nil); err == nil {
+		t.Fatal("bad team score accepted")
+	}
+}
+
+func TestModuleGrade(t *testing.T) {
+	g, err := ModuleGrade(PaperPolicy(), []float64{100, 100, 100, 100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-25) > 1e-12 {
+		t.Fatalf("perfect module grade = %v, want 25", g)
+	}
+	if _, err := ModuleGrade(PaperPolicy(), nil); err == nil {
+		t.Fatal("empty scores accepted")
+	}
+	if _, err := ModuleGrade(PaperPolicy(), []float64{101}); err == nil {
+		t.Fatal("out-of-range score accepted")
+	}
+}
+
+func TestCourseGrade(t *testing.T) {
+	policy := PaperPolicy()
+	perfect := []float64{100, 100, 100, 100, 100}
+	g, err := CourseGrade(policy, perfect, perfect, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-100) > 1e-9 {
+		t.Fatalf("perfect course grade = %v", g)
+	}
+	// Module removal costs exactly its weight.
+	zeroModule := []float64{0, 0, 0, 0, 0}
+	g2, err := CourseGrade(policy, zeroModule, perfect, 100, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g2-75) > 1e-9 {
+		t.Fatalf("no-module grade = %v, want 75", g2)
+	}
+	if _, err := CourseGrade(policy, perfect, []float64{100}, 100, 100); err == nil {
+		t.Fatal("wrong quiz count accepted")
+	}
+	if _, err := CourseGrade(policy, perfect, perfect, 150, 100); err == nil {
+		t.Fatal("bad exam accepted")
+	}
+	if _, err := CourseGrade(policy, perfect, []float64{1, 2, 3, 4, 200}, 100, 100); err == nil {
+		t.Fatal("bad quiz accepted")
+	}
+}
+
+func TestCooperationString(t *testing.T) {
+	if CoopFull.String() != "full" || CoopPartial.String() != "partial" || CoopNone.String() != "none" {
+		t.Fatal("names")
+	}
+	if Cooperation(9).String() == "" {
+		t.Fatal("out-of-range stringer")
+	}
+}
+
+func TestMaterialsNamed(t *testing.T) {
+	for _, mat := range []Material{
+		MaterialTeamworkBasics, MaterialPiArchitecture, MaterialPatternlets,
+		MaterialIntroParallel, MaterialCPUvsSOC, MaterialMapReduce,
+	} {
+		if mat.Name == "" || mat.Source == "" {
+			t.Fatalf("material incomplete: %+v", mat)
+		}
+	}
+	if len(Deliverables) != 4 {
+		t.Fatal("four deliverables per assignment")
+	}
+}

@@ -1,0 +1,82 @@
+package pbl
+
+import "fmt"
+
+// The paper's conclusion commits to two Spring 2019 changes: (1) add
+// one or two more Teamwork-basics tasks to assignments two through five
+// (the Teamwork emphasis↔growth correlation was the weakest), and
+// (2) extend the module to distributed memory with MPI and C, starting
+// from the CSinParallel MPI module [17] and Prasad et al. [18]. This
+// file builds that revised module.
+
+// MaterialMPI is the CSinParallel "Getting Started with Message Passing
+// using MPI" module the conclusion names.
+var MaterialMPI = Material{"Getting Started with Message Passing using MPI", "[17] CSinParallel"}
+
+// TeamworkReinforcementTask is the recurring soft-skills exercise the
+// revision adds to every technical assignment.
+const TeamworkReinforcementTask = "Revisit one team Ground Rule: report a conflict or coordination problem from the last assignment and how the rule (or a revision of it) addresses it"
+
+// NewSpring2019Module returns the revised module: the Fall 2018 design
+// plus the teamwork reinforcement in assignments 2-5 and a sixth
+// two-week MPI assignment in weeks 12-13.
+func NewSpring2019Module() *Module {
+	m := NewPaperModule()
+	for i := 1; i < len(m.Assignments); i++ {
+		m.Assignments[i].Questions = append(m.Assignments[i].Questions, TeamworkReinforcementTask)
+		m.Assignments[i].Materials = append(m.Assignments[i].Materials, MaterialTeamworkBasics)
+	}
+	m.Assignments = append(m.Assignments, Assignment{
+		Number:    6,
+		Title:     "Distributed memory with MPI",
+		StartWeek: 12,
+		Weeks:     2,
+		Focus:     "parallel programming",
+		Materials: []Material{MaterialMPI, MaterialIntroParallel},
+		Questions: []string{
+			"Compare the shared-memory (OpenMP) and distributed-memory (MPI) models: when is each the correct architecture?",
+			"What are ranks, communicators, and tags?",
+			"Compare collective communication (broadcast, scatter, gather, reduce) with point-to-point messages",
+			"Why does a pairwise exchange deadlock with blocking sends, and how does Sendrecv avoid it?",
+		},
+		Programs: []string{"mpi-hello", "mpi-ring", "mpi-trapezoid", "mpi-oddevensort", "drugdesign-mpi"},
+	})
+	return m
+}
+
+// DiffModules summarizes what changed between two module revisions, for
+// the revision report the instructors planned to compare "after this
+// addition with the current results (Fall 2018)".
+type ModuleDiff struct {
+	AddedAssignments   []string
+	AddedQuestionCount int
+	AddedMaterialCount int
+}
+
+// Diff computes old → new changes.
+func Diff(old, new *Module) (ModuleDiff, error) {
+	if old == nil || new == nil {
+		return ModuleDiff{}, fmt.Errorf("pbl: nil module")
+	}
+	var d ModuleDiff
+	oldByNum := map[int]Assignment{}
+	for _, a := range old.Assignments {
+		oldByNum[a.Number] = a
+	}
+	for _, a := range new.Assignments {
+		prev, ok := oldByNum[a.Number]
+		if !ok {
+			d.AddedAssignments = append(d.AddedAssignments, a.Title)
+			d.AddedQuestionCount += len(a.Questions)
+			d.AddedMaterialCount += len(a.Materials)
+			continue
+		}
+		if n := len(a.Questions) - len(prev.Questions); n > 0 {
+			d.AddedQuestionCount += n
+		}
+		if n := len(a.Materials) - len(prev.Materials); n > 0 {
+			d.AddedMaterialCount += n
+		}
+	}
+	return d, nil
+}

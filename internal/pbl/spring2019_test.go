@@ -1,0 +1,130 @@
+package pbl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpring2019ModuleValidates(t *testing.T) {
+	m := NewSpring2019Module()
+	// The revised module has six assignments, so the paper-count check
+	// in Validate no longer applies; check structure directly.
+	if len(m.Assignments) != 6 {
+		t.Fatalf("%d assignments", len(m.Assignments))
+	}
+	for i, a := range m.Assignments {
+		if a.Number != i+1 {
+			t.Fatalf("assignment %d numbered %d", i+1, a.Number)
+		}
+		if a.EndWeek() > m.SemesterWeeks {
+			t.Fatalf("A%d ends week %d", a.Number, a.EndWeek())
+		}
+		if i > 0 && a.StartWeek <= m.Assignments[i-1].EndWeek() {
+			t.Fatalf("A%d overlaps A%d", a.Number, a.Number-1)
+		}
+	}
+}
+
+func TestSpring2019TeamworkReinforcement(t *testing.T) {
+	m := NewSpring2019Module()
+	// Assignment 1 untouched; 2-5 gain the reinforcement task and the
+	// Teamwork Basics material.
+	if hasQuestion(m.Assignments[0], TeamworkReinforcementTask) {
+		t.Fatal("A1 should not gain the reinforcement task")
+	}
+	for _, a := range m.Assignments[1:5] {
+		if !hasQuestion(a, TeamworkReinforcementTask) {
+			t.Fatalf("A%d missing reinforcement task", a.Number)
+		}
+		if !hasMaterial(a, MaterialTeamworkBasics) {
+			t.Fatalf("A%d missing Teamwork Basics material", a.Number)
+		}
+	}
+}
+
+func TestSpring2019MPIAssignment(t *testing.T) {
+	m := NewSpring2019Module()
+	a6 := m.Assignments[5]
+	if a6.Number != 6 || a6.StartWeek != 12 || a6.Weeks != 2 {
+		t.Fatalf("A6 schedule %+v", a6)
+	}
+	if !hasMaterial(a6, MaterialMPI) {
+		t.Fatal("A6 missing the MPI module material")
+	}
+	wantPrograms := []string{"mpi-hello", "mpi-ring", "mpi-trapezoid", "mpi-oddevensort", "drugdesign-mpi"}
+	if len(a6.Programs) != len(wantPrograms) {
+		t.Fatalf("A6 programs %v", a6.Programs)
+	}
+	for i, w := range wantPrograms {
+		if a6.Programs[i] != w {
+			t.Fatalf("A6 programs %v", a6.Programs)
+		}
+	}
+	// Still fits before the final-exam week.
+	if a6.EndWeek() >= m.SurveyWeeks[1] {
+		t.Fatalf("A6 ends week %d, collides with the final survey", a6.EndWeek())
+	}
+}
+
+func TestSpring2019DoesNotMutateFall2018(t *testing.T) {
+	// Building the revision must not alias the original's slices.
+	fall := NewPaperModule()
+	before := len(fall.Assignments[1].Questions)
+	_ = NewSpring2019Module()
+	fall2 := NewPaperModule()
+	if len(fall2.Assignments[1].Questions) != before {
+		t.Fatal("NewSpring2019Module mutated the base module's data")
+	}
+}
+
+func TestDiffModules(t *testing.T) {
+	fall := NewPaperModule()
+	spring := NewSpring2019Module()
+	d, err := Diff(fall, spring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.AddedAssignments) != 1 || !strings.Contains(d.AddedAssignments[0], "MPI") {
+		t.Fatalf("added assignments %v", d.AddedAssignments)
+	}
+	// Four reinforced assignments + the new assignment's questions.
+	if d.AddedQuestionCount < 4+4 {
+		t.Fatalf("added questions %d", d.AddedQuestionCount)
+	}
+	if d.AddedMaterialCount < 4+2 {
+		t.Fatalf("added materials %d", d.AddedMaterialCount)
+	}
+	if _, err := Diff(nil, spring); err == nil {
+		t.Fatal("nil module accepted")
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	a := NewPaperModule()
+	b := NewPaperModule()
+	d, err := Diff(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.AddedAssignments) != 0 || d.AddedQuestionCount != 0 || d.AddedMaterialCount != 0 {
+		t.Fatalf("diff of identical modules = %+v", d)
+	}
+}
+
+func hasQuestion(a Assignment, q string) bool {
+	for _, x := range a.Questions {
+		if x == q {
+			return true
+		}
+	}
+	return false
+}
+
+func hasMaterial(a Assignment, m Material) bool {
+	for _, x := range a.Materials {
+		if x == m {
+			return true
+		}
+	}
+	return false
+}

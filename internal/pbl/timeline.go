@@ -1,0 +1,64 @@
+package pbl
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TimelineEvent is one row of the Fig.-1 semester timeline.
+type TimelineEvent struct {
+	Week  int
+	Label string
+}
+
+// Timeline expands the module into week-by-week events: team formation
+// in week 1, each assignment's span, both surveys, the per-assignment
+// quizzes, and the midterm and final exams.
+func (m *Module) Timeline() []TimelineEvent {
+	var events []TimelineEvent
+	events = append(events, TimelineEvent{Week: 1, Label: "team formation (26 diverse groups)"})
+	for _, a := range m.Assignments {
+		events = append(events, TimelineEvent{
+			Week:  a.StartWeek,
+			Label: fmt.Sprintf("assignment %d begins: %s", a.Number, a.Title),
+		})
+		events = append(events, TimelineEvent{
+			Week:  a.EndWeek(),
+			Label: fmt.Sprintf("assignment %d due; quiz %d follows", a.Number, a.Number),
+		})
+	}
+	events = append(events, TimelineEvent{Week: m.SurveyWeeks[0], Label: "survey 1 (mid-semester) + midterm exam"})
+	events = append(events, TimelineEvent{Week: m.SurveyWeeks[1], Label: "survey 2 (end of term) + final exam"})
+	return events
+}
+
+// RenderTimeline writes the Fig.-1 style week-by-week chart: one line
+// per week with assignment bars and survey markers.
+func (m *Module) RenderTimeline(w io.Writer) error {
+	events := m.Timeline()
+	byWeek := make(map[int][]string)
+	for _, e := range events {
+		byWeek[e.Week] = append(byWeek[e.Week], e.Label)
+	}
+	var err error
+	p := func(format string, args ...any) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(w, format, args...)
+	}
+	p("Fig. 1 — semester timeline (%d weeks)\n", m.SemesterWeeks)
+	for week := 1; week <= m.SemesterWeeks; week++ {
+		bar := " "
+		if a, ok := m.AssignmentAt(week); ok {
+			bar = fmt.Sprintf("A%d", a.Number)
+		}
+		p("week %2d %-3s |", week, bar)
+		if labels, ok := byWeek[week]; ok {
+			p(" %s", strings.Join(labels, "; "))
+		}
+		p("\n")
+	}
+	return err
+}

@@ -1,0 +1,142 @@
+package pisim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// The course pairs its x86 (CISC) lectures with the Pi's ARM (RISC)
+// hardware so students can compare the two ISAs "in terms of data
+// movement, instruction encoding, immediate value representation, and
+// memory layout". This file implements the comparable, checkable parts
+// of that comparison.
+
+// ISAStyle distinguishes the two design families.
+type ISAStyle string
+
+const (
+	RISC ISAStyle = "RISC"
+	CISC ISAStyle = "CISC"
+)
+
+// ISA summarizes an instruction-set architecture along the axes the
+// assignment compares.
+type ISA struct {
+	Name  string
+	Style ISAStyle
+	// FixedEncoding: true when every instruction has one length.
+	FixedEncoding bool
+	MinInstrBytes int
+	MaxInstrBytes int
+	// LoadStore: true when memory is touched only by load/store
+	// instructions (data movement must go through registers).
+	LoadStore bool
+	// GPRegisters is the general-purpose register count.
+	GPRegisters int
+}
+
+// ARM32 describes the classic 32-bit ARM encoding the Pi boots in for
+// the course's examples.
+func ARM32() ISA {
+	return ISA{
+		Name:          "ARM (AArch32)",
+		Style:         RISC,
+		FixedEncoding: true,
+		MinInstrBytes: 4,
+		MaxInstrBytes: 4,
+		LoadStore:     true,
+		GPRegisters:   16,
+	}
+}
+
+// X86_64 describes the Intel architecture the course teaches in lecture.
+func X86_64() ISA {
+	return ISA{
+		Name:          "Intel x86-64",
+		Style:         CISC,
+		FixedEncoding: false,
+		MinInstrBytes: 1,
+		MaxInstrBytes: 15,
+		LoadStore:     false,
+		GPRegisters:   16,
+	}
+}
+
+// ARMCanEncodeImmediate reports whether v is a valid ARM (AArch32)
+// data-processing immediate: an 8-bit value rotated right by an even
+// amount within 32 bits. This is the concrete encoding fact the
+// assignment's "immediate value representation" comparison hangs on —
+// x86 can embed any 32-bit constant, ARM cannot.
+func ARMCanEncodeImmediate(v uint32) bool {
+	for rot := 0; rot < 32; rot += 2 {
+		if bits.RotateLeft32(v, rot) <= 0xFF {
+			return true
+		}
+	}
+	return false
+}
+
+// ARMEncodeImmediate returns the (value8, rotate) pair encoding v, or an
+// error when no encoding exists. rotate is the right-rotation amount.
+func ARMEncodeImmediate(v uint32) (value8 uint8, rotate int, err error) {
+	for rot := 0; rot < 32; rot += 2 {
+		if r := bits.RotateLeft32(v, rot); r <= 0xFF {
+			return uint8(r), rot, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("pisim: %#x is not an ARM data-processing immediate", v)
+}
+
+// X86CanEncodeImmediate reports whether v fits an x86 imm32 (always true
+// for 32-bit values; kept as a function for table symmetry).
+func X86CanEncodeImmediate(v uint32) bool { _ = v; return true }
+
+// LoadConstantInstructions counts the instructions needed to place the
+// 32-bit constant v in a register — 1 on x86 (mov imm32), and on ARM 1
+// when v or ^v is an immediate (MOV/MVN) and 2 otherwise (MOVW+MOVT).
+func LoadConstantInstructions(isa ISA, v uint32) int {
+	if !isa.LoadStore {
+		return 1
+	}
+	if ARMCanEncodeImmediate(v) || ARMCanEncodeImmediate(^v) {
+		return 1
+	}
+	return 2
+}
+
+// MemoryToMemoryAdd counts the instructions for mem += reg on each
+// family: 1 on x86 (add [mem], reg), 3 on a load-store machine
+// (ldr / add / str) — the "data movement" comparison.
+func MemoryToMemoryAdd(isa ISA) int {
+	if isa.LoadStore {
+		return 3
+	}
+	return 1
+}
+
+// ComparisonRow is one line of the ARM-vs-x86 worksheet.
+type ComparisonRow struct {
+	Axis string
+	ARM  string
+	X86  string
+}
+
+// CompareISAs produces the worksheet table for the two course ISAs.
+func CompareISAs() []ComparisonRow {
+	arm, x86 := ARM32(), X86_64()
+	return []ComparisonRow{
+		{"design style", string(arm.Style), string(x86.Style)},
+		{"instruction encoding",
+			fmt.Sprintf("fixed %d bytes", arm.MaxInstrBytes),
+			fmt.Sprintf("variable %d-%d bytes", x86.MinInstrBytes, x86.MaxInstrBytes)},
+		{"data movement",
+			"load/store only (memory via registers)",
+			"most instructions may take memory operands"},
+		{"immediate values",
+			"8-bit value rotated by an even amount",
+			"full imm8/imm16/imm32 in the instruction"},
+		{"memory layout",
+			"32-bit aligned instruction words",
+			"unaligned instruction stream, byte-granular"},
+	}
+}

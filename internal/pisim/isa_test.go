@@ -1,0 +1,115 @@
+package pisim
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestARMImmediateKnownValues(t *testing.T) {
+	encodable := []uint32{0, 0xFF, 0x3F0, 0xFF000000, 0xF000000F, 1 << 30, 0xAB << 8}
+	for _, v := range encodable {
+		if !ARMCanEncodeImmediate(v) {
+			t.Fatalf("%#x should be encodable", v)
+		}
+	}
+	unencodable := []uint32{0x101, 0xFFFF, 0x12345678, 0x1FE00001}
+	for _, v := range unencodable {
+		if ARMCanEncodeImmediate(v) {
+			t.Fatalf("%#x should not be encodable", v)
+		}
+	}
+}
+
+func TestARMEncodeImmediateRoundTrip(t *testing.T) {
+	f := func(v8 uint8, rotRaw uint8) bool {
+		rot := int(rotRaw) % 16 * 2
+		v := bits.RotateLeft32(uint32(v8), -rot) // rotate right
+		val, gotRot, err := ARMEncodeImmediate(v)
+		if err != nil {
+			return false
+		}
+		// The decode of the returned encoding must reproduce v.
+		return bits.RotateLeft32(uint32(val), -gotRot) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestARMEncodeImmediateError(t *testing.T) {
+	if _, _, err := ARMEncodeImmediate(0x12345678); err == nil {
+		t.Fatal("expected encoding error")
+	}
+}
+
+func TestX86AlwaysEncodes(t *testing.T) {
+	for _, v := range []uint32{0, 0xFFFFFFFF, 0x12345678} {
+		if !X86CanEncodeImmediate(v) {
+			t.Fatalf("x86 must encode %#x", v)
+		}
+	}
+}
+
+func TestLoadConstantInstructions(t *testing.T) {
+	arm, x86 := ARM32(), X86_64()
+	// Simple immediate: both take 1.
+	if LoadConstantInstructions(arm, 0xFF) != 1 || LoadConstantInstructions(x86, 0xFF) != 1 {
+		t.Fatal("simple immediate")
+	}
+	// MVN-able value (~v encodable): ARM still 1.
+	if LoadConstantInstructions(arm, ^uint32(0xFF)) != 1 {
+		t.Fatal("MVN case")
+	}
+	// Arbitrary constant: ARM needs 2 (MOVW+MOVT), x86 1.
+	if LoadConstantInstructions(arm, 0x12345678) != 2 {
+		t.Fatal("ARM arbitrary constant should take 2")
+	}
+	if LoadConstantInstructions(x86, 0x12345678) != 1 {
+		t.Fatal("x86 arbitrary constant should take 1")
+	}
+}
+
+func TestMemoryToMemoryAdd(t *testing.T) {
+	if MemoryToMemoryAdd(ARM32()) != 3 {
+		t.Fatal("load-store machine needs ldr/add/str")
+	}
+	if MemoryToMemoryAdd(X86_64()) != 1 {
+		t.Fatal("x86 adds to memory in one instruction")
+	}
+}
+
+func TestISADescriptors(t *testing.T) {
+	arm, x86 := ARM32(), X86_64()
+	if arm.Style != RISC || x86.Style != CISC {
+		t.Fatal("styles")
+	}
+	if !arm.FixedEncoding || arm.MinInstrBytes != arm.MaxInstrBytes {
+		t.Fatal("ARM has fixed 4-byte encoding")
+	}
+	if x86.FixedEncoding || x86.MaxInstrBytes <= x86.MinInstrBytes {
+		t.Fatal("x86 has variable encoding")
+	}
+	if !arm.LoadStore || x86.LoadStore {
+		t.Fatal("load-store flags")
+	}
+}
+
+func TestCompareISAsCoversAxes(t *testing.T) {
+	rows := CompareISAs()
+	if len(rows) < 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	axes := map[string]bool{}
+	for _, r := range rows {
+		axes[r.Axis] = true
+		if r.ARM == "" || r.X86 == "" {
+			t.Fatalf("row %q incomplete", r.Axis)
+		}
+	}
+	for _, want := range []string{"instruction encoding", "data movement", "immediate values", "memory layout"} {
+		if !axes[want] {
+			t.Fatalf("missing axis %q (the assignment names it)", want)
+		}
+	}
+}

@@ -1,0 +1,310 @@
+package pisim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Policy selects how loop iterations map onto cores, mirroring the
+// schedules of the omp runtime but evaluated in virtual time.
+type Policy interface {
+	// Name labels the policy in results and bench output.
+	Name() string
+	// chunks partitions n iterations into dispatch units. For static
+	// policies the core assignment is fixed (Core >= 0); for dynamic
+	// policies Core is -1 and the simulator assigns greedily.
+	chunks(n, cores int) []chunk
+}
+
+// chunk is one dispatch unit: iterations [Start, Start+Len).
+type chunk struct {
+	Start, Len int
+	Core       int // -1 = first available core
+}
+
+// StaticPolicy is the default OpenMP schedule: one contiguous
+// near-equal block per core.
+type StaticPolicy struct{}
+
+// Name implements Policy.
+func (StaticPolicy) Name() string { return "static" }
+
+func (StaticPolicy) chunks(n, cores int) []chunk {
+	base, extra := n/cores, n%cores
+	out := make([]chunk, 0, cores)
+	start := 0
+	for c := 0; c < cores; c++ {
+		l := base
+		if c < extra {
+			l++
+		}
+		if l == 0 {
+			continue
+		}
+		out = append(out, chunk{Start: start, Len: l, Core: c})
+		start += l
+	}
+	return out
+}
+
+// StaticChunkPolicy deals fixed-size chunks round-robin —
+// schedule(static, Chunk).
+type StaticChunkPolicy struct{ Chunk int }
+
+// Name implements Policy.
+func (p StaticChunkPolicy) Name() string { return fmt.Sprintf("static,%d", p.Chunk) }
+
+func (p StaticChunkPolicy) chunks(n, cores int) []chunk {
+	var out []chunk
+	for i, start := 0, 0; start < n; i, start = i+1, start+p.Chunk {
+		l := p.Chunk
+		if start+l > n {
+			l = n - start
+		}
+		out = append(out, chunk{Start: start, Len: l, Core: i % cores})
+	}
+	return out
+}
+
+// DynamicPolicy hands fixed-size chunks to whichever core frees first —
+// schedule(dynamic, Chunk).
+type DynamicPolicy struct{ Chunk int }
+
+// Name implements Policy.
+func (p DynamicPolicy) Name() string { return fmt.Sprintf("dynamic,%d", p.Chunk) }
+
+func (p DynamicPolicy) chunks(n, cores int) []chunk {
+	var out []chunk
+	for start := 0; start < n; start += p.Chunk {
+		l := p.Chunk
+		if start+l > n {
+			l = n - start
+		}
+		out = append(out, chunk{Start: start, Len: l, Core: -1})
+	}
+	return out
+}
+
+// GuidedPolicy hands out shrinking chunks (remaining/2·cores, floored at
+// MinChunk) to the first free core — schedule(guided, MinChunk).
+type GuidedPolicy struct{ MinChunk int }
+
+// Name implements Policy.
+func (p GuidedPolicy) Name() string { return fmt.Sprintf("guided,%d", p.MinChunk) }
+
+func (p GuidedPolicy) chunks(n, cores int) []chunk {
+	var out []chunk
+	for start := 0; start < n; {
+		l := (n - start) / (2 * cores)
+		if l < p.MinChunk {
+			l = p.MinChunk
+		}
+		if start+l > n {
+			l = n - start
+		}
+		out = append(out, chunk{Start: start, Len: l, Core: -1})
+		start += l
+	}
+	return out
+}
+
+// validatePolicy rejects non-positive chunk sizes.
+func validatePolicy(p Policy) error {
+	switch v := p.(type) {
+	case nil:
+		return fmt.Errorf("pisim: nil policy")
+	case StaticChunkPolicy:
+		if v.Chunk < 1 {
+			return fmt.Errorf("pisim: static chunk %d < 1", v.Chunk)
+		}
+	case DynamicPolicy:
+		if v.Chunk < 1 {
+			return fmt.Errorf("pisim: dynamic chunk %d < 1", v.Chunk)
+		}
+	case GuidedPolicy:
+		if v.MinChunk < 1 {
+			return fmt.Errorf("pisim: guided min chunk %d < 1", v.MinChunk)
+		}
+	}
+	return nil
+}
+
+// LoopResult reports one simulated work-sharing loop.
+type LoopResult struct {
+	Policy string
+	Cores  int
+	// Makespan is the virtual time from fork to after the barrier.
+	Makespan Cycles
+	// CoreBusy is each core's busy time (work + dispatch overhead).
+	CoreBusy []Cycles
+	// SequentialCost is the uncontended single-core cost of the same
+	// iterations (no dispatch overhead, no barrier): the baseline for
+	// Speedup.
+	SequentialCost Cycles
+	// Chunks is the number of dispatch units issued.
+	Chunks int
+}
+
+// Speedup is sequential cost over parallel makespan.
+func (r LoopResult) Speedup() float64 {
+	if r.Makespan == 0 {
+		return 0
+	}
+	return float64(r.SequentialCost) / float64(r.Makespan)
+}
+
+// Efficiency is speedup per core.
+func (r LoopResult) Efficiency() float64 { return r.Speedup() / float64(r.Cores) }
+
+// LoadImbalance is (max-min)/max of core busy times; 0 is perfect.
+func (r LoopResult) LoadImbalance() float64 {
+	if len(r.CoreBusy) == 0 {
+		return 0
+	}
+	min, max := r.CoreBusy[0], r.CoreBusy[0]
+	for _, b := range r.CoreBusy[1:] {
+		if b < min {
+			min = b
+		}
+		if b > max {
+			max = b
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	return float64(max-min) / float64(max)
+}
+
+// coreHeap orders cores by availability time (ties by index for
+// determinism).
+type coreHeap []coreState
+
+type coreState struct {
+	id   int
+	free Cycles
+}
+
+func (h coreHeap) Len() int { return len(h) }
+func (h coreHeap) Less(i, j int) bool {
+	if h[i].free != h[j].free {
+		return h[i].free < h[j].free
+	}
+	return h[i].id < h[j].id
+}
+func (h coreHeap) Swap(i, j int)        { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x any)          { *h = append(*h, x.(coreState)) }
+func (h *coreHeap) Pop() any            { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h coreHeap) Peek() coreState      { return h[0] }
+func (h *coreHeap) Replace(c coreState) { (*h)[0] = c; heap.Fix(h, 0) }
+
+// RunLoop simulates a work-sharing loop whose iteration i costs costs[i]
+// cycles, under the given policy, and returns the virtual-time result.
+func (m *Machine) RunLoop(costs []Cycles, policy Policy) (LoopResult, error) {
+	if err := validatePolicy(policy); err != nil {
+		return LoopResult{}, err
+	}
+	for i, c := range costs {
+		if c < 0 {
+			return LoopResult{}, fmt.Errorf("pisim: negative cost at iteration %d", i)
+		}
+	}
+	cores := m.cfg.Cores
+	factor := m.contentionFactor(cores)
+	chunks := policy.chunks(len(costs), cores)
+	busy := make([]Cycles, cores)
+	// Prefix sums for O(1) chunk cost.
+	prefix := make([]Cycles, len(costs)+1)
+	for i, c := range costs {
+		prefix[i+1] = prefix[i] + c
+	}
+	chunkCost := func(ch chunk) Cycles {
+		work := prefix[ch.Start+ch.Len] - prefix[ch.Start]
+		return Cycles(float64(work)*factor) + m.cfg.DispatchOverhead
+	}
+	// Static assignments accumulate directly; dynamic ones go through
+	// the availability heap in chunk order (the order a shared ticket
+	// counter would release them).
+	h := make(coreHeap, cores)
+	for i := range h {
+		h[i] = coreState{id: i}
+	}
+	heap.Init(&h)
+	for _, ch := range chunks {
+		if ch.Core >= 0 {
+			busy[ch.Core] += chunkCost(ch)
+		}
+	}
+	// Seed heap with static busy times so mixed policies would compose;
+	// for purely static policies the loop below is a no-op.
+	for i := range h {
+		h[i].free = busy[h[i].id]
+	}
+	heap.Init(&h)
+	for _, ch := range chunks {
+		if ch.Core >= 0 {
+			continue
+		}
+		c := h.Peek()
+		cost := chunkCost(ch)
+		busy[c.id] += cost
+		c.free += cost
+		h.Replace(c)
+	}
+	var makespan Cycles
+	for _, b := range busy {
+		if b > makespan {
+			makespan = b
+		}
+	}
+	makespan += m.cfg.BarrierCost
+	return LoopResult{
+		Policy:         policy.Name(),
+		Cores:          cores,
+		Makespan:       makespan,
+		CoreBusy:       busy,
+		SequentialCost: prefix[len(costs)],
+		Chunks:         len(chunks),
+	}, nil
+}
+
+// RunSequential simulates the same iterations on one core with no
+// parallel machinery: the "sequential computation" baseline of
+// Assignment 2.
+func (m *Machine) RunSequential(costs []Cycles) (LoopResult, error) {
+	var total Cycles
+	for i, c := range costs {
+		if c < 0 {
+			return LoopResult{}, fmt.Errorf("pisim: negative cost at iteration %d", i)
+		}
+		total += c
+	}
+	return LoopResult{
+		Policy:         "sequential",
+		Cores:          1,
+		Makespan:       total,
+		CoreBusy:       []Cycles{total},
+		SequentialCost: total,
+		Chunks:         1,
+	}, nil
+}
+
+// UniformCosts builds n iterations of the same cost.
+func UniformCosts(n int, cost Cycles) []Cycles {
+	out := make([]Cycles, n)
+	for i := range out {
+		out[i] = cost
+	}
+	return out
+}
+
+// SkewedCosts builds n iterations whose cost grows linearly from base to
+// base+slope*(n-1): the triangular workload the scheduling patternlet
+// uses to show why dynamic beats static when iterations are unequal.
+func SkewedCosts(n int, base, slope Cycles) []Cycles {
+	out := make([]Cycles, n)
+	for i := range out {
+		out[i] = base + slope*Cycles(i)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+// Package pisim simulates the Raspberry Pi 3 B+ the study handed to each
+// team. The paper's course measures program behaviour on the Pi's four
+// Cortex-A53 cores; this host may have any core count (the CI box has
+// one), so all performance experiments run on a discrete-event model
+// with a virtual clock: deterministic, host-independent, and faithful to
+// the quantities the assignments measure — makespan, speedup, load
+// balance, and scheduling overhead.
+//
+// The package also carries the descriptive models the assignments quiz:
+// the SoC component inventory (Assignment 2: "identify the components on
+// the Raspberry PI B+"), Flynn's taxonomy (Assignment 3), and the
+// ARM-vs-x86 ISA comparison that motivates using the Pi alongside the
+// course's x86 content.
+package pisim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Cycles counts virtual clock cycles.
+type Cycles int64
+
+// Config describes the simulated machine.
+type Config struct {
+	// Cores is the number of identical cores.
+	Cores int
+	// ClockHz converts cycles to wall time (the Pi 3 B+ runs at 1.4 GHz).
+	ClockHz float64
+	// DispatchOverhead is charged per scheduled chunk, modeling the
+	// work-sharing bookkeeping (larger for dynamic scheduling in real
+	// OpenMP; here it is per-chunk, so finer chunks cost more).
+	DispatchOverhead Cycles
+	// BarrierCost is charged once per core at the loop-end barrier.
+	BarrierCost Cycles
+	// MemoryContention multiplies every task cost when more than one
+	// core is enabled, modeling the shared LPDDR2 bank ("by sharing one
+	// bank of memory..."). 1.0 disables the effect; the factor is
+	// applied as 1 + (cores-1)*MemoryContention.
+	MemoryContention float64
+}
+
+// PaperPi3B returns the study's machine: a Raspberry Pi 3 B+
+// (BCM2837B0: 4× Cortex-A53 @ 1.4 GHz, shared memory bank).
+func PaperPi3B() Config {
+	return Config{
+		Cores:            4,
+		ClockHz:          1.4e9,
+		DispatchOverhead: 120,
+		BarrierCost:      400,
+		MemoryContention: 0.03,
+	}
+}
+
+// Validate rejects impossible configurations.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("pisim: %d cores", c.Cores)
+	}
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("pisim: clock %v Hz", c.ClockHz)
+	}
+	if c.DispatchOverhead < 0 || c.BarrierCost < 0 {
+		return fmt.Errorf("pisim: negative overheads")
+	}
+	if c.MemoryContention < 0 {
+		return fmt.Errorf("pisim: negative memory contention")
+	}
+	return nil
+}
+
+// Machine is a discrete-event simulator for the configured cores.
+type Machine struct {
+	cfg Config
+}
+
+// NewMachine validates the config and builds a machine.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg}, nil
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Cores returns the core count.
+func (m *Machine) Cores() int { return m.cfg.Cores }
+
+// Duration converts virtual cycles to wall time at the machine's clock.
+func (m *Machine) Duration(c Cycles) time.Duration {
+	return time.Duration(float64(c) / m.cfg.ClockHz * float64(time.Second))
+}
+
+// contentionFactor is the uniform cost multiplier for the enabled cores.
+func (m *Machine) contentionFactor(activeCores int) float64 {
+	if activeCores <= 1 {
+		return 1
+	}
+	return 1 + float64(activeCores-1)*m.cfg.MemoryContention
+}

@@ -1,0 +1,117 @@
+package pisim
+
+import "fmt"
+
+// Assignment 2's shared-memory-concerns patternlet teaches that "by
+// sharing one bank of memory, programmers need to be a bit more careful
+// about declaring their variables". Beyond the data race, the classic
+// performance trap on real multicores is false sharing: per-thread
+// counters packed into one cache line ping-pong between cores. This
+// file adds a first-order coherence model to the virtual machine so the
+// padded-vs-packed experiment has a deterministic, host-independent
+// answer.
+
+// CacheLineBytes is the Cortex-A53 line size.
+const CacheLineBytes = 64
+
+// SharingLayout describes how per-thread accumulators are laid out.
+type SharingLayout struct {
+	// StrideBytes separates consecutive threads' accumulators.
+	StrideBytes int
+}
+
+// Packed lays accumulators adjacently (8-byte words): the false-sharing
+// layout.
+func Packed() SharingLayout { return SharingLayout{StrideBytes: 8} }
+
+// Padded gives each accumulator its own cache line.
+func Padded() SharingLayout { return SharingLayout{StrideBytes: CacheLineBytes} }
+
+// Validate rejects non-positive strides.
+func (l SharingLayout) Validate() error {
+	if l.StrideBytes < 1 {
+		return fmt.Errorf("pisim: stride %d", l.StrideBytes)
+	}
+	return nil
+}
+
+// lineSharers returns how many of the n accumulators share a cache line
+// with accumulator 0 (including itself).
+func (l SharingLayout) lineSharers(n int) int {
+	perLine := CacheLineBytes / l.StrideBytes
+	if perLine < 1 {
+		perLine = 1
+	}
+	if perLine > n {
+		perLine = n
+	}
+	return perLine
+}
+
+// SharingResult reports the counter experiment.
+type SharingResult struct {
+	Layout        SharingLayout
+	Cores         int
+	Increments    int
+	LineSharers   int
+	CyclesPerInc  float64
+	TotalMakespan Cycles
+}
+
+// RunCounterExperiment models each of the machine's cores incrementing
+// its own accumulator `increments` times. A local increment costs
+// baseCycles. When other cores' accumulators share the line, every
+// increment pays a coherence miss with probability proportional to the
+// number of sharers (each sharer's write invalidates the line), costing
+// missPenalty extra cycles — the standard first-order MESI ping-pong
+// model.
+func (m *Machine) RunCounterExperiment(layout SharingLayout, increments int) (SharingResult, error) {
+	if err := layout.Validate(); err != nil {
+		return SharingResult{}, err
+	}
+	if increments < 0 {
+		return SharingResult{}, fmt.Errorf("pisim: negative increments")
+	}
+	const (
+		baseCycles  = 2.0
+		missPenalty = 40.0
+	)
+	sharers := layout.lineSharers(m.cfg.Cores)
+	activeSharers := sharers - 1 // other cores touching my line
+	if activeSharers > m.cfg.Cores-1 {
+		activeSharers = m.cfg.Cores - 1
+	}
+	// Probability my line was invalidated since my last write: with k
+	// other writers interleaving uniformly, 1 - 1/(k+1).
+	pMiss := 0.0
+	if activeSharers > 0 {
+		pMiss = 1 - 1/float64(activeSharers+1)
+	}
+	perInc := baseCycles + pMiss*missPenalty
+	total := Cycles(perInc*float64(increments)) + m.cfg.BarrierCost
+	return SharingResult{
+		Layout:        layout,
+		Cores:         m.cfg.Cores,
+		Increments:    increments,
+		LineSharers:   sharers,
+		CyclesPerInc:  perInc,
+		TotalMakespan: total,
+	}, nil
+}
+
+// SharingSpeedup returns padded makespan improvement over packed for
+// the same increment count.
+func (m *Machine) SharingSpeedup(increments int) (float64, error) {
+	packed, err := m.RunCounterExperiment(Packed(), increments)
+	if err != nil {
+		return 0, err
+	}
+	padded, err := m.RunCounterExperiment(Padded(), increments)
+	if err != nil {
+		return 0, err
+	}
+	if padded.TotalMakespan == 0 {
+		return 0, fmt.Errorf("pisim: degenerate padded makespan")
+	}
+	return float64(packed.TotalMakespan) / float64(padded.TotalMakespan), nil
+}

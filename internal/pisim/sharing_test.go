@@ -1,0 +1,103 @@
+package pisim
+
+import "testing"
+
+func TestPackedSharesPaddedDoesNot(t *testing.T) {
+	m := pi(t)
+	packed, err := m.RunCounterExperiment(Packed(), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	padded, err := m.RunCounterExperiment(Padded(), 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8-byte counters: all four cores share one 64-byte line.
+	if packed.LineSharers != 4 {
+		t.Fatalf("packed sharers = %d", packed.LineSharers)
+	}
+	if padded.LineSharers != 1 {
+		t.Fatalf("padded sharers = %d", padded.LineSharers)
+	}
+	if packed.TotalMakespan <= padded.TotalMakespan {
+		t.Fatalf("false sharing did not cost: packed %d vs padded %d",
+			packed.TotalMakespan, padded.TotalMakespan)
+	}
+	if padded.CyclesPerInc != 2.0 {
+		t.Fatalf("padded per-increment = %v, want the base cost", padded.CyclesPerInc)
+	}
+}
+
+func TestSharingSpeedupSubstantial(t *testing.T) {
+	m := pi(t)
+	s, err := m.SharingSpeedup(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a 40-cycle miss penalty and 3/4 miss probability the packed
+	// layout should be an order of magnitude slower.
+	if s < 5 || s > 30 {
+		t.Fatalf("speedup = %v, outside plausible window", s)
+	}
+}
+
+func TestSharingSingleCoreNoPenalty(t *testing.T) {
+	cfg := PaperPi3B()
+	cfg.Cores = 1
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := m.RunCounterExperiment(Packed(), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if packed.CyclesPerInc != 2.0 {
+		t.Fatalf("single core pays coherence: %v", packed.CyclesPerInc)
+	}
+}
+
+func TestSharingValidation(t *testing.T) {
+	m := pi(t)
+	if _, err := m.RunCounterExperiment(SharingLayout{StrideBytes: 0}, 10); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+	if _, err := m.RunCounterExperiment(Packed(), -1); err == nil {
+		t.Fatal("negative increments accepted")
+	}
+}
+
+func TestLineSharersArithmetic(t *testing.T) {
+	if got := Packed().lineSharers(4); got != 4 {
+		t.Fatalf("packed/4 = %d", got)
+	}
+	if got := Packed().lineSharers(2); got != 2 {
+		t.Fatalf("packed/2 = %d", got)
+	}
+	if got := Padded().lineSharers(4); got != 1 {
+		t.Fatalf("padded = %d", got)
+	}
+	// 16-byte stride: four accumulators per line.
+	if got := (SharingLayout{StrideBytes: 16}).lineSharers(8); got != 4 {
+		t.Fatalf("stride16 = %d", got)
+	}
+	// Oversized stride clamps to one.
+	if got := (SharingLayout{StrideBytes: 256}).lineSharers(4); got != 1 {
+		t.Fatalf("stride256 = %d", got)
+	}
+}
+
+func TestWiderStrideMonotonicallyHelps(t *testing.T) {
+	m := pi(t)
+	var prev Cycles = 1 << 62
+	for _, stride := range []int{8, 16, 32, 64} {
+		r, err := m.RunCounterExperiment(SharingLayout{StrideBytes: stride}, 50000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.TotalMakespan > prev {
+			t.Fatalf("stride %d slower than narrower stride", stride)
+		}
+		prev = r.TotalMakespan
+	}
+}

@@ -1,0 +1,154 @@
+package pisim
+
+import (
+	"fmt"
+	"io"
+)
+
+// Component is one visible part of the single-board computer, the
+// tactile inventory Assignment 2 asks teams to identify.
+type Component struct {
+	Name     string
+	Role     string
+	OnSoC    bool // integrated into the BCM2837B0 package
+	Shared   bool // shared resource among cores
+	Quantity int
+}
+
+// Board describes a single-board computer model.
+type Board struct {
+	Name       string
+	SoC        string
+	ISA        string
+	Cores      int
+	ClockHz    float64
+	RAMBytes   int64
+	Components []Component
+	PriceUSD   int
+}
+
+// RaspberryPi3BPlus is the board the study purchased for each team
+// ($59 kit, Section I).
+func RaspberryPi3BPlus() Board {
+	return Board{
+		Name:     "Raspberry Pi 3 Model B+",
+		SoC:      "Broadcom BCM2837B0",
+		ISA:      "ARMv8-A (Cortex-A53)",
+		Cores:    4,
+		ClockHz:  1.4e9,
+		RAMBytes: 1 << 30,
+		PriceUSD: 59,
+		Components: []Component{
+			{Name: "CPU (4x Cortex-A53)", Role: "general-purpose cores", OnSoC: true, Shared: false, Quantity: 4},
+			{Name: "VideoCore IV GPU", Role: "graphics and display", OnSoC: true, Shared: true, Quantity: 1},
+			{Name: "1GB LPDDR2 SDRAM", Role: "shared main memory (one bank)", OnSoC: false, Shared: true, Quantity: 1},
+			{Name: "MicroSD slot", Role: "storage device (holds RASPBIAN image)", OnSoC: false, Shared: true, Quantity: 1},
+			{Name: "USB 2.0 ports", Role: "keyboard/mouse", OnSoC: false, Shared: true, Quantity: 4},
+			{Name: "HDMI port", Role: "monitor/TV output", OnSoC: false, Shared: true, Quantity: 1},
+			{Name: "Gigabit Ethernet (over USB)", Role: "networking", OnSoC: false, Shared: true, Quantity: 1},
+			{Name: "Wi-Fi/Bluetooth module", Role: "wireless networking", OnSoC: false, Shared: true, Quantity: 1},
+			{Name: "GPIO header", Role: "40-pin peripheral interface", OnSoC: false, Shared: true, Quantity: 1},
+		},
+	}
+}
+
+// UsesSoC answers Assignment 3's "Does Raspberry PI use SOC?".
+func (b Board) UsesSoC() bool { return b.SoC != "" }
+
+// SoCAdvantages lists the advantages of a System-on-Chip over discrete
+// CPU/GPU/RAM parts that Assignment 3 asks teams to explain.
+func SoCAdvantages() []string {
+	return []string{
+		"shorter interconnects: lower latency and power than discrete chips",
+		"smaller physical footprint (credit-card sized board)",
+		"lower cost: one package replaces several",
+		"lower power draw and heat, enabling fanless mobile designs",
+		"simpler board design and higher reliability (fewer solder joints)",
+	}
+}
+
+// FlynnClass is one cell of Flynn's taxonomy (Assignment 3: "classify
+// parallel computers based on Flynn's taxonomy").
+type FlynnClass struct {
+	Code        string
+	Name        string
+	Description string
+	Example     string
+}
+
+// FlynnTaxonomy enumerates the four classes.
+func FlynnTaxonomy() []FlynnClass {
+	return []FlynnClass{
+		{"SISD", "Single Instruction, Single Data",
+			"one instruction stream on one data stream: a classic serial uniprocessor",
+			"single-core microcontroller"},
+		{"SIMD", "Single Instruction, Multiple Data",
+			"one instruction stream applied to many data elements in lockstep",
+			"GPU warps, ARM NEON vector units"},
+		{"MISD", "Multiple Instruction, Single Data",
+			"several instruction streams over one data stream; rare in practice",
+			"redundant flight-control voters"},
+		{"MIMD", "Multiple Instruction, Multiple Data",
+			"independent instruction streams on independent data",
+			"the Raspberry Pi's four Cortex-A53 cores"},
+	}
+}
+
+// ClassifyBoard returns the Flynn class of a multicore shared-memory
+// board (MIMD for any core count above one, SISD otherwise).
+func ClassifyBoard(b Board) FlynnClass {
+	tax := FlynnTaxonomy()
+	if b.Cores > 1 {
+		return tax[3]
+	}
+	return tax[0]
+}
+
+// MemoryArchitecture is one of the parallel-computer memory classes the
+// Assignment 3 reading lists; OpenMP targets the shared-memory class.
+type MemoryArchitecture struct {
+	Name         string
+	Description  string
+	UsedByOpenMP bool
+	ExampleAPI   string
+}
+
+// MemoryArchitectures lists the classes.
+func MemoryArchitectures() []MemoryArchitecture {
+	return []MemoryArchitecture{
+		{"Shared Memory (UMA/SMP)",
+			"all cores address one memory; communication through loads and stores",
+			true, "OpenMP"},
+		{"Distributed Memory",
+			"each node owns private memory; communication through explicit messages",
+			false, "MPI"},
+		{"Hybrid Distributed-Shared",
+			"clusters of shared-memory nodes; messages between nodes, threads within",
+			false, "MPI+OpenMP"},
+	}
+}
+
+// RenderBoard writes the component inventory in the worksheet layout of
+// Assignment 2.
+func RenderBoard(w io.Writer, b Board) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(w, format, args...)
+	}
+	p("%s — SoC: %s, ISA: %s\n", b.Name, b.SoC, b.ISA)
+	p("cores: %d @ %.2f GHz, RAM: %d MiB, kit price: $%d\n",
+		b.Cores, b.ClockHz/1e9, b.RAMBytes>>20, b.PriceUSD)
+	p("Flynn class: %s\n", ClassifyBoard(b).Code)
+	p("components:\n")
+	for _, c := range b.Components {
+		loc := "on board"
+		if c.OnSoC {
+			loc = "on SoC"
+		}
+		p("  %-28s x%d  (%s; %s)\n", c.Name, c.Quantity, loc, c.Role)
+	}
+	return err
+}

@@ -1,0 +1,54 @@
+package respond
+
+import (
+	"math"
+	"testing"
+
+	"pblparallel/internal/survey"
+)
+
+// TestCalibrationConvergesSmoke is the primary acceptance check: after
+// calibration, a large evaluation cohort reproduces the published moments.
+func TestCalibrationConvergesSmoke(t *testing.T) {
+	ins := survey.NewBeyerlein()
+	p, err := PaperParams(ins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(ins, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, end, err := g.Generate(4000, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Measure(ins, mid, end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := PaperTargets()
+	for w := 0; w < 2; w++ {
+		for skill, want := range targets.EmphasisComposite[w] {
+			if got := m.EmphasisComposite[w][skill]; math.Abs(got-want) > 0.05 {
+				t.Errorf("wave %d emphasis %q = %.3f, want %.3f", w, skill, got, want)
+			}
+		}
+		for skill, want := range targets.GrowthComposite[w] {
+			if got := m.GrowthComposite[w][skill]; math.Abs(got-want) > 0.05 {
+				t.Errorf("wave %d growth %q = %.3f, want %.3f", w, skill, got, want)
+			}
+		}
+		for skill, want := range targets.SkillR[w] {
+			if got := m.SkillR[w][skill]; math.Abs(got-want) > 0.08 {
+				t.Errorf("wave %d r %q = %.3f, want %.3f", w, skill, got, want)
+			}
+		}
+		if math.Abs(m.EmphasisSD[w]-targets.EmphasisSD[w]) > 0.04 {
+			t.Errorf("wave %d emphasis SD = %.4f, want %.4f", w, m.EmphasisSD[w], targets.EmphasisSD[w])
+		}
+		if math.Abs(m.GrowthSD[w]-targets.GrowthSD[w]) > 0.04 {
+			t.Errorf("wave %d growth SD = %.4f, want %.4f", w, m.GrowthSD[w], targets.GrowthSD[w])
+		}
+	}
+}

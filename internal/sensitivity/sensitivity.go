@@ -1,0 +1,154 @@
+// Package sensitivity measures how reproducible the paper's findings
+// are across resampled cohorts: the study is re-run under many seeds at
+// the paper's own n=124 and the distribution of each headline statistic
+// is summarized, together with the fraction of samples in which each
+// qualitative claim holds. This answers the reproduction-specific
+// question the single published sample cannot: how much of what Tables
+// 1-6 report is signal, and how much is one draw's luck.
+package sensitivity
+
+import (
+	"fmt"
+	"sort"
+
+	"pblparallel/internal/core"
+	"pblparallel/internal/stats"
+)
+
+// Summary describes one statistic's distribution over the seeds.
+type Summary struct {
+	Mean, SD         float64
+	Q05, Median, Q95 float64
+}
+
+// summarize builds a Summary from raw values.
+func summarize(xs []float64) (Summary, error) {
+	d, err := stats.Describe(xs)
+	if err != nil {
+		return Summary{}, err
+	}
+	q05, err := stats.Quantile(xs, 0.05)
+	if err != nil {
+		return Summary{}, err
+	}
+	q95, err := stats.Quantile(xs, 0.95)
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{Mean: d.Mean, SD: d.StdDev, Q05: q05, Median: d.Median, Q95: q95}, nil
+}
+
+// Result is the full sensitivity study.
+type Result struct {
+	Seeds int
+	N     int // cohort size per run
+	// Distributions of the headline statistics.
+	EmphasisD Summary
+	GrowthD   Summary
+	EmphasisT Summary
+	GrowthT   Summary
+	// ClaimRates maps each qualitative claim to the fraction of seeds
+	// in which it held.
+	ClaimRates map[string]float64
+}
+
+// Run executes the study under `seeds` consecutive seeds starting at
+// start, collecting distributions. The per-run configuration is the
+// paper's except for the seed.
+func Run(start int64, seeds int) (*Result, error) {
+	if seeds < 3 {
+		return nil, fmt.Errorf("sensitivity: need at least 3 seeds, got %d", seeds)
+	}
+	var (
+		eds, gds, ets, gts []float64
+		claimHits          = map[string]int{}
+		claimTotal         int
+	)
+	cfg := core.PaperStudy()
+	for s := int64(0); s < int64(seeds); s++ {
+		cfg.Seed = start + s
+		o, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sensitivity: seed %d: %w", cfg.Seed, err)
+		}
+		eds = append(eds, o.Report.Table2.D)
+		gds = append(gds, o.Report.Table3.D)
+		ets = append(ets, o.Report.Table1.ClassEmphasis.T)
+		gts = append(gts, o.Report.Table1.PersonalGrowth.T)
+		claimTotal++
+		for _, c := range o.Comparison.Shape {
+			if c.Holds {
+				claimHits[c.Claim]++
+			} else if _, seen := claimHits[c.Claim]; !seen {
+				claimHits[c.Claim] = 0
+			}
+		}
+	}
+	out := &Result{Seeds: seeds, N: cfg.Cohort.NStudents, ClaimRates: map[string]float64{}}
+	var err error
+	if out.EmphasisD, err = summarize(eds); err != nil {
+		return nil, err
+	}
+	if out.GrowthD, err = summarize(gds); err != nil {
+		return nil, err
+	}
+	if out.EmphasisT, err = summarize(ets); err != nil {
+		return nil, err
+	}
+	if out.GrowthT, err = summarize(gts); err != nil {
+		return nil, err
+	}
+	for claim, hits := range claimHits {
+		out.ClaimRates[claim] = float64(hits) / float64(claimTotal)
+	}
+	return out, nil
+}
+
+// FragileClaims returns the claims holding in fewer than threshold of
+// the runs, sorted by rate ascending.
+func (r *Result) FragileClaims(threshold float64) []string {
+	type cr struct {
+		claim string
+		rate  float64
+	}
+	var items []cr
+	for claim, rate := range r.ClaimRates {
+		if rate < threshold {
+			items = append(items, cr{claim, rate})
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].rate != items[j].rate {
+			return items[i].rate < items[j].rate
+		}
+		return items[i].claim < items[j].claim
+	})
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = fmt.Sprintf("%s (%.0f%%)", it.claim, 100*it.rate)
+	}
+	return out
+}
+
+// Render writes the sensitivity report.
+func (r *Result) Render() string {
+	line := func(name string, s Summary) string {
+		return fmt.Sprintf("  %-12s mean=%.3f sd=%.3f [q05=%.3f med=%.3f q95=%.3f]\n",
+			name, s.Mean, s.SD, s.Q05, s.Median, s.Q95)
+	}
+	out := fmt.Sprintf("sensitivity across %d seeds at n=%d:\n", r.Seeds, r.N)
+	out += line("emphasis d", r.EmphasisD)
+	out += line("growth d", r.GrowthD)
+	out += line("emphasis t", r.EmphasisT)
+	out += line("growth t", r.GrowthT)
+	fragile := r.FragileClaims(0.95)
+	if len(fragile) == 0 {
+		out += "  every qualitative claim holds in >= 95% of samples\n"
+	} else {
+		out += "  claims below 95% reproducibility:\n"
+		for _, f := range fragile {
+			out += "    " + f + "\n"
+		}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package stats
+
+import "fmt"
+
+// CronbachAlpha computes coefficient alpha, the internal-consistency
+// reliability of a multi-item scale: items[i][j] is respondent j's score
+// on item i. The Beyerlein survey's per-element item sets should show
+// acceptable reliability (alpha ≳ 0.7) for the per-skill averages the
+// analysis correlates to be meaningful.
+//
+//	alpha = k/(k-1) · (1 − Σᵢ var(itemᵢ) / var(total))
+func CronbachAlpha(items [][]float64) (float64, error) {
+	k := len(items)
+	if k < 2 {
+		return 0, fmt.Errorf("stats: cronbach alpha needs >= 2 items, got %d", k)
+	}
+	n := len(items[0])
+	if n < 2 {
+		return 0, ErrInsufficientData
+	}
+	for i, item := range items {
+		if len(item) != n {
+			return 0, fmt.Errorf("stats: item %d has %d respondents, item 0 has %d", i, len(item), n)
+		}
+	}
+	totals := make([]float64, n)
+	sumItemVar := 0.0
+	for _, item := range items {
+		v, err := Variance(item)
+		if err != nil {
+			return 0, err
+		}
+		sumItemVar += v
+		for j, x := range item {
+			totals[j] += x
+		}
+	}
+	totalVar, err := Variance(totals)
+	if err != nil {
+		return 0, err
+	}
+	if totalVar == 0 {
+		return 0, fmt.Errorf("stats: cronbach alpha undefined for zero total variance")
+	}
+	kf := float64(k)
+	return kf / (kf - 1) * (1 - sumItemVar/totalVar), nil
+}

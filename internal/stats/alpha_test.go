@@ -1,0 +1,78 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCronbachAlphaPerfectlyParallelItems(t *testing.T) {
+	// Identical items: alpha = 1.
+	base := []float64{1, 2, 3, 4, 5, 4, 3, 2}
+	items := [][]float64{base, base, base}
+	a, err := CronbachAlpha(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(a, 1, 1e-12) {
+		t.Fatalf("alpha = %v", a)
+	}
+}
+
+func TestCronbachAlphaIndependentItemsNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := make([][]float64, 4)
+	for i := range items {
+		items[i] = randNormal(rng, 2000, 0, 1)
+	}
+	a, err := CronbachAlpha(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a) > 0.15 {
+		t.Fatalf("independent items alpha = %v, want ≈0", a)
+	}
+}
+
+func TestCronbachAlphaKnownStructure(t *testing.T) {
+	// Items = latent + noise: with k items of reliability r each,
+	// Spearman-Brown predicts alpha = k·r / (1 + (k-1)·r) where r is
+	// the inter-item correlation (here var_latent/(var_latent+var_noise)).
+	rng := rand.New(rand.NewSource(4))
+	const n = 20000
+	const k = 4
+	latent := randNormal(rng, n, 0, 1)
+	items := make([][]float64, k)
+	for i := range items {
+		items[i] = make([]float64, n)
+		for j := range items[i] {
+			items[i][j] = latent[j] + rng.NormFloat64() // r = 0.5
+		}
+	}
+	a, err := CronbachAlpha(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(k) * 0.5 / (1 + float64(k-1)*0.5)
+	if math.Abs(a-want) > 0.03 {
+		t.Fatalf("alpha = %v, Spearman-Brown predicts %v", a, want)
+	}
+}
+
+func TestCronbachAlphaErrors(t *testing.T) {
+	if _, err := CronbachAlpha(nil); err == nil {
+		t.Fatal("no items accepted")
+	}
+	if _, err := CronbachAlpha([][]float64{{1, 2}}); err == nil {
+		t.Fatal("single item accepted")
+	}
+	if _, err := CronbachAlpha([][]float64{{1}, {2}}); err != ErrInsufficientData {
+		t.Fatal("single respondent accepted")
+	}
+	if _, err := CronbachAlpha([][]float64{{1, 2, 3}, {1, 2}}); err == nil {
+		t.Fatal("ragged items accepted")
+	}
+	if _, err := CronbachAlpha([][]float64{{1, 1, 1}, {2, 2, 2}}); err == nil {
+		t.Fatal("zero total variance accepted")
+	}
+}

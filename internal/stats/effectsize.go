@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// EffectBand is Cohen's qualitative interpretation of a d value.
+type EffectBand string
+
+// Cohen's conventional thresholds: d=0.2 small, 0.5 medium, 0.8 large.
+const (
+	EffectTrivial EffectBand = "trivial"
+	EffectSmall   EffectBand = "small"
+	EffectMedium  EffectBand = "medium"
+	EffectLarge   EffectBand = "large"
+)
+
+// CohensDResult reports an effect-size computation in the layout of the
+// paper's Tables 2 and 3.
+type CohensDResult struct {
+	Mean1, Mean2 float64
+	SD1, SD2     float64
+	N1, N2       int
+	PooledSD     float64
+	D            float64
+}
+
+// Band classifies |d| per Cohen's conventions as cited in the paper.
+// Following the paper's reporting convention, d is rounded to two decimals
+// before banding (its Table 2 interprets an exact d of 0.495 as 0.50,
+// "medium").
+func (r CohensDResult) Band() EffectBand {
+	ad := math.Round(math.Abs(r.D)*100) / 100
+	switch {
+	case ad < 0.2:
+		return EffectTrivial
+	case ad < 0.5:
+		return EffectSmall
+	case ad < 0.8:
+		return EffectMedium
+	default:
+		return EffectLarge
+	}
+}
+
+// String renders the result like the paper's table footers:
+// "d = (M2 - M1) / SDpooled".
+func (r CohensDResult) String() string {
+	return fmt.Sprintf("Cohen's d = (%.6f - %.6f) / %.6f = %.2f (%s)",
+		r.Mean2, r.Mean1, r.PooledSD, r.D, r.Band())
+}
+
+// CohensD computes d = (M2 - M1) / SDpooled with the paper's pooling
+// convention SDpooled = sqrt((SD1² + SD2²)/2), appropriate for the equal-n
+// pre/post design used in the study.
+func CohensD(first, second []float64) (CohensDResult, error) {
+	if len(first) < 2 || len(second) < 2 {
+		return CohensDResult{}, ErrInsufficientData
+	}
+	sd1, err := StdDev(first)
+	if err != nil {
+		return CohensDResult{}, err
+	}
+	sd2, err := StdDev(second)
+	if err != nil {
+		return CohensDResult{}, err
+	}
+	return CohensDFromSummary(MustMean(first), sd1, len(first), MustMean(second), sd2, len(second))
+}
+
+// CohensDFromSummary computes d directly from summary statistics, which
+// lets the analysis re-derive the paper's published values from its table
+// entries as a cross-check.
+func CohensDFromSummary(m1, sd1 float64, n1 int, m2, sd2 float64, n2 int) (CohensDResult, error) {
+	if n1 < 2 || n2 < 2 {
+		return CohensDResult{}, ErrInsufficientData
+	}
+	if sd1 < 0 || sd2 < 0 {
+		return CohensDResult{}, fmt.Errorf("stats: negative standard deviation (sd1=%v sd2=%v)", sd1, sd2)
+	}
+	pooled := math.Sqrt((sd1*sd1 + sd2*sd2) / 2)
+	if pooled == 0 {
+		return CohensDResult{}, fmt.Errorf("stats: zero pooled SD")
+	}
+	return CohensDResult{
+		Mean1: m1, Mean2: m2,
+		SD1: sd1, SD2: sd2,
+		N1: n1, N2: n2,
+		PooledSD: pooled,
+		D:        (m2 - m1) / pooled,
+	}, nil
+}
+
+// CohensDClassicPooled computes d with the n-weighted pooled SD
+// sqrt(((n1-1)s1² + (n2-1)s2²)/(n1+n2-2)); exposed so the ablation bench
+// can quantify how little the pooling convention matters at equal n.
+func CohensDClassicPooled(first, second []float64) (CohensDResult, error) {
+	if len(first) < 2 || len(second) < 2 {
+		return CohensDResult{}, ErrInsufficientData
+	}
+	v1, err := Variance(first)
+	if err != nil {
+		return CohensDResult{}, err
+	}
+	v2, err := Variance(second)
+	if err != nil {
+		return CohensDResult{}, err
+	}
+	n1, n2 := float64(len(first)), float64(len(second))
+	pooled := math.Sqrt(((n1-1)*v1 + (n2-1)*v2) / (n1 + n2 - 2))
+	if pooled == 0 {
+		return CohensDResult{}, fmt.Errorf("stats: zero pooled SD")
+	}
+	return CohensDResult{
+		Mean1: MustMean(first), Mean2: MustMean(second),
+		SD1: math.Sqrt(v1), SD2: math.Sqrt(v2),
+		N1: len(first), N2: len(second),
+		PooledSD: pooled,
+		D:        (MustMean(second) - MustMean(first)) / pooled,
+	}, nil
+}
+
+// HedgesG applies the small-sample bias correction J = 1 - 3/(4df-1) to a
+// classic pooled-SD d.
+func HedgesG(first, second []float64) (float64, error) {
+	r, err := CohensDClassicPooled(first, second)
+	if err != nil {
+		return 0, err
+	}
+	df := float64(r.N1 + r.N2 - 2)
+	j := 1 - 3/(4*df-1)
+	return r.D * j, nil
+}

@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCohensDPaperTable2(t *testing.T) {
+	// Table 2: M1=4.023068, SD1=0.232416, M2=4.124365, SD2=0.172052,
+	// n=124 each → pooled 0.204474, d = 0.50.
+	r, err := CohensDFromSummary(4.023068, 0.232416, 124, 4.124365, 0.172052, 124)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.PooledSD, 0.204474, 1e-5) {
+		t.Fatalf("pooled = %v", r.PooledSD)
+	}
+	if !almostEqual(r.D, 0.50, 0.005) {
+		t.Fatalf("d = %v, want 0.50", r.D)
+	}
+	if r.Band() != EffectMedium {
+		t.Fatalf("band = %v, want medium", r.Band())
+	}
+}
+
+func TestCohensDPaperTable3(t *testing.T) {
+	// Table 3: M1=3.81, SD1=0.262204, M2=4.01, SD2=0.198497 → d = 0.86.
+	r, err := CohensDFromSummary(3.81, 0.262204, 124, 4.01, 0.198497, 124)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.PooledSD, 0.232542, 1e-5) {
+		t.Fatalf("pooled = %v", r.PooledSD)
+	}
+	if !almostEqual(r.D, 0.86, 0.005) {
+		t.Fatalf("d = %v, want 0.86", r.D)
+	}
+	if r.Band() != EffectLarge {
+		t.Fatalf("band = %v, want large", r.Band())
+	}
+}
+
+func TestCohensDFromSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	first := randNormal(rng, 5000, 3.81, 0.26)
+	second := randNormal(rng, 5000, 4.01, 0.20)
+	r, err := CohensD(first, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.D, 0.86, 0.08) {
+		t.Fatalf("sampled d = %v, want ≈0.86", r.D)
+	}
+}
+
+func TestCohensDBands(t *testing.T) {
+	cases := []struct {
+		d    float64
+		want EffectBand
+	}{
+		{0.05, EffectTrivial}, {-0.1, EffectTrivial},
+		{0.2, EffectSmall}, {0.49, EffectSmall}, {-0.3, EffectSmall},
+		{0.5, EffectMedium}, {0.79, EffectMedium},
+		{0.8, EffectLarge}, {2.0, EffectLarge}, {-0.9, EffectLarge},
+	}
+	for _, c := range cases {
+		r := CohensDResult{D: c.d}
+		if got := r.Band(); got != c.want {
+			t.Fatalf("Band(%v) = %v, want %v", c.d, got, c.want)
+		}
+	}
+}
+
+func TestCohensDErrors(t *testing.T) {
+	if _, err := CohensDFromSummary(1, 0.1, 1, 2, 0.1, 10); err != ErrInsufficientData {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := CohensDFromSummary(1, -0.1, 10, 2, 0.1, 10); err == nil {
+		t.Fatal("expected negative-SD error")
+	}
+	if _, err := CohensDFromSummary(1, 0, 10, 2, 0, 10); err == nil {
+		t.Fatal("expected zero-pooled-SD error")
+	}
+	if _, err := CohensD([]float64{1}, []float64{1, 2}); err != ErrInsufficientData {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCohensDString(t *testing.T) {
+	r, _ := CohensDFromSummary(4.023068, 0.232416, 124, 4.124365, 0.172052, 124)
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// Property: d is antisymmetric under sample swap.
+func TestCohensDAntisymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randNormal(rng, 30+rng.Intn(100), rng.Float64()*4, 0.2+rng.Float64())
+		b := randNormal(rng, 30+rng.Intn(100), rng.Float64()*4, 0.2+rng.Float64())
+		r1, err1 := CohensD(a, b)
+		r2, err2 := CohensD(b, a)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(r1.D, -r2.D, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: d is invariant under common affine transforms (same a>0, b).
+func TestCohensDScaleInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := 0.5 + rng.Float64()*4
+		b := rng.Float64() * 10
+		xs := randNormal(rng, 60, 2, 0.5)
+		ys := randNormal(rng, 60, 3, 0.7)
+		tx := make([]float64, len(xs))
+		ty := make([]float64, len(ys))
+		for i := range xs {
+			tx[i] = a*xs[i] + b
+		}
+		for i := range ys {
+			ty[i] = a*ys[i] + b
+		}
+		r1, err1 := CohensD(xs, ys)
+		r2, err2 := CohensD(tx, ty)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(r1.D, r2.D, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassicPooledCloseToPaperPoolingAtEqualN(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randNormal(rng, 124, 3.81, 0.26)
+	b := randNormal(rng, 124, 4.01, 0.20)
+	paper, err := CohensD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic, err := CohensDClassicPooled(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(paper.D-classic.D) > 0.01 {
+		t.Fatalf("pooling conventions diverge at equal n: %v vs %v", paper.D, classic.D)
+	}
+}
+
+func TestHedgesGShrinksD(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := randNormal(rng, 10, 0, 1)
+	b := randNormal(rng, 10, 1, 1)
+	classic, err := CohensDClassicPooled(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := HedgesG(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g) >= math.Abs(classic.D) {
+		t.Fatalf("|g|=%v not shrunk from |d|=%v", math.Abs(g), math.Abs(classic.D))
+	}
+	if math.Signbit(g) != math.Signbit(classic.D) {
+		t.Fatal("Hedges g flipped sign")
+	}
+}
+
+func TestHedgesGError(t *testing.T) {
+	if _, err := HedgesG([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// CorrelationBand is Guilford's qualitative interpretation of |r|, the
+// scheme the paper cites (Guilford, Fundamental Statistics in Psychology
+// and Education, 1956).
+type CorrelationBand string
+
+const (
+	// CorrSlight: |r| < 0.20 — "slight; almost negligible relationship".
+	CorrSlight CorrelationBand = "slight"
+	// CorrLow: 0.20–0.40 — "low correlation; definite but small".
+	CorrLow CorrelationBand = "low"
+	// CorrModerate: 0.40–0.70 — "moderate correlation; substantial".
+	CorrModerate CorrelationBand = "moderate"
+	// CorrHigh: 0.70–0.90 — "high correlation; marked relationship".
+	CorrHigh CorrelationBand = "high"
+	// CorrVeryHigh: 0.90–1.00 — "very high; very dependable relationship".
+	CorrVeryHigh CorrelationBand = "very high"
+)
+
+// GuilfordBand classifies a correlation coefficient by magnitude.
+func GuilfordBand(r float64) CorrelationBand {
+	ar := math.Abs(r)
+	switch {
+	case ar < 0.20:
+		return CorrSlight
+	case ar < 0.40:
+		return CorrLow
+	case ar < 0.70:
+		return CorrModerate
+	case ar < 0.90:
+		return CorrHigh
+	default:
+		return CorrVeryHigh
+	}
+}
+
+// PearsonResult reports a correlation in the layout of the paper's
+// Table 4: r, its significance, and the sample size.
+type PearsonResult struct {
+	R  float64
+	T  float64
+	DF float64
+	P  float64
+	N  int
+}
+
+// Band returns the Guilford interpretation of the coefficient.
+func (p PearsonResult) Band() CorrelationBand { return GuilfordBand(p.R) }
+
+// String renders the result as a Table-4 style row, using the "p < 0.001"
+// inequality convention the paper adopts for very small p-values.
+func (p PearsonResult) String() string {
+	pv := fmt.Sprintf("p=%.4g", p.P)
+	if p.P < 0.001 {
+		pv = "p < 0.001"
+	}
+	return fmt.Sprintf("r=%.2f %s N=%d (%s)", p.R, pv, p.N, p.Band())
+}
+
+// Pearson computes the sample Pearson product-moment correlation between
+// xs and ys together with the t-statistic significance test
+// t = r·sqrt((n-2)/(1-r²)) on n-2 degrees of freedom.
+func Pearson(xs, ys []float64) (PearsonResult, error) {
+	if len(xs) != len(ys) {
+		return PearsonResult{}, ErrMismatchedLengths
+	}
+	n := len(xs)
+	if n < 3 {
+		return PearsonResult{}, ErrInsufficientData
+	}
+	mx, my := MustMean(xs), MustMean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return PearsonResult{}, fmt.Errorf("stats: pearson: zero variance in input")
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Guard against floating-point drift past ±1.
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	df := float64(n - 2)
+	var t, p float64
+	if math.Abs(r) == 1 {
+		t = math.Inf(int(math.Copysign(1, r)))
+		p = 0
+	} else {
+		t = r * math.Sqrt(df/(1-r*r))
+		p = TTwoTailedP(t, df)
+	}
+	return PearsonResult{R: r, T: t, DF: df, P: p, N: n}, nil
+}
+
+// FisherZ transforms r to z = atanh(r) for confidence-interval work.
+func FisherZ(r float64) (float64, error) {
+	if r <= -1 || r >= 1 {
+		return 0, fmt.Errorf("stats: FisherZ requires r in (-1,1), got %v", r)
+	}
+	return math.Atanh(r), nil
+}
+
+// FisherZInverse maps a Fisher z back to r.
+func FisherZInverse(z float64) float64 { return math.Tanh(z) }
+
+// PearsonCI returns the (lo, hi) confidence interval for a correlation at
+// the given confidence level (e.g. 0.95) using the Fisher transformation.
+func PearsonCI(r float64, n int, confidence float64) (lo, hi float64, err error) {
+	if n < 4 {
+		return 0, 0, ErrInsufficientData
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, 0, fmt.Errorf("stats: confidence must be in (0,1), got %v", confidence)
+	}
+	z, err := FisherZ(r)
+	if err != nil {
+		return 0, 0, err
+	}
+	se := 1 / math.Sqrt(float64(n-3))
+	q := NormalQuantile(1 - (1-confidence)/2)
+	return FisherZInverse(z - q*se), FisherZInverse(z + q*se), nil
+}
+
+// Covariance returns the unbiased sample covariance of xs and ys.
+func Covariance(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, ErrMismatchedLengths
+	}
+	if len(xs) < 2 {
+		return 0, ErrInsufficientData
+	}
+	mx, my := MustMean(xs), MustMean(ys)
+	var s float64
+	for i := range xs {
+		s += (xs[i] - mx) * (ys[i] - my)
+	}
+	return s / float64(len(xs)-1), nil
+}

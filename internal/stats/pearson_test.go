@@ -1,0 +1,251 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.R != 1 {
+		t.Fatalf("r = %v, want 1", r.R)
+	}
+	if r.P != 0 {
+		t.Fatalf("p = %v, want 0", r.P)
+	}
+	if r.Band() != CorrVeryHigh {
+		t.Fatalf("band = %v", r.Band())
+	}
+}
+
+func TestPearsonPerfectAnticorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{8, 6, 4, 2}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.R != -1 {
+		t.Fatalf("r = %v, want -1", r.R)
+	}
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	// Hand-checked: xs={1,2,3,4,5}, ys={2,1,4,3,5} → r = 0.8.
+	r, err := Pearson([]float64{1, 2, 3, 4, 5}, []float64{2, 1, 4, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.R, 0.8, 1e-12) {
+		t.Fatalf("r = %v, want 0.8", r.R)
+	}
+}
+
+func TestPearsonZeroVarianceError(t *testing.T) {
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("expected zero-variance error")
+	}
+	if _, err := Pearson([]float64{1, 2, 3}, []float64{5, 5, 5}); err == nil {
+		t.Fatal("expected zero-variance error")
+	}
+}
+
+func TestPearsonLengthErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err != ErrMismatchedLengths {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1, 2}); err != ErrInsufficientData {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPearsonSignificanceAtN124(t *testing.T) {
+	// The paper's weakest reported correlation (r=0.38, N=124) is still
+	// p < 0.001; verify our significance machinery agrees.
+	rng := rand.New(rand.NewSource(21))
+	n := 124
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	target := 0.38
+	for i := range xs {
+		z1 := rng.NormFloat64()
+		z2 := rng.NormFloat64()
+		xs[i] = z1
+		ys[i] = target*z1 + math.Sqrt(1-target*target)*z2
+	}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.R-target) > 0.15 {
+		t.Fatalf("sampled r = %v far from %v", r.R, target)
+	}
+	if r.P >= 0.01 {
+		t.Fatalf("p = %v, want < 0.01", r.P)
+	}
+}
+
+func TestGuilfordBands(t *testing.T) {
+	cases := []struct {
+		r    float64
+		want CorrelationBand
+	}{
+		{0.1, CorrSlight}, {-0.19, CorrSlight},
+		{0.2, CorrLow}, {0.38, CorrLow},
+		{0.4, CorrModerate}, {0.66, CorrModerate}, {-0.55, CorrModerate},
+		{0.7, CorrHigh}, {0.73, CorrHigh},
+		{0.9, CorrVeryHigh}, {1.0, CorrVeryHigh},
+	}
+	for _, c := range cases {
+		if got := GuilfordBand(c.r); got != c.want {
+			t.Fatalf("GuilfordBand(%v) = %v, want %v", c.r, got, c.want)
+		}
+	}
+}
+
+func TestPearsonStringFormats(t *testing.T) {
+	small := PearsonResult{R: 0.73, P: 1e-22, N: 124}
+	if s := small.String(); s == "" || !contains(s, "p < 0.001") {
+		t.Fatalf("String = %q, want inequality form", s)
+	}
+	big := PearsonResult{R: 0.2, P: 0.03, N: 124}
+	if s := big.String(); contains(s, "p < 0.001") {
+		t.Fatalf("String = %q used inequality for large p", s)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// Property: r is symmetric in its arguments and bounded in [-1, 1].
+func TestPearsonSymmetryBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(200)
+		xs := randNormal(rng, n, 0, 1)
+		ys := randNormal(rng, n, 0, 1)
+		a, err1 := Pearson(xs, ys)
+		b, err2 := Pearson(ys, xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(a.R, b.R, 1e-12) && a.R >= -1 && a.R <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: r is invariant under positive affine transforms of either axis.
+func TestPearsonAffineInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(80)
+		xs := randNormal(rng, n, 0, 1)
+		ys := randNormal(rng, n, 0, 1)
+		a := 0.1 + rng.Float64()*5
+		b := rng.Float64()*10 - 5
+		tx := make([]float64, n)
+		for i := range xs {
+			tx[i] = a*xs[i] + b
+		}
+		r1, err1 := Pearson(xs, ys)
+		r2, err2 := Pearson(tx, ys)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(r1.R, r2.R, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFisherZRoundTrip(t *testing.T) {
+	for _, r := range []float64{-0.9, -0.5, 0, 0.38, 0.73, 0.95} {
+		z, err := FisherZ(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back := FisherZInverse(z); !almostEqual(back, r, 1e-12) {
+			t.Fatalf("roundtrip %v -> %v", r, back)
+		}
+	}
+	if _, err := FisherZ(1); err == nil {
+		t.Fatal("FisherZ(1) should error")
+	}
+	if _, err := FisherZ(-1.5); err == nil {
+		t.Fatal("FisherZ(-1.5) should error")
+	}
+}
+
+func TestPearsonCI(t *testing.T) {
+	lo, hi, err := PearsonCI(0.73, 124, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lo < 0.73 && 0.73 < hi) {
+		t.Fatalf("CI [%v,%v] does not bracket r", lo, hi)
+	}
+	if lo < 0.6 || hi > 0.85 {
+		t.Fatalf("CI [%v,%v] implausibly wide for n=124", lo, hi)
+	}
+	if _, _, err := PearsonCI(0.5, 3, 0.95); err != ErrInsufficientData {
+		t.Fatalf("err = %v", err)
+	}
+	if _, _, err := PearsonCI(0.5, 100, 1.5); err == nil {
+		t.Fatal("expected confidence range error")
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	c, err := Covariance([]float64{1, 2, 3}, []float64{4, 6, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(c, 2, 1e-12) {
+		t.Fatalf("cov = %v, want 2", c)
+	}
+	if _, err := Covariance([]float64{1}, []float64{1, 2}); err != ErrMismatchedLengths {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Covariance([]float64{1}, []float64{2}); err != ErrInsufficientData {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCovarianceConsistentWithPearson(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := randNormal(rng, 200, 1, 2)
+	ys := randNormal(rng, 200, -1, 3)
+	c, err := Covariance(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sdx, _ := StdDev(xs)
+	sdy, _ := StdDev(ys)
+	p, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(p.R, c/(sdx*sdy), 1e-9) {
+		t.Fatalf("r %v != cov/(sx*sy) %v", p.R, c/(sdx*sdy))
+	}
+}

@@ -1,0 +1,224 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegIncBetaEndpoints(t *testing.T) {
+	if got := RegIncBeta(2, 3, 0); got != 0 {
+		t.Fatalf("I_0 = %v", got)
+	}
+	if got := RegIncBeta(2, 3, 1); got != 1 {
+		t.Fatalf("I_1 = %v", got)
+	}
+}
+
+func TestRegIncBetaUniform(t *testing.T) {
+	// I_x(1,1) is the uniform CDF: I_x = x.
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		if got := RegIncBeta(1, 1, x); !almostEqual(got, x, 1e-12) {
+			t.Fatalf("I_%v(1,1) = %v", x, got)
+		}
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(a,b) for a=b=1/2 is (2/pi) asin(sqrt(x)) (arcsine distribution).
+	for _, x := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		want := 2 / math.Pi * math.Asin(math.Sqrt(x))
+		if got := RegIncBeta(0.5, 0.5, x); !almostEqual(got, want, 1e-10) {
+			t.Fatalf("I_%v(.5,.5) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	f := func(a, b, x float64) bool {
+		a = 0.5 + math.Abs(clamp(a, -50, 50))
+		b = 0.5 + math.Abs(clamp(b, -50, 50))
+		x = math.Abs(clamp(x, -1, 1))
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(x) {
+			return true
+		}
+		// I_x(a,b) + I_{1-x}(b,a) == 1.
+		return almostEqual(RegIncBeta(a, b, x)+RegIncBeta(b, a, 1-x), 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegIncBetaPanicsOnBadArgs(t *testing.T) {
+	for _, c := range []struct{ a, b, x float64 }{
+		{-1, 1, 0.5}, {1, 0, 0.5}, {1, 1, -0.1}, {1, 1, 1.1}, {1, 1, math.NaN()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("RegIncBeta(%v,%v,%v) did not panic", c.a, c.b, c.x)
+				}
+			}()
+			RegIncBeta(c.a, c.b, c.x)
+		}()
+	}
+}
+
+func TestStudentTCDFCenter(t *testing.T) {
+	for _, df := range []float64{1, 2, 5, 10, 123} {
+		if got := StudentTCDF(0, df); !almostEqual(got, 0.5, 1e-12) {
+			t.Fatalf("CDF(0, %v) = %v", df, got)
+		}
+	}
+}
+
+func TestStudentTCDFCauchy(t *testing.T) {
+	// df=1 is the Cauchy distribution: CDF(t) = 1/2 + atan(t)/pi.
+	for _, tv := range []float64{-3, -1, -0.5, 0.5, 1, 3} {
+		want := 0.5 + math.Atan(tv)/math.Pi
+		if got := StudentTCDF(tv, 1); !almostEqual(got, want, 1e-10) {
+			t.Fatalf("CDF(%v,1) = %v, want %v", tv, got, want)
+		}
+	}
+}
+
+func TestStudentTCDFKnownQuantiles(t *testing.T) {
+	// Standard t-table critical values: P(T <= t) for given df.
+	cases := []struct{ tv, df, want float64 }{
+		{1.812, 10, 0.95},  // t_{0.95,10}
+		{2.228, 10, 0.975}, // t_{0.975,10}
+		{1.658, 120, 0.95}, // t_{0.95,120}
+		{2.617, 120, 0.995},
+	}
+	for _, c := range cases {
+		if got := StudentTCDF(c.tv, c.df); !almostEqual(got, c.want, 5e-4) {
+			t.Fatalf("CDF(%v,%v) = %v, want ≈%v", c.tv, c.df, got, c.want)
+		}
+	}
+}
+
+func TestStudentTCDFInfinities(t *testing.T) {
+	if got := StudentTCDF(math.Inf(1), 5); got != 1 {
+		t.Fatalf("CDF(+Inf) = %v", got)
+	}
+	if got := StudentTCDF(math.Inf(-1), 5); got != 0 {
+		t.Fatalf("CDF(-Inf) = %v", got)
+	}
+	if got := StudentTCDF(math.NaN(), 5); !math.IsNaN(got) {
+		t.Fatalf("CDF(NaN) = %v", got)
+	}
+}
+
+func TestStudentTCDFMonotone(t *testing.T) {
+	f := func(a, b, df float64) bool {
+		a = clamp(a, -50, 50)
+		b = clamp(b, -50, 50)
+		df = 1 + math.Abs(clamp(df, -200, 200))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return StudentTCDF(a, df) <= StudentTCDF(b, df)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTwoTailedPSymmetry(t *testing.T) {
+	f := func(tv, df float64) bool {
+		tv = clamp(tv, -100, 100)
+		df = 1 + math.Abs(clamp(df, -300, 300))
+		if math.IsNaN(tv) {
+			return true
+		}
+		p1 := TTwoTailedP(tv, df)
+		p2 := TTwoTailedP(-tv, df)
+		return almostEqual(p1, p2, 1e-12) && p1 >= 0 && p1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTwoTailedPAgainstCDF(t *testing.T) {
+	// Two-tailed p must equal 2*(1 - CDF(|t|)).
+	for _, c := range []struct{ tv, df float64 }{{2.63, 123}, {5.11, 123}, {1.0, 10}, {0.2, 4}} {
+		want := 2 * (1 - StudentTCDF(math.Abs(c.tv), c.df))
+		if got := TTwoTailedP(c.tv, c.df); !almostEqual(got, want, 1e-10) {
+			t.Fatalf("p(%v,%v) = %v, want %v", c.tv, c.df, got, want)
+		}
+	}
+}
+
+func TestTTwoTailedPPaperValues(t *testing.T) {
+	// The paper reports t=-2.63 (emphasis) and t=-5.11 (growth) at N=124.
+	// With df=123 the exact two-tailed p-values are ≈0.0096 and ≈1.2e-6;
+	// both must be significant at α=0.05 as the paper claims.
+	if p := TTwoTailedP(-2.63, 123); p >= 0.05 {
+		t.Fatalf("emphasis p = %v, want < 0.05", p)
+	}
+	if p := TTwoTailedP(-5.11, 123); p >= 0.001 {
+		t.Fatalf("growth p = %v, want < 0.001", p)
+	}
+}
+
+func TestTOneTailedP(t *testing.T) {
+	// One tail of a symmetric statistic is half the two-tailed p.
+	p1 := TOneTailedP(2.0, 30)
+	p2 := TTwoTailedP(2.0, 30)
+	if !almostEqual(2*p1, p2, 1e-10) {
+		t.Fatalf("2*one-tail %v != two-tail %v", 2*p1, p2)
+	}
+}
+
+func TestNormalCDFKnown(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1, 0.8413447460685429},
+		{-1, 0.15865525393145707},
+		{1.959963984540054, 0.975},
+	}
+	for _, c := range cases {
+		if got := NormalCDF(c.z); !almostEqual(got, c.want, 1e-9) {
+			t.Fatalf("Phi(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		p := 0.0001 + 0.9998*r.Float64()
+		z := NormalQuantile(p)
+		if back := NormalCDF(z); !almostEqual(back, p, 1e-8) {
+			t.Fatalf("roundtrip p=%v -> z=%v -> %v", p, z, back)
+		}
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NormalQuantile(%v) did not panic", p)
+				}
+			}()
+			NormalQuantile(p)
+		}()
+	}
+}
+
+func TestStudentTCDFPanicsBadDF(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("StudentTCDF(0, -1) did not panic")
+		}
+	}()
+	StudentTCDF(0, -1)
+}

@@ -1,0 +1,207 @@
+// Package stats implements the statistical toolkit used by the PBL study
+// analysis pipeline: descriptive statistics, Student/Welch/paired t-tests
+// with exact two-tailed p-values (via the regularized incomplete beta
+// function), Cohen's d effect sizes with the paper's pooled-SD convention,
+// Pearson correlation with t-based significance and Guilford strength
+// bands, and the Beyerlein composite-score ranking machinery.
+//
+// Everything is pure Go over float64 slices; no external dependencies.
+// All functions treat their inputs as read-only and are safe for
+// concurrent use.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when a computation needs more
+// observations than were supplied.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// ErrMismatchedLengths is returned by paired computations when the two
+// samples differ in length.
+var ErrMismatchedLengths = errors.New("stats: mismatched sample lengths")
+
+// Sum returns the sum of xs. An empty slice sums to zero.
+func Sum(xs []float64) float64 {
+	// Kahan compensated summation: survey averages involve thousands of
+	// small terms and the analysis compares means that differ by ~0.1.
+	var sum, c float64
+	for _, x := range xs {
+		y := x - c
+		t := sum + y
+		c = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrInsufficientData
+	}
+	return Sum(xs) / float64(len(xs)), nil
+}
+
+// MustMean is Mean for callers that have already validated their input;
+// it panics on an empty slice.
+func MustMean(xs []float64) float64 {
+	m, err := Mean(xs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Variance returns the unbiased sample variance (divisor n-1) of xs.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrInsufficientData
+	}
+	m := MustMean(xs)
+	var ss, comp float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+		comp += d
+	}
+	// The comp*comp/n term corrects for floating-point drift in the mean
+	// (two-pass corrected algorithm).
+	n := float64(len(xs))
+	return (ss - comp*comp/n) / (n - 1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// PopulationVariance returns the biased (divisor n) variance of xs.
+func PopulationVariance(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrInsufficientData
+	}
+	m := MustMean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)), nil
+}
+
+// Min returns the smallest element of xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrInsufficientData
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest element of xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrInsufficientData
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Median returns the middle value of xs (average of the two middle values
+// for even n). The input is not modified.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrInsufficientData
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2], nil
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2, nil
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation between closest ranks (type-7, the spreadsheet default).
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrInsufficientData
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("stats: quantile %v outside [0,1]", q)
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if len(cp) == 1 {
+		return cp[0], nil
+	}
+	pos := q * float64(len(cp)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return cp[lo], nil
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac, nil
+}
+
+// Describe bundles the descriptive statistics the paper reports for a
+// sample: n, mean, and unbiased standard deviation, plus the extrema
+// and median for diagnostics.
+type Description struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Describe computes a Description of xs.
+func Describe(xs []float64) (Description, error) {
+	if len(xs) < 2 {
+		return Description{}, ErrInsufficientData
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		return Description{}, err
+	}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	md, _ := Median(xs)
+	return Description{
+		N:      len(xs),
+		Mean:   MustMean(xs),
+		StdDev: sd,
+		Min:    mn,
+		Max:    mx,
+		Median: md,
+	}, nil
+}
+
+// String renders the description in the "M=…, SD=…, n=…" style the paper
+// uses under its tables.
+func (d Description) String() string {
+	return fmt.Sprintf("M=%.6f SD=%.6f n=%d (min=%.3f med=%.3f max=%.3f)",
+		d.Mean, d.StdDev, d.N, d.Min, d.Median, d.Max)
+}

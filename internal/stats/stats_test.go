@@ -1,0 +1,268 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestSumEmpty(t *testing.T) {
+	if got := Sum(nil); got != 0 {
+		t.Fatalf("Sum(nil) = %v, want 0", got)
+	}
+}
+
+func TestSumKahanPrecision(t *testing.T) {
+	// One large value plus many tiny ones: naive summation loses the
+	// tiny terms; Kahan keeps them.
+	xs := make([]float64, 1_000_001)
+	xs[0] = 1e8
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1e-8
+	}
+	want := 1e8 + 1e-2
+	if got := Sum(xs); !almostEqual(got, want, 1e-6) {
+		t.Fatalf("Sum = %.12f, want %.12f", got, want)
+	}
+}
+
+func TestMeanErrors(t *testing.T) {
+	if _, err := Mean(nil); err != ErrInsufficientData {
+		t.Fatalf("Mean(nil) err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestMeanBasic(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", m)
+	}
+}
+
+func TestMustMeanPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMean(nil) did not panic")
+		}
+	}()
+	MustMean(nil)
+}
+
+func TestVarianceKnown(t *testing.T) {
+	// Sample variance of {2,4,4,4,5,5,7,9} with divisor n-1 is 32/7.
+	v, err := Variance([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+}
+
+func TestVarianceNeedsTwo(t *testing.T) {
+	if _, err := Variance([]float64{1}); err != ErrInsufficientData {
+		t.Fatalf("err = %v, want ErrInsufficientData", err)
+	}
+}
+
+func TestPopulationVsSampleVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	sv, _ := Variance(xs)
+	pv, _ := PopulationVariance(xs)
+	n := float64(len(xs))
+	if !almostEqual(pv, sv*(n-1)/n, 1e-12) {
+		t.Fatalf("population %v != sample*(n-1)/n %v", pv, sv*(n-1)/n)
+	}
+}
+
+func TestStdDevConstant(t *testing.T) {
+	sd, err := StdDev([]float64{3, 3, 3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sd != 0 {
+		t.Fatalf("StdDev of constants = %v, want 0", sd)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if m, _ := Min(xs); m != -1 {
+		t.Fatalf("Min = %v", m)
+	}
+	if m, _ := Max(xs); m != 7 {
+		t.Fatalf("Max = %v", m)
+	}
+	if _, err := Min(nil); err == nil {
+		t.Fatal("Min(nil) should error")
+	}
+	if _, err := Max(nil); err == nil {
+		t.Fatal("Max(nil) should error")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	if m, _ := Median([]float64{5, 1, 3}); m != 3 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m, _ := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{9, 1, 5}
+	if _, err := Median(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Fatalf("Median mutated input: %v", xs)
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if q, _ := Quantile(xs, 0); q != 10 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q, _ := Quantile(xs, 1); q != 40 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q, _ := Quantile(xs, 0.5); q != 25 {
+		t.Fatalf("q0.5 = %v", q)
+	}
+}
+
+func TestQuantileRangeError(t *testing.T) {
+	if _, err := Quantile([]float64{1, 2}, 1.5); err == nil {
+		t.Fatal("expected range error")
+	}
+	if _, err := Quantile([]float64{1, 2}, math.NaN()); err == nil {
+		t.Fatal("expected NaN error")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	d, err := Describe([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 5 || d.Mean != 3 || d.Min != 1 || d.Max != 5 || d.Median != 3 {
+		t.Fatalf("Describe = %+v", d)
+	}
+	if !almostEqual(d.StdDev, math.Sqrt(2.5), 1e-12) {
+		t.Fatalf("SD = %v", d.StdDev)
+	}
+	if d.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestDescribeInsufficient(t *testing.T) {
+	if _, err := Describe([]float64{1}); err != ErrInsufficientData {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: mean is translation-equivariant and scale-equivariant.
+func TestMeanAffineProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 || math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a = clamp(a, -1e3, 1e3)
+		b = clamp(b, -1e3, 1e3)
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a*x + b
+		}
+		return almostEqual(MustMean(ys), a*MustMean(xs)+b, 1e-6*(1+math.Abs(a)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: variance is translation-invariant and scales by a².
+func TestVarianceAffineProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := sanitize(raw)
+		if len(xs) < 2 || math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) || math.IsInf(b, 0) {
+			return true
+		}
+		a = clamp(a, -1e3, 1e3)
+		b = clamp(b, -1e3, 1e3)
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = a*x + b
+		}
+		vx, err1 := Variance(xs)
+		vy, err2 := Variance(ys)
+		if err1 != nil || err2 != nil {
+			return err1 == err2
+		}
+		return almostEqual(vy, a*a*vx, 1e-5*(1+a*a)*(1+vx))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: min <= median <= mean-range <= max.
+func TestOrderStatisticsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := sanitize(raw)
+		if len(xs) == 0 {
+			return true
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		md, _ := Median(xs)
+		mean := MustMean(xs)
+		return mn <= md && md <= mx && mn <= mean+1e-9 && mean <= mx+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// sanitize clips quick-generated float64s into a well-behaved range and
+// drops NaN/Inf so properties test arithmetic, not IEEE edge cases.
+func sanitize(raw []float64) []float64 {
+	out := raw[:0:0]
+	for _, x := range raw {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		out = append(out, clamp(x, -1e6, 1e6))
+	}
+	return out
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// randNormal produces a deterministic standard-normal sample for tests.
+func randNormal(r *rand.Rand, n int, mean, sd float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = mean + sd*r.NormFloat64()
+	}
+	return xs
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TTestResult reports a t-test in the form the paper's Table 1 uses:
+// the mean difference, the t statistic, the degrees of freedom, the
+// two-tailed p-value, and the sample size(s).
+type TTestResult struct {
+	// Kind identifies which test produced the result.
+	Kind string
+	// MeanDiff is mean(sample1) - mean(sample2) (or mean - mu for a
+	// one-sample test). The paper reports variable1 - variable2, which
+	// is negative when the second wave is larger.
+	MeanDiff float64
+	T        float64
+	DF       float64
+	P        float64
+	N1, N2   int
+}
+
+// Significant reports whether the two-tailed p-value is below alpha.
+func (r TTestResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// String renders the result as a Table-1 style row.
+func (r TTestResult) String() string {
+	return fmt.Sprintf("%s: meanDiff=%.4f t=%.4f df=%.1f p=%.6g n=%d/%d",
+		r.Kind, r.MeanDiff, r.T, r.DF, r.P, r.N1, r.N2)
+}
+
+// OneSampleTTest tests H0: mean(xs) == mu.
+func OneSampleTTest(xs []float64, mu float64) (TTestResult, error) {
+	if len(xs) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	m := MustMean(xs)
+	sd, err := StdDev(xs)
+	if err != nil {
+		return TTestResult{}, err
+	}
+	n := float64(len(xs))
+	if sd == 0 {
+		return TTestResult{}, fmt.Errorf("stats: one-sample t-test: zero variance")
+	}
+	t := (m - mu) / (sd / math.Sqrt(n))
+	df := n - 1
+	return TTestResult{
+		Kind:     "one-sample",
+		MeanDiff: m - mu,
+		T:        t,
+		DF:       df,
+		P:        TTwoTailedP(t, df),
+		N1:       len(xs),
+	}, nil
+}
+
+// PairedTTest tests H0: mean(xs - ys) == 0 for paired observations, the
+// design the paper uses (each student answered both survey waves).
+func PairedTTest(xs, ys []float64) (TTestResult, error) {
+	if len(xs) != len(ys) {
+		return TTestResult{}, ErrMismatchedLengths
+	}
+	if len(xs) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	diffs := make([]float64, len(xs))
+	for i := range xs {
+		diffs[i] = xs[i] - ys[i]
+	}
+	r, err := OneSampleTTest(diffs, 0)
+	if err != nil {
+		return TTestResult{}, err
+	}
+	r.Kind = "paired"
+	r.N2 = len(ys)
+	return r, nil
+}
+
+// StudentTTest is the classic two-sample pooled-variance t-test assuming
+// equal variances.
+func StudentTTest(xs, ys []float64) (TTestResult, error) {
+	if len(xs) < 2 || len(ys) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	m1, m2 := MustMean(xs), MustMean(ys)
+	v1, err := Variance(xs)
+	if err != nil {
+		return TTestResult{}, err
+	}
+	v2, err := Variance(ys)
+	if err != nil {
+		return TTestResult{}, err
+	}
+	n1, n2 := float64(len(xs)), float64(len(ys))
+	df := n1 + n2 - 2
+	sp2 := ((n1-1)*v1 + (n2-1)*v2) / df
+	se := math.Sqrt(sp2 * (1/n1 + 1/n2))
+	if se == 0 {
+		return TTestResult{}, fmt.Errorf("stats: student t-test: zero pooled variance")
+	}
+	t := (m1 - m2) / se
+	return TTestResult{
+		Kind:     "student",
+		MeanDiff: m1 - m2,
+		T:        t,
+		DF:       df,
+		P:        TTwoTailedP(t, df),
+		N1:       len(xs),
+		N2:       len(ys),
+	}, nil
+}
+
+// WelchTTest is the unequal-variance two-sample t-test with
+// Welch-Satterthwaite degrees of freedom.
+func WelchTTest(xs, ys []float64) (TTestResult, error) {
+	if len(xs) < 2 || len(ys) < 2 {
+		return TTestResult{}, ErrInsufficientData
+	}
+	m1, m2 := MustMean(xs), MustMean(ys)
+	v1, err := Variance(xs)
+	if err != nil {
+		return TTestResult{}, err
+	}
+	v2, err := Variance(ys)
+	if err != nil {
+		return TTestResult{}, err
+	}
+	n1, n2 := float64(len(xs)), float64(len(ys))
+	se2 := v1/n1 + v2/n2
+	if se2 == 0 {
+		return TTestResult{}, fmt.Errorf("stats: welch t-test: zero variance in both samples")
+	}
+	t := (m1 - m2) / math.Sqrt(se2)
+	df := se2 * se2 / (v1*v1/(n1*n1*(n1-1)) + v2*v2/(n2*n2*(n2-1)))
+	return TTestResult{
+		Kind:     "welch",
+		MeanDiff: m1 - m2,
+		T:        t,
+		DF:       df,
+		P:        TTwoTailedP(t, df),
+		N1:       len(xs),
+		N2:       len(ys),
+	}, nil
+}

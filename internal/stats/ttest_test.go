@@ -1,0 +1,215 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOneSampleTTestKnown(t *testing.T) {
+	// xs = {5,6,7,8,9}: mean 7, sd sqrt(2.5), t against mu=5 is
+	// (7-5)/(sqrt(2.5)/sqrt(5)) = 2/0.7071 = 2.8284.
+	r, err := OneSampleTTest([]float64{5, 6, 7, 8, 9}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.T, 2.8284271247461903, 1e-9) {
+		t.Fatalf("t = %v", r.T)
+	}
+	if r.DF != 4 {
+		t.Fatalf("df = %v", r.DF)
+	}
+	if !almostEqual(r.MeanDiff, 2, 1e-12) {
+		t.Fatalf("meanDiff = %v", r.MeanDiff)
+	}
+}
+
+func TestOneSampleTTestZeroVariance(t *testing.T) {
+	if _, err := OneSampleTTest([]float64{2, 2, 2}, 1); err == nil {
+		t.Fatal("expected zero-variance error")
+	}
+}
+
+func TestPairedTTestPerfectNull(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 1, 4, 3} // same mean, nonzero diffs
+	r, err := PairedTTest(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.T, 0, 1e-12) {
+		t.Fatalf("t = %v, want 0", r.T)
+	}
+	if !almostEqual(r.P, 1, 1e-9) {
+		t.Fatalf("p = %v, want 1", r.P)
+	}
+}
+
+func TestPairedTTestMismatch(t *testing.T) {
+	if _, err := PairedTTest([]float64{1, 2}, []float64{1}); err != ErrMismatchedLengths {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPairedTTestDirection(t *testing.T) {
+	// Second wave uniformly higher → first-minus-second diff negative,
+	// matching the sign convention of the paper's Table 1.
+	first := []float64{3.8, 3.9, 4.0, 3.7, 3.6, 4.1, 3.9, 3.8}
+	second := make([]float64, len(first))
+	for i, v := range first {
+		second[i] = v + 0.2 + 0.01*float64(i%3)
+	}
+	r, err := PairedTTest(first, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanDiff >= 0 {
+		t.Fatalf("meanDiff = %v, want negative", r.MeanDiff)
+	}
+	if r.T >= 0 {
+		t.Fatalf("t = %v, want negative", r.T)
+	}
+	if r.P >= 0.001 {
+		t.Fatalf("p = %v, want tiny", r.P)
+	}
+	if !r.Significant(0.05) {
+		t.Fatal("expected significance at 0.05")
+	}
+}
+
+func TestStudentTTestEqualSamples(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	r, err := StudentTTest(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T != 0 || r.MeanDiff != 0 {
+		t.Fatalf("t=%v diff=%v, want 0", r.T, r.MeanDiff)
+	}
+	if r.DF != 8 {
+		t.Fatalf("df = %v", r.DF)
+	}
+}
+
+func TestStudentTTestKnown(t *testing.T) {
+	// Hand-computed example: xs={1,2,3}, ys={4,5,6}: pooled var = 1,
+	// se = sqrt(1*(1/3+1/3)) = sqrt(2/3), t = -3/sqrt(2/3) = -3.6742.
+	r, err := StudentTTest([]float64{1, 2, 3}, []float64{4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(r.T, -3.674234614174767, 1e-9) {
+		t.Fatalf("t = %v", r.T)
+	}
+	if r.DF != 4 {
+		t.Fatalf("df = %v", r.DF)
+	}
+}
+
+func TestWelchEqualsStudentAtEqualVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := randNormal(rng, 60, 10, 2)
+	ys := randNormal(rng, 60, 11, 2)
+	s, err := StudentTTest(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := WelchTTest(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With equal n the t statistics are identical; the dfs differ only
+	// slightly when sample variances differ.
+	if !almostEqual(s.T, w.T, 1e-9) {
+		t.Fatalf("student t %v != welch t %v", s.T, w.T)
+	}
+	if w.DF > s.DF+1e-9 {
+		t.Fatalf("welch df %v exceeds student df %v", w.DF, s.DF)
+	}
+}
+
+func TestWelchTTestUnequalVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := randNormal(rng, 80, 0, 1)
+	ys := randNormal(rng, 40, 0, 10)
+	w, err := WelchTTest(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.DF >= float64(len(xs)+len(ys)-2) {
+		t.Fatalf("welch df %v not reduced", w.DF)
+	}
+	if w.DF < float64(min(len(xs), len(ys))-1)-1e-9 {
+		t.Fatalf("welch df %v below lower bound", w.DF)
+	}
+}
+
+func TestTTestInsufficientData(t *testing.T) {
+	if _, err := StudentTTest([]float64{1}, []float64{1, 2}); err != ErrInsufficientData {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := WelchTTest([]float64{1, 2}, []float64{1}); err != ErrInsufficientData {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := PairedTTest([]float64{1}, []float64{2}); err != ErrInsufficientData {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// Property: swapping the samples negates t and preserves p.
+func TestTTestAntisymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := randNormal(rng, 20+rng.Intn(30), rng.Float64()*5, 1+rng.Float64())
+		ys := randNormal(rng, 20+rng.Intn(30), rng.Float64()*5, 1+rng.Float64())
+		a, err1 := WelchTTest(xs, ys)
+		b, err2 := WelchTTest(ys, xs)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return almostEqual(a.T, -b.T, 1e-9) && almostEqual(a.P, b.P, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a paired test on (xs, xs+c) for constant c has |t| → ∞
+// behaviour captured as zero-variance error; with noise it recovers c.
+func TestPairedTTestShiftProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 30 + rng.Intn(50)
+		c := 0.5 + rng.Float64()
+		xs := randNormal(rng, n, 4, 0.3)
+		ys := make([]float64, n)
+		for i := range xs {
+			ys[i] = xs[i] + c + 0.05*rng.NormFloat64()
+		}
+		r, err := PairedTTest(xs, ys)
+		if err != nil {
+			return false
+		}
+		return almostEqual(r.MeanDiff, -c, 0.1) && r.T < 0 && r.P < 0.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTTestResultString(t *testing.T) {
+	r := TTestResult{Kind: "paired", MeanDiff: -0.1, T: -2.63, DF: 123, P: 0.0096, N1: 124, N2: 124}
+	if r.String() == "" {
+		t.Fatal("empty String")
+	}
+	if !r.Significant(0.05) || r.Significant(0.001) {
+		t.Fatal("Significant thresholds wrong")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WilcoxonResult reports the Wilcoxon signed-rank test, the
+// non-parametric companion the analysis runs alongside the paired
+// t-test when Likert-derived averages make normality doubtful.
+type WilcoxonResult struct {
+	// WPlus and WMinus are the positive- and negative-rank sums.
+	WPlus, WMinus float64
+	// N is the number of non-zero differences used.
+	N int
+	// Z is the normal approximation (with tie correction) and P its
+	// two-tailed p-value.
+	Z float64
+	P float64
+}
+
+// Significant reports whether p < alpha.
+func (r WilcoxonResult) Significant(alpha float64) bool { return r.P < alpha }
+
+// WilcoxonSignedRank tests H0: the paired differences xs[i]-ys[i] are
+// symmetric about zero. Zero differences are dropped (Wilcoxon's
+// original treatment); ties share average ranks with the standard
+// variance correction. The normal approximation requires at least 8
+// non-zero differences.
+func WilcoxonSignedRank(xs, ys []float64) (WilcoxonResult, error) {
+	if len(xs) != len(ys) {
+		return WilcoxonResult{}, ErrMismatchedLengths
+	}
+	type dr struct {
+		abs  float64
+		sign float64
+	}
+	var ds []dr
+	for i := range xs {
+		d := xs[i] - ys[i]
+		if d == 0 {
+			continue
+		}
+		s := 1.0
+		if d < 0 {
+			s = -1.0
+		}
+		ds = append(ds, dr{abs: math.Abs(d), sign: s})
+	}
+	n := len(ds)
+	if n < 8 {
+		return WilcoxonResult{}, ErrInsufficientData
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].abs < ds[j].abs })
+	// Average ranks for ties; accumulate the tie-correction term Σ(t³-t).
+	ranks := make([]float64, n)
+	tieCorrection := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && ds[j].abs == ds[i].abs {
+			j++
+		}
+		avg := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		t := float64(j - i)
+		tieCorrection += t*t*t - t
+		i = j
+	}
+	var wPlus, wMinus float64
+	for i, d := range ds {
+		if d.sign > 0 {
+			wPlus += ranks[i]
+		} else {
+			wMinus += ranks[i]
+		}
+	}
+	nf := float64(n)
+	mean := nf * (nf + 1) / 4
+	variance := nf*(nf+1)*(2*nf+1)/24 - tieCorrection/48
+	if variance <= 0 {
+		return WilcoxonResult{}, fmt.Errorf("stats: wilcoxon variance non-positive (all values tied?)")
+	}
+	w := math.Min(wPlus, wMinus)
+	// Continuity-corrected normal approximation.
+	z := (w - mean + 0.5) / math.Sqrt(variance)
+	p := 2 * NormalCDF(z)
+	if p > 1 {
+		p = 1
+	}
+	return WilcoxonResult{WPlus: wPlus, WMinus: wMinus, N: n, Z: z, P: p}, nil
+}

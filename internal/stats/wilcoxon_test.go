@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWilcoxonNullSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	xs := randNormal(rng, 200, 4, 0.3)
+	ys := make([]float64, len(xs))
+	for i := range ys {
+		ys[i] = xs[i] + 0.2*rng.NormFloat64() // symmetric zero-mean shift
+	}
+	r, err := WilcoxonSignedRank(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Significant(0.01) {
+		t.Fatalf("null case significant: %+v", r)
+	}
+	// Rank sums partition n(n+1)/2.
+	total := float64(r.N) * float64(r.N+1) / 2
+	if got := r.WPlus + r.WMinus; got != total {
+		t.Fatalf("rank sums %v != %v", got, total)
+	}
+}
+
+func TestWilcoxonDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	xs := randNormal(rng, 124, 3.81, 0.26)
+	ys := make([]float64, len(xs))
+	for i := range ys {
+		ys[i] = xs[i] + 0.2 + 0.1*rng.NormFloat64() // wave-2-style uplift
+	}
+	r, err := WilcoxonSignedRank(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Significant(0.001) {
+		t.Fatalf("shift not detected: %+v", r)
+	}
+	// xs < ys almost everywhere: negative differences dominate, so
+	// WPlus (ranks of positive xs-ys diffs) is the small sum.
+	if r.WPlus >= r.WMinus {
+		t.Fatalf("rank sums inverted: %+v", r)
+	}
+}
+
+func TestWilcoxonDropsZeros(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	ys := []float64{1, 2, 3, 4, 5, 6.5, 6.4, 8.3, 8.8, 10.2}
+	// Five zero diffs dropped → n=5 < 8 → insufficient.
+	if _, err := WilcoxonSignedRank(xs, ys); err != ErrInsufficientData {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWilcoxonErrors(t *testing.T) {
+	if _, err := WilcoxonSignedRank([]float64{1}, []float64{1, 2}); err != ErrMismatchedLengths {
+		t.Fatalf("err = %v", err)
+	}
+	same := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := WilcoxonSignedRank(same, same); err != ErrInsufficientData {
+		t.Fatalf("all-zero diffs: err = %v", err)
+	}
+}
+
+func TestWilcoxonHandlesTies(t *testing.T) {
+	// Many tied |diffs|: variance correction must keep the test sane.
+	xs := make([]float64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i) + 0.5 // constant diff: all |d| tied
+	}
+	r, err := WilcoxonSignedRank(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Significant(0.001) {
+		t.Fatalf("uniform shift with ties not detected: %+v", r)
+	}
+}
+
+// Property: the test is symmetric — swapping samples swaps the rank sums
+// and preserves p.
+func TestWilcoxonSymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(100)
+		xs := randNormal(rng, n, 0, 1)
+		ys := randNormal(rng, n, 0.3, 1)
+		a, err1 := WilcoxonSignedRank(xs, ys)
+		b, err2 := WilcoxonSignedRank(ys, xs)
+		if err1 != nil || err2 != nil {
+			return err1 == err2
+		}
+		return a.WPlus == b.WMinus && a.WMinus == b.WPlus && almostEqual(a.P, b.P, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Wilcoxon and the paired t-test agree on direction for
+// clearly shifted normal data.
+func TestWilcoxonAgreesWithTTestProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(100)
+		shift := 0.3 + rng.Float64()
+		xs := randNormal(rng, n, 0, 1)
+		ys := make([]float64, n)
+		for i := range ys {
+			ys[i] = xs[i] + shift + 0.2*rng.NormFloat64()
+		}
+		w, err1 := WilcoxonSignedRank(xs, ys)
+		tt, err2 := PairedTTest(xs, ys)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return w.Significant(0.01) && tt.Significant(0.01) && tt.T < 0 && w.WPlus < w.WMinus
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package survey
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderElement writes a Fig.-2 style rendering of one survey element:
+// the definition row, the component rows, and the two five-point scales
+// with their anchors.
+func RenderElement(w io.Writer, e Element) error {
+	var b strings.Builder
+	rule := strings.Repeat("-", 76)
+	fmt.Fprintf(&b, "%s\n", rule)
+	fmt.Fprintf(&b, "Element: %s\n", e.Name)
+	fmt.Fprintf(&b, "%s\n", rule)
+	fmt.Fprintf(&b, "  [definition] %s\n", e.Definition)
+	for i, c := range e.Components {
+		fmt.Fprintf(&b, "  [%d] %s\n", i+1, c)
+	}
+	fmt.Fprintf(&b, "%s\n", rule)
+	for _, cat := range Categories {
+		fmt.Fprintf(&b, "%s scale:\n", cat)
+		for i, anchor := range cat.Anchors() {
+			fmt.Fprintf(&b, "  %d: %s\n", i+1, anchor)
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// RenderInstrument writes the full survey form (every element) in the
+// style of Fig. 2.
+func RenderInstrument(w io.Writer, ins *Instrument) error {
+	if _, err := fmt.Fprintf(w, "%s\n(administered at mid-semester and end of term)\n\n", ins.Title); err != nil {
+		return err
+	}
+	for _, e := range ins.Elements {
+		if err := RenderElement(w, e); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

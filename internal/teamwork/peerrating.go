@@ -1,0 +1,131 @@
+package teamwork
+
+import (
+	"fmt"
+
+	"pblparallel/internal/pbl"
+	"pblparallel/internal/stats"
+	"pblparallel/internal/teams"
+)
+
+// PeerRatingForm is one member's confidential rating of each teammate's
+// contribution on one assignment, on the 1-5 scale of the course's
+// "peer rating form of team members' contributions to the team".
+type PeerRatingForm struct {
+	Assignment int
+	Rater      int
+	// Ratings maps teammate ID → 1..5.
+	Ratings map[int]int
+}
+
+// Validate checks the form against the team roster: every teammate
+// (and only teammates) rated, no self-rating, scores on scale.
+func (f PeerRatingForm) Validate(tm teams.Team) error {
+	roster := map[int]bool{}
+	for _, m := range tm.Members {
+		roster[m.ID] = true
+	}
+	if !roster[f.Rater] {
+		return fmt.Errorf("teamwork: rater %d not on team %d", f.Rater, tm.ID)
+	}
+	if _, ok := f.Ratings[f.Rater]; ok {
+		return fmt.Errorf("teamwork: rater %d rated themself", f.Rater)
+	}
+	if len(f.Ratings) != tm.Size()-1 {
+		return fmt.Errorf("teamwork: form rates %d of %d teammates", len(f.Ratings), tm.Size()-1)
+	}
+	for id, r := range f.Ratings {
+		if !roster[id] {
+			return fmt.Errorf("teamwork: rated non-member %d", id)
+		}
+		if r < 1 || r > 5 {
+			return fmt.Errorf("teamwork: rating %d for member %d off scale", r, id)
+		}
+	}
+	return nil
+}
+
+// AggregateRatings averages each member's received ratings across a set
+// of validated forms.
+func AggregateRatings(tm teams.Team, forms []PeerRatingForm) (map[int]float64, error) {
+	sums := map[int]float64{}
+	counts := map[int]int{}
+	for _, f := range forms {
+		if err := f.Validate(tm); err != nil {
+			return nil, err
+		}
+		for id, r := range f.Ratings {
+			sums[id] += float64(r)
+			counts[id]++
+		}
+	}
+	out := make(map[int]float64, len(sums))
+	for id, s := range sums {
+		out[id] = s / float64(counts[id])
+	}
+	return out, nil
+}
+
+// CooperationFromRating maps an average peer rating onto the grading
+// policy's cooperation levels: below 2 is refusal, below 3 partial.
+func CooperationFromRating(avg float64) pbl.Cooperation {
+	switch {
+	case avg < 2:
+		return pbl.CoopNone
+	case avg < 3:
+		return pbl.CoopPartial
+	default:
+		return pbl.CoopFull
+	}
+}
+
+// RatingsFromActivity synthesizes each member's peer ratings from the
+// team's activity log: teammates rate a member by their relative
+// participation, centered so the median participant earns a 4.
+func RatingsFromActivity(tm teams.Team, log *Log, assignment int) ([]PeerRatingForm, error) {
+	if log == nil {
+		return nil, fmt.Errorf("teamwork: nil log")
+	}
+	part := log.Participation()
+	if part == nil {
+		return nil, fmt.Errorf("teamwork: empty activity log for team %d", tm.ID)
+	}
+	shares := make([]float64, 0, tm.Size())
+	for _, m := range tm.Members {
+		shares = append(shares, part[m.ID])
+	}
+	med, err := stats.Median(shares)
+	if err != nil {
+		return nil, err
+	}
+	score := func(id int) int {
+		if med == 0 {
+			return 4
+		}
+		rel := part[id] / med
+		switch {
+		case rel < 0.25:
+			return 1
+		case rel < 0.6:
+			return 2
+		case rel < 0.85:
+			return 3
+		case rel < 1.25:
+			return 4
+		default:
+			return 5
+		}
+	}
+	forms := make([]PeerRatingForm, 0, tm.Size())
+	for _, rater := range tm.Members {
+		f := PeerRatingForm{Assignment: assignment, Rater: rater.ID, Ratings: map[int]int{}}
+		for _, other := range tm.Members {
+			if other.ID == rater.ID {
+				continue
+			}
+			f.Ratings[other.ID] = score(other.ID)
+		}
+		forms = append(forms, f)
+	}
+	return forms, nil
+}

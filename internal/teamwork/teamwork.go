@@ -1,0 +1,206 @@
+// Package teamwork models the soft-skills infrastructure of Assignment 1:
+// the four required teamwork technologies (Slack, GitHub, Google Docs,
+// YouTube) as event logs feeding participation metrics, the peer rating
+// form each assignment collects, and the Teamwork Basics ground rules.
+// The study consumes only the participation and peer-rating signals from
+// these tools, so that is what the models produce.
+package teamwork
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"pblparallel/internal/teams"
+)
+
+// Channel is one of the four required technologies.
+type Channel int
+
+const (
+	Slack Channel = iota
+	GitHub
+	GoogleDocs
+	YouTube
+)
+
+// Channels lists all four in the paper's order.
+var Channels = []Channel{Slack, GitHub, GoogleDocs, YouTube}
+
+// String names the channel.
+func (c Channel) String() string {
+	switch c {
+	case Slack:
+		return "Slack"
+	case GitHub:
+		return "GitHub"
+	case GoogleDocs:
+		return "Google Docs"
+	case YouTube:
+		return "YouTube"
+	default:
+		return fmt.Sprintf("Channel(%d)", int(c))
+	}
+}
+
+// Role describes what the course uses the channel for (Section I).
+func (c Channel) Role() string {
+	switch c {
+	case Slack:
+		return "a messaging application to communicate"
+	case GitHub:
+		return "collaborate, create customized workflows, and share code"
+	case GoogleDocs:
+		return "collaborate and produce project assignment reports"
+	case YouTube:
+		return "shoot, edit, and upload videos to present the results"
+	default:
+		return "unknown"
+	}
+}
+
+// EventKind is the unit of activity on a channel.
+type EventKind string
+
+const (
+	EventMessage  EventKind = "message"
+	EventCommit   EventKind = "commit"
+	EventDocEdit  EventKind = "doc-edit"
+	EventVideoCut EventKind = "video-upload"
+)
+
+// kindFor maps each channel to its activity unit.
+func kindFor(c Channel) EventKind {
+	switch c {
+	case Slack:
+		return EventMessage
+	case GitHub:
+		return EventCommit
+	case GoogleDocs:
+		return EventDocEdit
+	default:
+		return EventVideoCut
+	}
+}
+
+// Event is one logged activity.
+type Event struct {
+	Week    int
+	Channel Channel
+	Student int
+	Kind    EventKind
+}
+
+// Log is a team's activity record for the semester.
+type Log struct {
+	TeamID int
+	Events []Event
+}
+
+// CountBy returns events per student on one channel.
+func (l *Log) CountBy(channel Channel) map[int]int {
+	out := map[int]int{}
+	for _, e := range l.Events {
+		if e.Channel == channel {
+			out[e.Student]++
+		}
+	}
+	return out
+}
+
+// Participation returns each student's share of the team's total
+// activity (all channels), in [0,1]; an empty log returns nil.
+func (l *Log) Participation() map[int]float64 {
+	counts := map[int]int{}
+	total := 0
+	for _, e := range l.Events {
+		counts[e.Student]++
+		total++
+	}
+	if total == 0 {
+		return nil
+	}
+	out := make(map[int]float64, len(counts))
+	for s, c := range counts {
+		out[s] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// SimulateTeamActivity generates a deterministic semester of channel
+// events for a team: each member's weekly activity rate scales with
+// (1 + aptitude/4), so stronger engagement produces more events — the
+// signal the peer ratings pick up.
+func SimulateTeamActivity(tm teams.Team, weeks int, seed int64) (*Log, error) {
+	if weeks < 1 {
+		return nil, fmt.Errorf("teamwork: %d weeks", weeks)
+	}
+	if tm.Size() == 0 {
+		return nil, fmt.Errorf("teamwork: empty team %d", tm.ID)
+	}
+	rng := rand.New(rand.NewSource(seed ^ int64(tm.ID)<<17))
+	log := &Log{TeamID: tm.ID}
+	for week := 1; week <= weeks; week++ {
+		for _, m := range tm.Members {
+			rate := 1 + m.Aptitude/4
+			if rate < 0.1 {
+				rate = 0.1
+			}
+			for _, ch := range Channels {
+				// Base weekly events per channel: Slack chatter is the
+				// most frequent, video uploads the rarest.
+				base := map[Channel]float64{Slack: 6, GitHub: 3, GoogleDocs: 2, YouTube: 0.3}[ch]
+				n := int(base*rate + rng.Float64())
+				for k := 0; k < n; k++ {
+					log.Events = append(log.Events, Event{
+						Week: week, Channel: ch, Student: m.ID, Kind: kindFor(ch),
+					})
+				}
+			}
+		}
+	}
+	return log, nil
+}
+
+// GroundRules returns the Teamwork Basics norms of Assignment 1.
+func GroundRules() map[string][]string {
+	return map[string][]string{
+		"work norms": {
+			"divide work fairly and set internal deadlines",
+			"review each other's work before submission",
+		},
+		"facilitator norms": {
+			"rotate the coordinator role every assignment",
+			"the coordinator interfaces with the instructor and tracks tasks",
+		},
+		"communication norms": {
+			"respond on Slack within 24 hours",
+			"raise conflicts early and respectfully",
+		},
+		"meeting norms": {
+			"agree on a weekly meeting time; attendance expected",
+			"record decisions in the shared document",
+		},
+		"handling difficult behavior": {
+			"name the behavior, not the person",
+			"escalate to the instructor only after a team conversation",
+		},
+		"handling group problems": {
+			"persistent non-cooperation leads to a zero grade per the policy",
+		},
+	}
+}
+
+// sortedStudents returns the log's distinct student IDs, ordered.
+func (l *Log) sortedStudents() []int {
+	set := map[int]bool{}
+	for _, e := range l.Events {
+		set[e.Student] = true
+	}
+	out := make([]int, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
