@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: verify build test race vet bench
+
+## verify: the tier-1 gate — vet, build, and race-test everything.
+verify: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: the engine's sequential-vs-parallel sweep benchmarks.
+bench:
+	$(GO) test ./internal/engine/ -bench 'Sweep200' -benchtime 2x -run '^$$'

@@ -1,18 +1,28 @@
-// Command pblstudy runs the full reproduction of the paper's study and
-// prints the Fig.-1 timeline, the survey instrument excerpt, Tables 1–6,
-// and the paper-vs-measured comparison.
+// Command pblstudy runs the full reproduction of the paper's study.
 //
 // Usage:
 //
-//	pblstudy [-seed N] [-students N] [-uncalibrated] [-instrument]
+//	pblstudy [run] [-seed N] [-students N] [-uncalibrated] [-json]
+//	pblstudy sensitivity [-seeds N] [-start S] [-workers N] [-json] [-metrics]
+//	pblstudy instrument
+//	pblstudy spring2019 [-n N] [-seed S]
+//
+// With no arguments it behaves like `pblstudy run` with defaults: the
+// Fig.-1 timeline, the survey instrument excerpt, Tables 1–6, and the
+// paper-vs-measured comparison. The sensitivity sweep fans out over the
+// parallel engine; its numbers are identical for any -workers value.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"pblparallel/internal/core"
+	"pblparallel/internal/engine"
 	"pblparallel/internal/pbl"
 	"pblparallel/internal/sensitivity"
 	"pblparallel/internal/survey"
@@ -20,61 +30,167 @@ import (
 )
 
 func main() {
-	seed := flag.Int64("seed", 0, "override the study seed (0 keeps the paper's)")
-	students := flag.Int("students", 0, "override the cohort size (0 keeps the paper's 124; must be even)")
-	uncal := flag.Bool("uncalibrated", false, "use the uncalibrated response model (ablation)")
-	instrument := flag.Bool("instrument", false, "print the full survey instrument (Fig. 2 for every element) and exit")
-	spring := flag.Bool("spring2019", false, "print the planned Spring 2019 revision and its projected effect, then exit")
-	sens := flag.Int("sensitivity", 0, "re-run the study across N seeds and report statistic distributions, then exit")
-	flag.Parse()
-
-	if *sens > 0 {
-		r, err := sensitivity.Run(20180800, *sens)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Print(r.Render())
+	args := os.Args[1:]
+	if len(args) == 0 {
+		cmdRun(nil)
 		return
 	}
-
-	if *instrument {
-		if err := survey.RenderInstrument(os.Stdout, survey.NewBeyerlein()); err != nil {
-			fail(err)
-		}
-		return
+	switch args[0] {
+	case "run":
+		cmdRun(args[1:])
+	case "sensitivity":
+		cmdSensitivity(args[1:])
+	case "instrument":
+		cmdInstrument(args[1:])
+	case "spring2019":
+		cmdSpring2019(args[1:])
+	case "help", "-h", "-help", "--help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "pblstudy: unknown subcommand %q (the old -sensitivity/-instrument/-spring2019 flags are now subcommands)\n\n", args[0])
+		usage(os.Stderr)
+		os.Exit(2)
 	}
-	if *spring {
-		runSpring2019()
-		return
-	}
+}
 
-	cfg := core.PaperStudy()
+func usage(w *os.File) {
+	fmt.Fprint(w, `usage: pblstudy <subcommand> [flags]
+
+subcommands:
+  run          full study: timeline, instrument excerpt, Tables 1-6,
+               paper-vs-measured comparison (default when omitted)
+  sensitivity  re-run the study across many seeds on the parallel
+               engine and report statistic distributions
+  instrument   print the full survey instrument (Fig. 2 for every element)
+  spring2019   the planned Spring 2019 revision and its projected effect
+
+run 'pblstudy <subcommand> -h' for the subcommand's flags
+`)
+}
+
+// cmdRun executes one full study.
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("pblstudy run", flag.ExitOnError)
+	seed := fs.Int64("seed", 0, "override the study seed (0 keeps the paper's)")
+	students := fs.Int("students", 0, "override the cohort size (0 keeps the paper's 124; must be even and >= 10)")
+	uncal := fs.Bool("uncalibrated", false, "use the uncalibrated response model (ablation)")
+	asJSON := fs.Bool("json", false, "emit a machine-readable summary instead of the report")
+	fs.Parse(args)
+
+	opts := []core.Option{core.WithCalibration(!*uncal)}
 	if *seed != 0 {
-		cfg.Seed = *seed
+		opts = append(opts, core.WithSeed(*seed))
 	}
 	if *students != 0 {
-		if *students%2 != 0 || *students < 8 {
-			fail(fmt.Errorf("students must be even and >= 8, got %d", *students))
-		}
-		cfg.Cohort.NStudents = *students
-		cfg.Cohort.NFemale = *students / 5
-		cfg.Cohort.Section1Females = *students / 10
+		opts = append(opts, core.WithCohortSize(*students))
 	}
-	cfg.Calibrate = !*uncal
-
-	outcome, err := core.Run(cfg)
+	study := core.NewStudy(opts...)
+	outcome, err := study.Run(context.Background())
 	if err != nil {
 		fail(err)
+	}
+	if *asJSON {
+		emitJSON(runSummary(study, outcome))
+		return
 	}
 	if err := outcome.Render(os.Stdout); err != nil {
 		fail(err)
 	}
 }
 
-// runSpring2019 prints the revised module, what changed, and the
+// runJSON is the machine-readable study summary.
+type runJSON struct {
+	Seed       int64   `json:"seed"`
+	Students   int     `json:"students"`
+	Teams      int     `json:"teams"`
+	Calibrated bool    `json:"calibrated"`
+	EmphasisT  float64 `json:"emphasis_t"`
+	EmphasisP  float64 `json:"emphasis_p"`
+	GrowthT    float64 `json:"growth_t"`
+	GrowthP    float64 `json:"growth_p"`
+	EmphasisD  float64 `json:"emphasis_d"`
+	GrowthD    float64 `json:"growth_d"`
+	ShapeHeld  int     `json:"shape_checks_held"`
+	ShapeTotal int     `json:"shape_checks_total"`
+}
+
+func runSummary(study *core.Study, o *core.Outcome) runJSON {
+	cfg := study.Config()
+	held := 0
+	for _, s := range o.Comparison.Shape {
+		if s.Holds {
+			held++
+		}
+	}
+	return runJSON{
+		Seed:       cfg.Seed,
+		Students:   len(o.Cohort.Students),
+		Teams:      len(o.Formation.Teams),
+		Calibrated: cfg.Calibrate,
+		EmphasisT:  o.Report.Table1.ClassEmphasis.T,
+		EmphasisP:  o.Report.Table1.ClassEmphasis.P,
+		GrowthT:    o.Report.Table1.PersonalGrowth.T,
+		GrowthP:    o.Report.Table1.PersonalGrowth.P,
+		EmphasisD:  o.Report.Table2.D,
+		GrowthD:    o.Report.Table3.D,
+		ShapeHeld:  held,
+		ShapeTotal: len(o.Comparison.Shape),
+	}
+}
+
+// cmdSensitivity sweeps the study across seeds on the engine.
+func cmdSensitivity(args []string) {
+	fs := flag.NewFlagSet("pblstudy sensitivity", flag.ExitOnError)
+	seeds := fs.Int("seeds", 40, "number of seeds to sweep")
+	start := fs.Int64("start", 20180800, "first seed of the sweep")
+	workers := fs.Int("workers", 0, "engine worker pool size (0 = all CPUs)")
+	asJSON := fs.Bool("json", false, "emit the distributions as JSON instead of the report")
+	metrics := fs.Bool("metrics", false, "print engine metrics (per-stage histograms, throughput) after the sweep")
+	fs.Parse(args)
+
+	opts := sensitivity.Options{Workers: *workers}
+	if *metrics {
+		opts.Metrics = engine.NewMetrics()
+	}
+	// Ctrl-C cancels the sweep through the engine: in-flight runs stop
+	// at their next stage boundary and the error reports the partial
+	// completion count.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	r, err := sensitivity.RunSweep(ctx, *start, *seeds, opts)
+	if err != nil {
+		fail(err)
+	}
+	if *asJSON {
+		emitJSON(r)
+	} else {
+		fmt.Print(r.Render())
+	}
+	if *metrics {
+		if err := opts.Metrics.Render(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// cmdInstrument prints the full Fig.-2 form.
+func cmdInstrument(args []string) {
+	fs := flag.NewFlagSet("pblstudy instrument", flag.ExitOnError)
+	fs.Parse(args)
+	if err := survey.RenderInstrument(os.Stdout, survey.NewBeyerlein()); err != nil {
+		fail(err)
+	}
+}
+
+// cmdSpring2019 prints the revised module, what changed, and the
 // projected effect of the teamwork reinforcement on the weakest
 // correlation of Table 4.
-func runSpring2019() {
+func cmdSpring2019(args []string) {
+	fs := flag.NewFlagSet("pblstudy spring2019", flag.ExitOnError)
+	n := fs.Int("n", 3000, "projection cohort size (large n stabilizes the projection)")
+	seed := fs.Int64("seed", 42, "projection seed")
+	fs.Parse(args)
+
 	fall := pbl.NewPaperModule()
 	revised := pbl.NewSpring2019Module()
 	if err := revised.RenderTimeline(os.Stdout); err != nil {
@@ -87,11 +203,19 @@ func runSpring2019() {
 	fmt.Printf("\nchanges vs Fall 2018: %d new assignment(s) %v, +%d questions, +%d materials\n\n",
 		len(diff.AddedAssignments), diff.AddedAssignments,
 		diff.AddedQuestionCount, diff.AddedMaterialCount)
-	proj, err := whatif.Project(whatif.TeamworkReinforcement(), 3000, 42)
+	proj, err := whatif.Project(whatif.TeamworkReinforcement(), *n, *seed)
 	if err != nil {
 		fail(err)
 	}
 	fmt.Print(proj.Render())
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
+	}
 }
 
 func fail(err error) {

@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -16,7 +17,6 @@ import (
 	"pblparallel/internal/analysis"
 	"pblparallel/internal/cohort"
 	"pblparallel/internal/pbl"
-	"pblparallel/internal/respond"
 	"pblparallel/internal/survey"
 	"pblparallel/internal/teams"
 	"pblparallel/internal/teamwork"
@@ -73,85 +73,11 @@ type Outcome struct {
 	Sections analysis.SectionComparison
 }
 
-// Run executes the full study.
+// Run executes the full study. It is the compatibility wrapper over the
+// Study API: Run(cfg) is NewStudy(WithConfig(cfg)).Run(ctx) with a
+// background context.
 func Run(cfg StudyConfig) (*Outcome, error) {
-	coh, err := cohort.Generate(cfg.Cohort, cfg.Seed)
-	if err != nil {
-		return nil, fmt.Errorf("core: cohort: %w", err)
-	}
-	formation, err := teams.FormBalanced(coh, cfg.Teams, cfg.Seed+1)
-	if err != nil {
-		return nil, fmt.Errorf("core: teams: %w", err)
-	}
-	balance, err := formation.Report()
-	if err != nil {
-		return nil, fmt.Errorf("core: balance: %w", err)
-	}
-	module := pbl.NewPaperModule()
-	if err := module.Validate(); err != nil {
-		return nil, fmt.Errorf("core: module: %w", err)
-	}
-	activity := make(map[int]*teamwork.Log, len(formation.Teams))
-	for _, tm := range formation.Teams {
-		log, err := teamwork.SimulateTeamActivity(tm, module.SemesterWeeks, cfg.Seed+2)
-		if err != nil {
-			return nil, fmt.Errorf("core: activity: %w", err)
-		}
-		activity[tm.ID] = log
-	}
-	ins := survey.NewBeyerlein()
-	var params respond.Params
-	if cfg.Calibrate {
-		params, err = respond.PaperParams(ins)
-		if err != nil {
-			return nil, fmt.Errorf("core: calibration: %w", err)
-		}
-	} else {
-		params, err = respond.UncalibratedParams(ins)
-		if err != nil {
-			return nil, fmt.Errorf("core: uncalibrated params: %w", err)
-		}
-	}
-	gen, err := respond.NewGenerator(ins, params)
-	if err != nil {
-		return nil, fmt.Errorf("core: generator: %w", err)
-	}
-	mid, end, err := gen.Generate(len(coh.Students), cfg.Seed+3)
-	if err != nil {
-		return nil, fmt.Errorf("core: survey waves: %w", err)
-	}
-	ds := analysis.Dataset{Instrument: ins, Mid: mid, End: end}
-	report, err := analysis.Run(ds)
-	if err != nil {
-		return nil, fmt.Errorf("core: analysis: %w", err)
-	}
-	robust, err := analysis.CheckRobustness(ds)
-	if err != nil {
-		return nil, fmt.Errorf("core: robustness: %w", err)
-	}
-	sections, err := analysis.CompareSections(ds, func(id int) (int, error) {
-		s, err := coh.ByID(id)
-		if err != nil {
-			return 0, err
-		}
-		return s.Section, nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: sections: %w", err)
-	}
-	return &Outcome{
-		Cohort:         coh,
-		Formation:      formation,
-		Balance:        balance,
-		Module:         module,
-		Instrument:     ins,
-		ActivityByTeam: activity,
-		Dataset:        ds,
-		Report:         report,
-		Comparison:     analysis.Compare(report),
-		Robustness:     robust,
-		Sections:       sections,
-	}, nil
+	return NewStudy(WithConfig(cfg)).Run(context.Background())
 }
 
 // Render writes the full study report: the Fig.-1 timeline, the Fig.-2

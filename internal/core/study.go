@@ -1,0 +1,291 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"pblparallel/internal/analysis"
+	"pblparallel/internal/cohort"
+	"pblparallel/internal/pbl"
+	"pblparallel/internal/respond"
+	"pblparallel/internal/survey"
+	"pblparallel/internal/teams"
+	"pblparallel/internal/teamwork"
+)
+
+// Stage names, in execution order, reported to a StageObserver. Exported
+// so observers (the engine's metrics) can render stages in pipeline
+// order rather than alphabetically.
+var Stages = []string{
+	StageCohort, StageTeams, StageModule, StageActivity,
+	StageCalibration, StageSurveys, StageAnalysis,
+}
+
+// Stage identifiers of the study pipeline.
+const (
+	StageCohort      = "cohort"
+	StageTeams       = "teams"
+	StageModule      = "module"
+	StageActivity    = "activity"
+	StageCalibration = "calibration"
+	StageSurveys     = "surveys"
+	StageAnalysis    = "analysis"
+)
+
+// StageObserver receives the wall-time of each completed pipeline stage.
+// Implementations must be safe for concurrent use when the same observer
+// is shared across parallel studies (the engine's Metrics is).
+type StageObserver func(stage string, elapsed time.Duration)
+
+// Study is a configured, runnable instance of the reproduction. Build
+// one with NewStudy and functional options, then call Run. A Study is
+// cheap to construct; the expensive seed-independent state (the
+// Beyerlein instrument, the calibrated response-model parameters) is
+// computed once per process and shared by every Study.
+type Study struct {
+	cfg      StudyConfig
+	observer StageObserver
+	err      error // first option error, surfaced by Run
+}
+
+// Option configures a Study under construction.
+type Option func(*Study)
+
+// WithConfig replaces the whole configuration (the compatibility path
+// for callers holding a StudyConfig).
+func WithConfig(cfg StudyConfig) Option {
+	return func(s *Study) { s.cfg = cfg }
+}
+
+// WithSeed overrides the seed driving every stochastic stage.
+func WithSeed(seed int64) Option {
+	return func(s *Study) { s.cfg.Seed = seed }
+}
+
+// WithCohortSize overrides the cohort size, deriving the gender
+// composition the same way the paper's cohort scales: n/5 females
+// overall, n/10 of them in section 1. The derivation floors at zero for
+// small n, which would silently produce an all-male cohort — so sizes
+// that would do that are rejected here instead.
+func WithCohortSize(n int) Option {
+	return func(s *Study) {
+		if n%2 != 0 || n < 10 {
+			s.fail(fmt.Errorf("core: cohort size %d: must be even and >= 10 so the derived female counts (n/5 overall, n/10 in section 1) stay positive", n))
+			return
+		}
+		s.cfg.Cohort.NStudents = n
+		s.cfg.Cohort.NFemale = n / 5
+		s.cfg.Cohort.Section1Females = n / 10
+	}
+}
+
+// WithCalibration selects the calibrated response model (true, the
+// paper path) or the uncalibrated starting model (false, the ablation).
+func WithCalibration(on bool) Option {
+	return func(s *Study) { s.cfg.Calibrate = on }
+}
+
+// WithStageObserver installs a per-stage wall-time observer.
+func WithStageObserver(fn StageObserver) Option {
+	return func(s *Study) { s.observer = fn }
+}
+
+// NewStudy builds a Study from the paper's configuration plus options.
+// Option errors (an invalid cohort size, say) are deferred to Run so
+// construction stays chainable.
+func NewStudy(opts ...Option) *Study {
+	s := &Study{cfg: PaperStudy()}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Config returns the study's resolved configuration.
+func (s *Study) Config() StudyConfig { return s.cfg }
+
+// fail records the first option error.
+func (s *Study) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// observe times one stage.
+func (s *Study) observe(stage string, start time.Time) {
+	if s.observer != nil {
+		s.observer(stage, time.Since(start))
+	}
+}
+
+// Run executes the full study. The context is checked between pipeline
+// stages, so cancellation (or an engine-imposed per-run timeout) stops
+// a run promptly without leaving shared state half-built. The result
+// depends only on the configuration — never on scheduling — so parallel
+// and sequential execution produce identical outcomes.
+func (s *Study) Run(ctx context.Context) (*Outcome, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := s.cfg
+
+	check := func() error {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: run canceled: %w", err)
+		}
+		return nil
+	}
+
+	if err := check(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	coh, err := cohort.Generate(cfg.Cohort, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: cohort: %w", err)
+	}
+	s.observe(StageCohort, start)
+
+	if err := check(); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	formation, err := teams.FormBalanced(coh, cfg.Teams, cfg.Seed+1)
+	if err != nil {
+		return nil, fmt.Errorf("core: teams: %w", err)
+	}
+	balance, err := formation.Report()
+	if err != nil {
+		return nil, fmt.Errorf("core: balance: %w", err)
+	}
+	s.observe(StageTeams, start)
+
+	start = time.Now()
+	module := pbl.NewPaperModule()
+	if err := module.Validate(); err != nil {
+		return nil, fmt.Errorf("core: module: %w", err)
+	}
+	s.observe(StageModule, start)
+
+	if err := check(); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	activity := make(map[int]*teamwork.Log, len(formation.Teams))
+	for _, tm := range formation.Teams {
+		log, err := teamwork.SimulateTeamActivity(tm, module.SemesterWeeks, cfg.Seed+2)
+		if err != nil {
+			return nil, fmt.Errorf("core: activity: %w", err)
+		}
+		activity[tm.ID] = log
+	}
+	s.observe(StageActivity, start)
+
+	if err := check(); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	ins := sharedInstrument()
+	params, err := sharedParams(cfg.Calibrate)
+	if err != nil {
+		return nil, fmt.Errorf("core: calibration: %w", err)
+	}
+	gen, err := respond.NewGenerator(ins, params)
+	if err != nil {
+		return nil, fmt.Errorf("core: generator: %w", err)
+	}
+	s.observe(StageCalibration, start)
+
+	if err := check(); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	mid, end, err := gen.Generate(len(coh.Students), cfg.Seed+3)
+	if err != nil {
+		return nil, fmt.Errorf("core: survey waves: %w", err)
+	}
+	s.observe(StageSurveys, start)
+
+	if err := check(); err != nil {
+		return nil, err
+	}
+	start = time.Now()
+	ds := analysis.Dataset{Instrument: ins, Mid: mid, End: end}
+	report, err := analysis.Run(ds)
+	if err != nil {
+		return nil, fmt.Errorf("core: analysis: %w", err)
+	}
+	robust, err := analysis.CheckRobustness(ds)
+	if err != nil {
+		return nil, fmt.Errorf("core: robustness: %w", err)
+	}
+	sections, err := analysis.CompareSections(ds, func(id int) (int, error) {
+		st, err := coh.ByID(id)
+		if err != nil {
+			return 0, err
+		}
+		return st.Section, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: sections: %w", err)
+	}
+	s.observe(StageAnalysis, start)
+
+	return &Outcome{
+		Cohort:         coh,
+		Formation:      formation,
+		Balance:        balance,
+		Module:         module,
+		Instrument:     ins,
+		ActivityByTeam: activity,
+		Dataset:        ds,
+		Report:         report,
+		Comparison:     analysis.Compare(report),
+		Robustness:     robust,
+		Sections:       sections,
+	}, nil
+}
+
+// Seed-independent shared state: the instrument and the response-model
+// parameters do not depend on the study seed, yet the old facade
+// rebuilt (and for the ablation, re-derived) them on every run. Under
+// the engine's worker pool that would multiply the cost by the sweep
+// size, so they are computed once per process. The instrument is
+// treated as immutable by every consumer; Params values are handed to
+// respond.NewGenerator, which deep-copies before use.
+var (
+	insOnce   sync.Once
+	insShared *survey.Instrument
+
+	calOnce   sync.Once
+	calParams respond.Params
+	calErr    error
+
+	uncalOnce   sync.Once
+	uncalParams respond.Params
+	uncalErr    error
+)
+
+// sharedInstrument returns the process-wide Beyerlein instrument.
+func sharedInstrument() *survey.Instrument {
+	insOnce.Do(func() { insShared = survey.NewBeyerlein() })
+	return insShared
+}
+
+// sharedParams returns the process-wide response-model parameters for
+// the requested calibration mode. Concurrent first callers block on the
+// single calibration instead of racing to repeat it.
+func sharedParams(calibrate bool) (respond.Params, error) {
+	ins := sharedInstrument()
+	if calibrate {
+		calOnce.Do(func() { calParams, calErr = respond.PaperParams(ins) })
+		return calParams, calErr
+	}
+	uncalOnce.Do(func() { uncalParams, uncalErr = respond.UncalibratedParams(ins) })
+	return uncalParams, uncalErr
+}

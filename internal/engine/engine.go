@@ -1,0 +1,273 @@
+// Package engine is the parallel study-execution engine: it fans
+// core.Run out over a bounded worker pool with deterministic seed
+// streams, context cancellation with partial-result collection, a
+// per-run timeout, and an observability surface (Metrics).
+//
+// Determinism is the design constraint the whole API serves. Every
+// multi-run path in the repo (the sensitivity sweep, the what-if
+// projection, the replication example) must produce byte-identical
+// output no matter how many workers execute it or how the scheduler
+// interleaves them. The engine guarantees that by construction: run i
+// draws its seed from a pure function of (stream, i), each run's
+// randomness is fully internal to core.Run, and results are collected
+// into a slice indexed by i — completion order never influences the
+// output. This mirrors the course's own OpenMP patternlets, where the
+// parallel loop owns per-iteration state and the reduction is
+// order-insensitive.
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pblparallel/internal/core"
+)
+
+// ErrCanceled is the sentinel wrapped by Sweep and Map when the caller's
+// context ends before every run completes. Test with errors.Is.
+var ErrCanceled = errors.New("engine: canceled before all runs completed")
+
+// SeedStream derives the seed of run i. Implementations must be pure:
+// the same i always yields the same seed, independent of call order —
+// that is what makes a parallel sweep reproducible.
+type SeedStream func(i int) int64
+
+// SequentialSeeds streams start, start+1, start+2, … — the historical
+// sweep convention, kept so existing sensitivity baselines stay
+// byte-identical.
+func SequentialSeeds(start int64) SeedStream {
+	return func(i int) int64 { return start + int64(i) }
+}
+
+// SplitMixSeeds streams well-mixed 64-bit seeds derived from base by
+// the SplitMix64 finalizer. Unlike SequentialSeeds, nearby indices give
+// statistically unrelated seeds, so sweeps at different bases do not
+// share runs. Output i is the i-th value of a SplitMix64 generator
+// seeded with base, computed directly (no sequential state), so any
+// worker can derive any run's seed independently.
+func SplitMixSeeds(base int64) SeedStream {
+	const gamma = 0x9E3779B97F4A7C15
+	return func(i int) int64 {
+		z := uint64(base) + (uint64(i)+1)*gamma
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		return int64(z ^ (z >> 31))
+	}
+}
+
+// Engine executes studies over a bounded worker pool. The zero value is
+// not usable; construct with New.
+type Engine struct {
+	workers int
+	timeout time.Duration
+	metrics *Metrics
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers bounds the pool; n <= 0 selects runtime.NumCPU().
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.workers = n
+		}
+	}
+}
+
+// WithRunTimeout bounds each individual run's wall time. A run that
+// exceeds it fails with context.DeadlineExceeded in its RunResult.Err;
+// the sweep itself continues.
+func WithRunTimeout(d time.Duration) Option {
+	return func(e *Engine) { e.timeout = d }
+}
+
+// WithMetrics attaches an observability sink shared by every run.
+func WithMetrics(m *Metrics) Option {
+	return func(e *Engine) { e.metrics = m }
+}
+
+// New builds an engine with runtime.NumCPU() workers unless overridden.
+func New(opts ...Option) *Engine {
+	e := &Engine{workers: runtime.NumCPU()}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Workers reports the pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Metrics returns the attached metrics sink (nil when none).
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// RunResult is one study execution inside a sweep.
+type RunResult struct {
+	Index   int
+	Seed    int64
+	Outcome *core.Outcome
+	Err     error
+	Elapsed time.Duration
+}
+
+// SweepResult collects a sweep's completed runs in index order.
+type SweepResult struct {
+	// Runs holds every run that finished (successfully or not) before
+	// cancellation, ordered by Index. On an uncanceled sweep it has
+	// exactly Requested entries.
+	Runs []RunResult
+	// Requested is the run count asked for; Workers the pool bound used.
+	Requested int
+	Workers   int
+	// Elapsed is the sweep's wall time.
+	Elapsed time.Duration
+}
+
+// FirstErr returns the lowest-index run error, or nil. The lowest index
+// — not the first in completion order — keeps error reporting
+// deterministic under parallelism.
+func (r *SweepResult) FirstErr() error {
+	for i := range r.Runs {
+		if r.Runs[i].Err != nil {
+			return fmt.Errorf("engine: run %d (seed %d): %w", r.Runs[i].Index, r.Runs[i].Seed, r.Runs[i].Err)
+		}
+	}
+	return nil
+}
+
+// Sweep executes n studies built from cfg, run i overriding the seed
+// with seeds(i), fanned over the worker pool. Per-run errors are
+// recorded in their RunResult and do not abort the sweep. The returned
+// error is non-nil only when ctx ends early, in which case it wraps
+// ErrCanceled and the SweepResult still carries every run that
+// completed — partial-result collection, not all-or-nothing.
+func (e *Engine) Sweep(ctx context.Context, cfg core.StudyConfig, seeds SeedStream, n int) (*SweepResult, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("engine: negative run count %d", n)
+	}
+	if seeds == nil {
+		return nil, errors.New("engine: nil seed stream")
+	}
+	begin := time.Now()
+	results := make([]RunResult, n)
+	done := make([]bool, n)
+
+	e.mapIndexed(ctx, n, func(runCtx context.Context, i int) {
+		seed := seeds(i)
+		opts := []core.Option{core.WithConfig(cfg), core.WithSeed(seed)}
+		if e.metrics != nil {
+			opts = append(opts, core.WithStageObserver(e.metrics.ObserveStage))
+		}
+		e.metrics.runStarted()
+		start := time.Now()
+		out, err := core.NewStudy(opts...).Run(runCtx)
+		elapsed := time.Since(start)
+		if err != nil {
+			e.metrics.runFailed(elapsed)
+		} else {
+			e.metrics.runCompleted(elapsed)
+		}
+		results[i] = RunResult{Index: i, Seed: seed, Outcome: out, Err: err, Elapsed: elapsed}
+		done[i] = true
+	})
+
+	sr := &SweepResult{Requested: n, Workers: e.workers, Elapsed: time.Since(begin)}
+	for i := 0; i < n; i++ {
+		if done[i] {
+			sr.Runs = append(sr.Runs, results[i])
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return sr, fmt.Errorf("engine: %d/%d runs completed: %w (%w)", len(sr.Runs), n, ErrCanceled, err)
+	}
+	return sr, nil
+}
+
+// mapIndexed drives the pool: workers pull indices from a shared
+// channel until it drains or ctx ends, applying fn under the per-run
+// timeout. fn must handle its own errors; each index is attempted at
+// most once.
+func (e *Engine) mapIndexed(ctx context.Context, n int, fn func(ctx context.Context, i int)) {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			// The explicit check matters when ctx is already dead: select
+			// alone would still hand out indices at random.
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				runCtx := ctx
+				cancel := context.CancelFunc(func() {})
+				if e.timeout > 0 {
+					runCtx, cancel = context.WithTimeout(ctx, e.timeout)
+				}
+				fn(runCtx, i)
+				cancel()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) over the engine's pool and
+// returns the results indexed by i. Unlike Sweep it is generic (any
+// per-run work, not just studies) and fail-fast: the first error (by
+// index, for determinism) cancels the remaining runs and is returned.
+// On caller cancellation the error wraps ErrCanceled. It is the
+// building block non-sweep callers (the what-if projection, the
+// replication example) use to parallelize heterogeneous work.
+func Map[T any](ctx context.Context, e *Engine, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	mapCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	e.mapIndexed(mapCtx, n, func(runCtx context.Context, i int) {
+		v, err := fn(runCtx, i)
+		if err != nil {
+			errs[i] = err
+			cancel() // fail fast: stop handing out further indices
+			return
+		}
+		results[i] = v
+	})
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("engine: map: %w (%w)", ErrCanceled, err)
+	}
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("engine: map run %d: %w", i, err)
+		}
+	}
+	// The fail-fast cancel may have stopped index distribution before
+	// every run executed even though no error is visible yet (a racing
+	// worker observed mapCtx done). With no recorded error and a live
+	// caller context that cannot happen: cancel() is only called after
+	// an error is stored. So reaching here means every index ran.
+	return results, nil
+}

@@ -1,0 +1,258 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pblparallel/internal/core"
+)
+
+// histBounds are the wall-time histogram bucket upper bounds; a final
+// overflow bucket catches everything above the last bound.
+var histBounds = []time.Duration{
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+}
+
+// Histogram is a fixed-bucket wall-time histogram. It records exact
+// count/sum/min/max alongside the buckets, so means are exact and only
+// quantiles are bucket-resolution estimates.
+type Histogram struct {
+	Counts   []int64 // len(histBounds)+1; last bucket is overflow
+	N        int64
+	Sum      time.Duration
+	Min, Max time.Duration
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{Counts: make([]int64, len(histBounds)+1)}
+}
+
+// observe records one duration.
+func (h *Histogram) observe(d time.Duration) {
+	i := sort.Search(len(histBounds), func(i int) bool { return d <= histBounds[i] })
+	h.Counts[i]++
+	h.N++
+	h.Sum += d
+	if h.N == 1 || d < h.Min {
+		h.Min = d
+	}
+	if d > h.Max {
+		h.Max = d
+	}
+}
+
+// Mean is the exact average of the observed durations.
+func (h *Histogram) Mean() time.Duration {
+	if h.N == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.N)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket containing it; the overflow bucket reports the exact Max.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.N == 0 {
+		return 0
+	}
+	rank := int64(q * float64(h.N))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(histBounds) {
+				return histBounds[i]
+			}
+			return h.Max
+		}
+	}
+	return h.Max
+}
+
+// clone deep-copies the histogram.
+func (h *Histogram) clone() *Histogram {
+	cp := *h
+	cp.Counts = append([]int64(nil), h.Counts...)
+	return &cp
+}
+
+// Metrics is the engine's observability surface: started / completed /
+// failed run counters, per-stage and whole-run wall-time histograms,
+// and throughput over the observation window. All methods are safe for
+// concurrent use and safe on a nil receiver (a disabled sink).
+type Metrics struct {
+	started   atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+
+	mu     sync.Mutex
+	begin  time.Time // first run start
+	end    time.Time // last run finish
+	stages map[string]*Histogram
+	run    *Histogram
+}
+
+// NewMetrics builds an empty sink.
+func NewMetrics() *Metrics {
+	return &Metrics{stages: make(map[string]*Histogram), run: newHistogram()}
+}
+
+// ObserveStage records one pipeline stage's wall time. It has the
+// core.StageObserver signature so it can be installed directly on a
+// Study.
+func (m *Metrics) ObserveStage(stage string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.stages[stage]
+	if !ok {
+		h = newHistogram()
+		m.stages[stage] = h
+	}
+	h.observe(d)
+}
+
+func (m *Metrics) runStarted() {
+	if m == nil {
+		return
+	}
+	m.started.Add(1)
+	m.mu.Lock()
+	if m.begin.IsZero() {
+		m.begin = time.Now()
+	}
+	m.mu.Unlock()
+}
+
+func (m *Metrics) runFinished(d time.Duration, failed bool) {
+	if m == nil {
+		return
+	}
+	if failed {
+		m.failed.Add(1)
+	} else {
+		m.completed.Add(1)
+	}
+	m.mu.Lock()
+	m.run.observe(d)
+	m.end = time.Now()
+	m.mu.Unlock()
+}
+
+func (m *Metrics) runCompleted(d time.Duration) { m.runFinished(d, false) }
+func (m *Metrics) runFailed(d time.Duration)    { m.runFinished(d, true) }
+
+// Snapshot is a consistent point-in-time copy of the metrics.
+type Snapshot struct {
+	Started, Completed, Failed int64
+	// Window is the wall time from the first run start to the last run
+	// finish; Throughput is completed runs per second over it.
+	Window     time.Duration
+	Throughput float64
+	Run        *Histogram
+	Stages     map[string]*Histogram
+}
+
+// Snapshot copies the current state.
+func (m *Metrics) Snapshot() Snapshot {
+	if m == nil {
+		return Snapshot{Run: newHistogram(), Stages: map[string]*Histogram{}}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		Started:   m.started.Load(),
+		Completed: m.completed.Load(),
+		Failed:    m.failed.Load(),
+		Run:       m.run.clone(),
+		Stages:    make(map[string]*Histogram, len(m.stages)),
+	}
+	for k, h := range m.stages {
+		s.Stages[k] = h.clone()
+	}
+	if !m.begin.IsZero() && m.end.After(m.begin) {
+		s.Window = m.end.Sub(m.begin)
+		if secs := s.Window.Seconds(); secs > 0 {
+			s.Throughput = float64(s.Completed) / secs
+		}
+	}
+	return s
+}
+
+// Render writes the human-readable metrics report: counters,
+// throughput, and one histogram line per pipeline stage (in core's
+// pipeline order, then any unknown stages alphabetically, then the
+// whole-run line).
+func (m *Metrics) Render(w io.Writer) error {
+	s := m.Snapshot()
+	if _, err := fmt.Fprintf(w, "engine metrics: started=%d completed=%d failed=%d window=%s throughput=%.1f runs/s\n",
+		s.Started, s.Completed, s.Failed, s.Window.Round(time.Millisecond), s.Throughput); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "  %-13s %6s %10s %10s %10s %10s\n", "stage", "count", "mean", "p50", "p95", "max"); err != nil {
+		return err
+	}
+	line := func(name string, h *Histogram) error {
+		_, err := fmt.Fprintf(w, "  %-13s %6d %10s %10s %10s %10s\n",
+			name, h.N, round(h.Mean()), round(h.Quantile(0.50)), round(h.Quantile(0.95)), round(h.Max))
+		return err
+	}
+	seen := map[string]bool{}
+	for _, st := range core.Stages {
+		if h, ok := s.Stages[st]; ok {
+			seen[st] = true
+			if err := line(st, h); err != nil {
+				return err
+			}
+		}
+	}
+	var extra []string
+	for st := range s.Stages {
+		if !seen[st] {
+			extra = append(extra, st)
+		}
+	}
+	sort.Strings(extra)
+	for _, st := range extra {
+		if err := line(st, s.Stages[st]); err != nil {
+			return err
+		}
+	}
+	return line("run", s.Run)
+}
+
+// round trims histogram durations to a readable resolution.
+func round(d time.Duration) time.Duration {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond)
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond)
+	default:
+		return d.Round(time.Microsecond)
+	}
+}

@@ -8,10 +8,12 @@
 package sensitivity
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"pblparallel/internal/core"
+	"pblparallel/internal/engine"
 	"pblparallel/internal/stats"
 )
 
@@ -52,25 +54,49 @@ type Result struct {
 	ClaimRates map[string]float64
 }
 
+// Options tunes how the sweep executes. Execution shape never changes
+// the numbers: the engine guarantees the result is identical for any
+// worker count.
+type Options struct {
+	// Workers bounds the engine pool; 0 selects runtime.NumCPU().
+	Workers int
+	// Metrics, when non-nil, collects per-stage wall-time histograms
+	// and run counters across the sweep.
+	Metrics *engine.Metrics
+}
+
 // Run executes the study under `seeds` consecutive seeds starting at
 // start, collecting distributions. The per-run configuration is the
-// paper's except for the seed.
+// paper's except for the seed. It is the convenience form of RunSweep
+// with a background context and default options (all CPUs, no metrics).
 func Run(start int64, seeds int) (*Result, error) {
+	return RunSweep(context.Background(), start, seeds, Options{})
+}
+
+// RunSweep is Run with cancellation and execution options. The sweep
+// fans out over the engine's worker pool; the aggregation consumes
+// results in seed order, so the Result — and its rendering — is
+// byte-identical to a sequential loop for any worker count.
+func RunSweep(ctx context.Context, start int64, seeds int, opts Options) (*Result, error) {
 	if seeds < 3 {
 		return nil, fmt.Errorf("sensitivity: need at least 3 seeds, got %d", seeds)
+	}
+	cfg := core.PaperStudy()
+	eng := engine.New(engine.WithWorkers(opts.Workers), engine.WithMetrics(opts.Metrics))
+	sweep, err := eng.Sweep(ctx, cfg, engine.SequentialSeeds(start), seeds)
+	if err != nil {
+		return nil, fmt.Errorf("sensitivity: %w", err)
+	}
+	if err := sweep.FirstErr(); err != nil {
+		return nil, fmt.Errorf("sensitivity: %w", err)
 	}
 	var (
 		eds, gds, ets, gts []float64
 		claimHits          = map[string]int{}
 		claimTotal         int
 	)
-	cfg := core.PaperStudy()
-	for s := int64(0); s < int64(seeds); s++ {
-		cfg.Seed = start + s
-		o, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("sensitivity: seed %d: %w", cfg.Seed, err)
-		}
+	for _, run := range sweep.Runs {
+		o := run.Outcome
 		eds = append(eds, o.Report.Table2.D)
 		gds = append(gds, o.Report.Table3.D)
 		ets = append(ets, o.Report.Table1.ClassEmphasis.T)
@@ -85,7 +111,6 @@ func Run(start int64, seeds int) (*Result, error) {
 		}
 	}
 	out := &Result{Seeds: seeds, N: cfg.Cohort.NStudents, ClaimRates: map[string]float64{}}
-	var err error
 	if out.EmphasisD, err = summarize(eds); err != nil {
 		return nil, err
 	}

@@ -1,9 +1,14 @@
 package sensitivity
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
+
+	"pblparallel/internal/engine"
 )
 
 var (
@@ -109,5 +114,40 @@ func TestRender(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	if _, err := Run(1, 2); err == nil {
 		t.Fatal("too few seeds accepted")
+	}
+}
+
+// TestParallelMatchesSequentialBaseline is the engine's contract seen
+// from the caller: the sweep's Result — including its rendered report —
+// is byte-identical to the sequential baseline for worker counts 1, 2,
+// and 8.
+func TestParallelMatchesSequentialBaseline(t *testing.T) {
+	run := func(workers int) *Result {
+		r, err := RunSweep(context.Background(), 20180800, 12, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	baseline := run(1)
+	for _, workers := range []int{2, 8} {
+		got := run(workers)
+		if !reflect.DeepEqual(got, baseline) {
+			t.Errorf("workers=%d result diverged from sequential baseline:\n%+v\nvs\n%+v", workers, got, baseline)
+		}
+		if got.Render() != baseline.Render() {
+			t.Errorf("workers=%d rendered report not byte-identical", workers)
+		}
+	}
+}
+
+// TestSweepCancellationSurfacesSentinel: a canceled sweep reports the
+// engine's sentinel instead of a partial aggregate.
+func TestSweepCancellationSurfacesSentinel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunSweep(ctx, 1, 10, Options{Workers: 2})
+	if !errors.Is(err, engine.ErrCanceled) {
+		t.Fatalf("err = %v, want engine.ErrCanceled", err)
 	}
 }

@@ -14,9 +14,11 @@
 package whatif
 
 import (
+	"context"
 	"fmt"
 
 	"pblparallel/internal/analysis"
+	"pblparallel/internal/engine"
 	"pblparallel/internal/paperdata"
 	"pblparallel/internal/respond"
 	"pblparallel/internal/stats"
@@ -116,27 +118,21 @@ func adjustTargets(t respond.Targets, iv Intervention) respond.Targets {
 // n is the cohort size (use a large n for a stable projection; the
 // paper's 124 carries its usual sampling error).
 func Project(iv Intervention, n int, seed int64) (*Projection, error) {
+	return ProjectOn(context.Background(), engine.New(), iv, n, seed)
+}
+
+// ProjectOn is Project running its two branches — baseline calibration
+// + generation, adjusted calibration + generation — as independent
+// jobs on the supplied engine. Each branch derives its randomness only
+// from seed, so the projection is identical to the sequential path
+// regardless of worker count.
+func ProjectOn(ctx context.Context, eng *engine.Engine, iv Intervention, n int, seed int64) (*Projection, error) {
 	ins := survey.NewBeyerlein()
 	if err := iv.Validate(ins); err != nil {
 		return nil, err
 	}
 	if n < 8 {
 		return nil, fmt.Errorf("whatif: n %d too small", n)
-	}
-	baseParams, err := respond.PaperParams(ins)
-	if err != nil {
-		return nil, err
-	}
-	adjusted := adjustTargets(respond.PaperTargets(), iv)
-	// A shorter calibration suffices: the adjusted targets differ from
-	// the already-calibrated baseline in only one skill.
-	projParams, _, err := respond.Calibrate(ins, adjusted, respond.CalibrateOptions{
-		Iterations: 25,
-		SampleSize: 1200,
-		Seed:       seed,
-	})
-	if err != nil {
-		return nil, err
 	}
 	row := func(params respond.Params) (analysis.Table4Row, float64, error) {
 		g, err := respond.NewGenerator(ins, params)
@@ -159,20 +155,43 @@ func Project(iv Intervention, n int, seed int64) (*Projection, error) {
 		}
 		return rep.Table4[iv.Skill], comp, nil
 	}
-	base, baseComp, err := row(baseParams)
-	if err != nil {
-		return nil, err
+	type branch struct {
+		row  analysis.Table4Row
+		comp float64
 	}
-	proj, projComp, err := row(projParams)
+	branches := []func() (respond.Params, error){
+		// Branch 0: the Fall 2018 baseline calibration.
+		func() (respond.Params, error) { return respond.PaperParams(ins) },
+		// Branch 1: recalibrate against the adjusted targets. A shorter
+		// calibration suffices: they differ from the already-calibrated
+		// baseline in only one skill.
+		func() (respond.Params, error) {
+			adjusted := adjustTargets(respond.PaperTargets(), iv)
+			p, _, err := respond.Calibrate(ins, adjusted, respond.CalibrateOptions{
+				Iterations: 25,
+				SampleSize: 1200,
+				Seed:       seed,
+			})
+			return p, err
+		},
+	}
+	results, err := engine.Map(ctx, eng, len(branches), func(_ context.Context, i int) (branch, error) {
+		params, err := branches[i]()
+		if err != nil {
+			return branch{}, err
+		}
+		r, comp, err := row(params)
+		return branch{row: r, comp: comp}, err
+	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("whatif: %w", err)
 	}
 	return &Projection{
 		Intervention:             iv,
-		Baseline:                 base,
-		Projected:                proj,
-		BaselineGrowthComposite:  baseComp,
-		ProjectedGrowthComposite: projComp,
+		Baseline:                 results[0].row,
+		Projected:                results[1].row,
+		BaselineGrowthComposite:  results[0].comp,
+		ProjectedGrowthComposite: results[1].comp,
 		N:                        n,
 	}, nil
 }
