@@ -17,6 +17,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench: the engine's sequential-vs-parallel sweep benchmarks.
+## bench: the engine's sequential-vs-parallel sweep benchmarks plus the
+## tracer span micro-benchmarks, recorded to BENCH_PR2.json via benchjson.
 bench:
-	$(GO) test ./internal/engine/ -bench 'Sweep200' -benchtime 2x -run '^$$'
+	{ $(GO) test ./internal/engine/ -bench 'Sweep200' -benchtime 2x -run '^$$' && \
+	  $(GO) test ./internal/obs/ -bench 'Span' -benchmem -run '^$$'; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR2.json

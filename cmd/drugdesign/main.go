@@ -15,15 +15,26 @@ import (
 	"text/tabwriter"
 
 	"pblparallel/internal/drugdesign"
+	"pblparallel/internal/obs"
 	"pblparallel/internal/pisim"
 )
+
+// sess is the process observability session; fail closes it so a
+// -trace file is flushed even on error exits.
+var sess *obs.Session
 
 func main() {
 	ligands := flag.Int("ligands", 120, "number of candidate ligands")
 	maxlen := flag.Int("maxlen", 5, "maximum ligand length")
 	threads := flag.Int("threads", 4, "thread count for the parallel versions")
 	seed := flag.Int64("seed", 101, "ligand-generation seed")
+	obsCLI := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	var err error
+	sess, err = obsCLI.Start()
+	if err != nil {
+		fail(err)
+	}
 
 	p := drugdesign.PaperProblem()
 	p.NLigands = *ligands
@@ -86,9 +97,14 @@ func main() {
 	p7 := p
 	p7.MaxLigandLength = 7
 	printTable("rerun with max ligand length 7", p7, *threads)
+	if err := sess.Close(); err != nil {
+		sess = nil
+		fail(err)
+	}
 }
 
 func fail(err error) {
+	sess.Close()
 	fmt.Fprintln(os.Stderr, "drugdesign:", err)
 	os.Exit(1)
 }

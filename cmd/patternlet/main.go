@@ -13,13 +13,20 @@ import (
 	"fmt"
 	"os"
 
+	"pblparallel/internal/obs"
 	"pblparallel/internal/patternlets"
 )
 
 func main() {
 	threads := flag.Int("threads", 4, "team size (the Pi has 4 cores)")
 	list := flag.Bool("list", false, "list available patternlets and exit")
+	obsCLI := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+	sess, err := obsCLI.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "patternlet:", err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, p := range patternlets.Registry() {
@@ -41,14 +48,20 @@ func main() {
 	for _, name := range names {
 		p, err := patternlets.Lookup(name)
 		if err != nil {
+			sess.Close()
 			fmt.Fprintln(os.Stderr, "patternlet:", err)
 			os.Exit(1)
 		}
 		fmt.Printf("=== %s (assignment %d): %s ===\n", p.Name, p.Assignment, p.Summary)
 		if err := p.Demo(os.Stdout, *threads); err != nil {
+			sess.Close()
 			fmt.Fprintln(os.Stderr, "patternlet:", err)
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+	if err := sess.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "patternlet:", err)
+		os.Exit(1)
 	}
 }

@@ -23,11 +23,30 @@ import (
 
 	"pblparallel/internal/core"
 	"pblparallel/internal/engine"
+	"pblparallel/internal/obs"
 	"pblparallel/internal/pbl"
 	"pblparallel/internal/sensitivity"
 	"pblparallel/internal/survey"
 	"pblparallel/internal/whatif"
 )
+
+// startObs activates the observability flags, exiting on error. The
+// caller must run closeObs before returning (fail paths close too).
+func startObs(c *obs.CLI) *obs.Session {
+	sess, err := c.Start()
+	if err != nil {
+		fail(err)
+	}
+	return sess
+}
+
+// closeObs flushes trace/metrics files; its diagnostics go to stderr,
+// so stdout stays machine-parseable under -json.
+func closeObs(sess *obs.Session) {
+	if err := sess.Close(); err != nil {
+		fail(err)
+	}
+}
 
 func main() {
 	args := os.Args[1:]
@@ -75,7 +94,9 @@ func cmdRun(args []string) {
 	students := fs.Int("students", 0, "override the cohort size (0 keeps the paper's 124; must be even and >= 10)")
 	uncal := fs.Bool("uncalibrated", false, "use the uncalibrated response model (ablation)")
 	asJSON := fs.Bool("json", false, "emit a machine-readable summary instead of the report")
+	obsCLI := obs.BindFlags(fs)
 	fs.Parse(args)
+	sess := startObs(obsCLI)
 
 	opts := []core.Option{core.WithCalibration(!*uncal)}
 	if *seed != 0 {
@@ -84,18 +105,25 @@ func cmdRun(args []string) {
 	if *students != 0 {
 		opts = append(opts, core.WithCohortSize(*students))
 	}
+	// With a metrics sink requested, time the pipeline stages so the
+	// exported exposition carries engine_stage_duration_seconds.
+	if obsCLI.MetricsPath != "" || obsCLI.PprofAddr != "" {
+		m := engine.NewMetrics()
+		obs.Metrics().RegisterGatherer(m)
+		opts = append(opts, core.WithStageObserver(m.ObserveStage))
+	}
 	study := core.NewStudy(opts...)
 	outcome, err := study.Run(context.Background())
 	if err != nil {
+		sess.Close()
 		fail(err)
 	}
 	if *asJSON {
 		emitJSON(runSummary(study, outcome))
-		return
-	}
-	if err := outcome.Render(os.Stdout); err != nil {
+	} else if err := outcome.Render(os.Stdout); err != nil {
 		fail(err)
 	}
+	closeObs(sess)
 }
 
 // runJSON is the machine-readable study summary.
@@ -145,12 +173,15 @@ func cmdSensitivity(args []string) {
 	start := fs.Int64("start", 20180800, "first seed of the sweep")
 	workers := fs.Int("workers", 0, "engine worker pool size (0 = all CPUs)")
 	asJSON := fs.Bool("json", false, "emit the distributions as JSON instead of the report")
-	metrics := fs.Bool("metrics", false, "print engine metrics (per-stage histograms, throughput) after the sweep")
+	metrics := fs.Bool("metrics", false, "print engine metrics (per-stage histograms, throughput) to stderr after the sweep")
+	obsCLI := obs.BindFlags(fs)
 	fs.Parse(args)
+	sess := startObs(obsCLI)
 
 	opts := sensitivity.Options{Workers: *workers}
-	if *metrics {
+	if *metrics || obsCLI.MetricsPath != "" || obsCLI.PprofAddr != "" {
 		opts.Metrics = engine.NewMetrics()
+		obs.Metrics().RegisterGatherer(opts.Metrics)
 	}
 	// Ctrl-C cancels the sweep through the engine: in-flight runs stop
 	// at their next stage boundary and the error reports the partial
@@ -159,6 +190,7 @@ func cmdSensitivity(args []string) {
 	defer stop()
 	r, err := sensitivity.RunSweep(ctx, *start, *seeds, opts)
 	if err != nil {
+		sess.Close()
 		fail(err)
 	}
 	if *asJSON {
@@ -167,10 +199,13 @@ func cmdSensitivity(args []string) {
 		fmt.Print(r.Render())
 	}
 	if *metrics {
-		if err := opts.Metrics.Render(os.Stdout); err != nil {
+		// Diagnostics go to stderr: `pblstudy sensitivity -json -metrics`
+		// keeps stdout pure JSON for piping into jq or a file.
+		if err := opts.Metrics.Render(os.Stderr); err != nil {
 			fail(err)
 		}
 	}
+	closeObs(sess)
 }
 
 // cmdInstrument prints the full Fig.-2 form.
@@ -189,7 +224,9 @@ func cmdSpring2019(args []string) {
 	fs := flag.NewFlagSet("pblstudy spring2019", flag.ExitOnError)
 	n := fs.Int("n", 3000, "projection cohort size (large n stabilizes the projection)")
 	seed := fs.Int64("seed", 42, "projection seed")
+	obsCLI := obs.BindFlags(fs)
 	fs.Parse(args)
+	sess := startObs(obsCLI)
 
 	fall := pbl.NewPaperModule()
 	revised := pbl.NewSpring2019Module()
@@ -205,9 +242,11 @@ func cmdSpring2019(args []string) {
 		diff.AddedQuestionCount, diff.AddedMaterialCount)
 	proj, err := whatif.Project(whatif.TeamworkReinforcement(), *n, *seed)
 	if err != nil {
+		sess.Close()
 		fail(err)
 	}
 	fmt.Print(proj.Render())
+	closeObs(sess)
 }
 
 func emitJSON(v any) {

@@ -64,7 +64,10 @@ type Outcome struct {
 	Instrument *survey.Instrument
 	// ActivityByTeam maps team ID to its semester collaboration log.
 	ActivityByTeam map[int]*teamwork.Log
-	Dataset        analysis.Dataset
+	// Practicum is the parallel-computing practicum run on the study's
+	// own data (MPI reduction + simulated-Pi scheduling comparison).
+	Practicum *PracticumResult
+	Dataset   analysis.Dataset
 	Report         *analysis.Report
 	Comparison     analysis.Comparison
 	// Robustness holds the normality and CI checks behind the t-tests.

@@ -4,10 +4,13 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pblparallel/internal/analysis"
 	"pblparallel/internal/cohort"
+	"pblparallel/internal/obs"
+	"pblparallel/internal/omp"
 	"pblparallel/internal/pbl"
 	"pblparallel/internal/respond"
 	"pblparallel/internal/survey"
@@ -19,7 +22,7 @@ import (
 // so observers (the engine's metrics) can render stages in pipeline
 // order rather than alphabetically.
 var Stages = []string{
-	StageCohort, StageTeams, StageModule, StageActivity,
+	StageCohort, StageTeams, StageModule, StageActivity, StagePracticum,
 	StageCalibration, StageSurveys, StageAnalysis,
 }
 
@@ -29,6 +32,7 @@ const (
 	StageTeams       = "teams"
 	StageModule      = "module"
 	StageActivity    = "activity"
+	StagePracticum   = "practicum"
 	StageCalibration = "calibration"
 	StageSurveys     = "surveys"
 	StageAnalysis    = "analysis"
@@ -120,6 +124,16 @@ func (s *Study) observe(stage string, start time.Time) {
 	}
 }
 
+// traceLane hands each traced study run its own trace timeline, so
+// parallel runs under the engine don't interleave on one track. Only
+// bumped when a tracer is installed.
+var traceLane atomic.Uint32
+
+// studiesStarted counts Run calls process-wide; always on (atomic add,
+// no observable effect on study output).
+var studiesStarted = obs.Metrics().Counter("core_studies_started_total",
+	"Study pipeline executions started.")
+
 // Run executes the full study. The context is checked between pipeline
 // stages, so cancellation (or an engine-imposed per-run timeout) stops
 // a run promptly without leaving shared state half-built. The result
@@ -133,6 +147,26 @@ func (s *Study) Run(ctx context.Context) (*Outcome, error) {
 		ctx = context.Background()
 	}
 	cfg := s.cfg
+	studiesStarted.Inc()
+
+	// Tracing: one lane per run, one span per pipeline stage plus a
+	// whole-run span. tr is nil when disabled; every span call below is
+	// then an inert value operation with no allocation.
+	tr := obs.Default()
+	var lane uint32
+	if tr != nil {
+		lane = traceLane.Add(1)
+	}
+	runSpan := tr.Span(obs.PIDCore, lane, "core", "study").
+		Int("seed", cfg.Seed).Int("students", int64(cfg.Cohort.NStudents))
+	defer runSpan.End()
+	stageBegin := func(name string) (time.Time, obs.Span) {
+		return time.Now(), tr.Span(obs.PIDCore, lane, "core", name)
+	}
+	stageEnd := func(name string, start time.Time, sp obs.Span) {
+		sp.End()
+		s.observe(name, start)
+	}
 
 	check := func() error {
 		if err := ctx.Err(); err != nil {
@@ -144,17 +178,17 @@ func (s *Study) Run(ctx context.Context) (*Outcome, error) {
 	if err := check(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
+	start, sp := stageBegin(StageCohort)
 	coh, err := cohort.Generate(cfg.Cohort, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("core: cohort: %w", err)
 	}
-	s.observe(StageCohort, start)
+	stageEnd(StageCohort, start, sp)
 
 	if err := check(); err != nil {
 		return nil, err
 	}
-	start = time.Now()
+	start, sp = stageBegin(StageTeams)
 	formation, err := teams.FormBalanced(coh, cfg.Teams, cfg.Seed+1)
 	if err != nil {
 		return nil, fmt.Errorf("core: teams: %w", err)
@@ -163,33 +197,65 @@ func (s *Study) Run(ctx context.Context) (*Outcome, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: balance: %w", err)
 	}
-	s.observe(StageTeams, start)
+	stageEnd(StageTeams, start, sp)
 
-	start = time.Now()
+	start, sp = stageBegin(StageModule)
 	module := pbl.NewPaperModule()
 	if err := module.Validate(); err != nil {
 		return nil, fmt.Errorf("core: module: %w", err)
 	}
-	s.observe(StageModule, start)
+	stageEnd(StageModule, start, sp)
 
 	if err := check(); err != nil {
 		return nil, err
 	}
-	start = time.Now()
-	activity := make(map[int]*teamwork.Log, len(formation.Teams))
-	for _, tm := range formation.Teams {
-		log, err := teamwork.SimulateTeamActivity(tm, module.SemesterWeeks, cfg.Seed+2)
-		if err != nil {
-			return nil, fmt.Errorf("core: activity: %w", err)
+	start, sp = stageBegin(StageActivity)
+	// Teams simulate independently (each seeds its own RNG from the team
+	// ID), so the stage work-shares over the omp runtime — the course's
+	// own fork-join loop, with results slotted by index so scheduling
+	// never influences the outcome.
+	nTeams := len(formation.Teams)
+	logs := make([]*teamwork.Log, nTeams)
+	logErrs := make([]error, nTeams)
+	nThreads := piCores
+	if nTeams < nThreads {
+		nThreads = nTeams
+	}
+	if nThreads < 1 {
+		nThreads = 1
+	}
+	if err := omp.Parallel(func(tc *omp.ThreadContext) {
+		// For's only error is a broken barrier, which implies a panic
+		// that Parallel itself reports.
+		_ = tc.For(0, nTeams, omp.Dynamic{Chunk: 1}, func(i int) {
+			logs[i], logErrs[i] = teamwork.SimulateTeamActivity(formation.Teams[i], module.SemesterWeeks, cfg.Seed+2)
+		})
+	}, omp.WithNumThreads(nThreads)); err != nil {
+		return nil, fmt.Errorf("core: activity: %w", err)
+	}
+	activity := make(map[int]*teamwork.Log, nTeams)
+	for i, tm := range formation.Teams {
+		if logErrs[i] != nil {
+			return nil, fmt.Errorf("core: activity: %w", logErrs[i])
 		}
-		activity[tm.ID] = log
+		activity[tm.ID] = logs[i]
 	}
-	s.observe(StageActivity, start)
+	stageEnd(StageActivity, start, sp)
 
 	if err := check(); err != nil {
 		return nil, err
 	}
-	start = time.Now()
+	start, sp = stageBegin(StagePracticum)
+	practicum, err := runPracticum(formation, activity)
+	if err != nil {
+		return nil, fmt.Errorf("core: practicum: %w", err)
+	}
+	stageEnd(StagePracticum, start, sp)
+
+	if err := check(); err != nil {
+		return nil, err
+	}
+	start, sp = stageBegin(StageCalibration)
 	ins := sharedInstrument()
 	params, err := sharedParams(cfg.Calibrate)
 	if err != nil {
@@ -199,22 +265,22 @@ func (s *Study) Run(ctx context.Context) (*Outcome, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: generator: %w", err)
 	}
-	s.observe(StageCalibration, start)
+	stageEnd(StageCalibration, start, sp)
 
 	if err := check(); err != nil {
 		return nil, err
 	}
-	start = time.Now()
+	start, sp = stageBegin(StageSurveys)
 	mid, end, err := gen.Generate(len(coh.Students), cfg.Seed+3)
 	if err != nil {
 		return nil, fmt.Errorf("core: survey waves: %w", err)
 	}
-	s.observe(StageSurveys, start)
+	stageEnd(StageSurveys, start, sp)
 
 	if err := check(); err != nil {
 		return nil, err
 	}
-	start = time.Now()
+	start, sp = stageBegin(StageAnalysis)
 	ds := analysis.Dataset{Instrument: ins, Mid: mid, End: end}
 	report, err := analysis.Run(ds)
 	if err != nil {
@@ -234,7 +300,7 @@ func (s *Study) Run(ctx context.Context) (*Outcome, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: sections: %w", err)
 	}
-	s.observe(StageAnalysis, start)
+	stageEnd(StageAnalysis, start, sp)
 
 	return &Outcome{
 		Cohort:         coh,
@@ -243,6 +309,7 @@ func (s *Study) Run(ctx context.Context) (*Outcome, error) {
 		Module:         module,
 		Instrument:     ins,
 		ActivityByTeam: activity,
+		Practicum:      practicum,
 		Dataset:        ds,
 		Report:         report,
 		Comparison:     analysis.Compare(report),

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"pblparallel/internal/core"
+	"pblparallel/internal/obs"
 )
 
 // ErrCanceled is the sentinel wrapped by Sweep and Map when the caller's
@@ -157,12 +158,18 @@ func (e *Engine) Sweep(ctx context.Context, cfg core.StudyConfig, seeds SeedStre
 	results := make([]RunResult, n)
 	done := make([]bool, n)
 
-	e.mapIndexed(ctx, n, func(runCtx context.Context, i int) {
+	sweepSpan := obs.Default().Span(obs.PIDEngine, 0, "engine", "sweep").
+		Int("runs", int64(n)).Int("workers", int64(e.workers))
+	e.mapIndexed(ctx, n, func(runCtx context.Context, i, worker int) {
 		seed := seeds(i)
 		opts := []core.Option{core.WithConfig(cfg), core.WithSeed(seed)}
 		if e.metrics != nil {
 			opts = append(opts, core.WithStageObserver(e.metrics.ObserveStage))
 		}
+		// One span per run on the worker's lane: the trace shows pool
+		// utilization directly (gaps = idle workers).
+		sp := obs.Default().Span(obs.PIDEngine, uint32(worker)+1, "engine", "run").
+			Int("index", int64(i)).Int("seed", seed)
 		e.metrics.runStarted()
 		start := time.Now()
 		out, err := core.NewStudy(opts...).Run(runCtx)
@@ -172,9 +179,11 @@ func (e *Engine) Sweep(ctx context.Context, cfg core.StudyConfig, seeds SeedStre
 		} else {
 			e.metrics.runCompleted(elapsed)
 		}
+		sp.End()
 		results[i] = RunResult{Index: i, Seed: seed, Outcome: out, Err: err, Elapsed: elapsed}
 		done[i] = true
 	})
+	sweepSpan.End()
 
 	sr := &SweepResult{Requested: n, Workers: e.workers, Elapsed: time.Since(begin)}
 	for i := 0; i < n; i++ {
@@ -192,7 +201,7 @@ func (e *Engine) Sweep(ctx context.Context, cfg core.StudyConfig, seeds SeedStre
 // channel until it drains or ctx ends, applying fn under the per-run
 // timeout. fn must handle its own errors; each index is attempted at
 // most once.
-func (e *Engine) mapIndexed(ctx context.Context, n int, fn func(ctx context.Context, i int)) {
+func (e *Engine) mapIndexed(ctx context.Context, n int, fn func(ctx context.Context, i, worker int)) {
 	workers := e.workers
 	if workers > n {
 		workers = n
@@ -219,7 +228,7 @@ func (e *Engine) mapIndexed(ctx context.Context, n int, fn func(ctx context.Cont
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
 				runCtx := ctx
@@ -227,10 +236,10 @@ func (e *Engine) mapIndexed(ctx context.Context, n int, fn func(ctx context.Cont
 				if e.timeout > 0 {
 					runCtx, cancel = context.WithTimeout(ctx, e.timeout)
 				}
-				fn(runCtx, i)
+				fn(runCtx, i, worker)
 				cancel()
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }
@@ -247,7 +256,9 @@ func Map[T any](ctx context.Context, e *Engine, n int, fn func(ctx context.Conte
 	errs := make([]error, n)
 	mapCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	e.mapIndexed(mapCtx, n, func(runCtx context.Context, i int) {
+	e.mapIndexed(mapCtx, n, func(runCtx context.Context, i, worker int) {
+		sp := obs.Default().Span(obs.PIDEngine, uint32(worker)+1, "engine", "map.run").Int("index", int64(i))
+		defer sp.End()
 		v, err := fn(runCtx, i)
 		if err != nil {
 			errs[i] = err

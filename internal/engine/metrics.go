@@ -3,12 +3,14 @@ package engine
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"pblparallel/internal/core"
+	"pblparallel/internal/obs"
 )
 
 // histBounds are the wall-time histogram bucket upper bounds; a final
@@ -68,27 +70,70 @@ func (h *Histogram) Mean() time.Duration {
 	return h.Sum / time.Duration(h.N)
 }
 
-// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
-// the bucket containing it; the overflow bucket reports the exact Max.
+// Quantile estimates the q-quantile (0 < q <= 1) by linear
+// interpolation within the bucket containing it, clamped to the exact
+// observed [Min, Max]. The clamp makes degenerate cases exact: a
+// single-observation histogram returns that observation for every q.
+// The unbounded overflow bucket interpolates over [last bound, Max] —
+// the exact Max substitutes for the missing upper edge, so a
+// single-observation overflow bucket is also exact.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h.N == 0 {
 		return 0
 	}
-	rank := int64(q * float64(h.N))
-	if rank < 1 {
-		rank = 1
+	if q >= 1 {
+		return h.Max
 	}
+	rank := q * float64(h.N)
 	var cum int64
 	for i, c := range h.Counts {
+		prev := cum
 		cum += c
-		if cum >= rank {
-			if i < len(histBounds) {
-				return histBounds[i]
-			}
-			return h.Max
+		if c == 0 || float64(cum) < rank {
+			continue
 		}
+		var lower, upper time.Duration
+		if i >= len(histBounds) {
+			lower, upper = histBounds[len(histBounds)-1], h.Max
+			if h.Min > lower {
+				lower = h.Min
+			}
+		} else {
+			if i > 0 {
+				lower = histBounds[i-1]
+			}
+			upper = histBounds[i]
+		}
+		frac := (rank - float64(prev)) / float64(c)
+		v := lower + time.Duration(frac*float64(upper-lower))
+		return clampDuration(v, h.Min, h.Max)
 	}
 	return h.Max
+}
+
+// clampDuration bounds v to [lo, hi].
+func clampDuration(v, lo, hi time.Duration) time.Duration {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// QuantileSummary is the standard latency triple.
+type QuantileSummary struct {
+	P50, P95, P99 time.Duration
+}
+
+// Quantiles exports the bucket-interpolated p50/p95/p99 estimates.
+func (h *Histogram) Quantiles() QuantileSummary {
+	return QuantileSummary{
+		P50: h.Quantile(0.50),
+		P95: h.Quantile(0.95),
+		P99: h.Quantile(0.99),
+	}
 }
 
 // clone deep-copies the histogram.
@@ -243,6 +288,65 @@ func (m *Metrics) Render(w io.Writer) error {
 		}
 	}
 	return line("run", s.Run)
+}
+
+// histFamilyPoint converts one engine Histogram into an obs histogram
+// point (bounds in seconds, cumulative bucket counts).
+func histFamilyPoint(h *Histogram, labels ...obs.Label) obs.Point {
+	p := obs.Point{
+		Labels:  labels,
+		Sum:     h.Sum.Seconds(),
+		Count:   uint64(h.N),
+		Buckets: make([]obs.Bucket, 0, len(histBounds)+1),
+	}
+	var cum uint64
+	for i, b := range histBounds {
+		cum += uint64(h.Counts[i])
+		p.Buckets = append(p.Buckets, obs.Bucket{UpperBound: b.Seconds(), CumulativeCount: cum})
+	}
+	cum += uint64(h.Counts[len(histBounds)])
+	p.Buckets = append(p.Buckets, obs.Bucket{UpperBound: math.Inf(1), CumulativeCount: cum})
+	return p
+}
+
+// GatherMetrics implements obs.Gatherer: the engine's counters and
+// histograms unify into the obs registry's Prometheus/expvar renderers
+// without duplicating state — the registry snapshots this sink at
+// render time. Register with obs.Metrics().RegisterGatherer(m).
+func (m *Metrics) GatherMetrics() []obs.Family {
+	s := m.Snapshot()
+	stagePoints := make([]obs.Point, 0, len(s.Stages))
+	seen := map[string]bool{}
+	for _, st := range core.Stages {
+		if h, ok := s.Stages[st]; ok {
+			seen[st] = true
+			stagePoints = append(stagePoints, histFamilyPoint(h, obs.Label{Key: "stage", Value: st}))
+		}
+	}
+	var extra []string
+	for st := range s.Stages {
+		if !seen[st] {
+			extra = append(extra, st)
+		}
+	}
+	sort.Strings(extra)
+	for _, st := range extra {
+		stagePoints = append(stagePoints, histFamilyPoint(s.Stages[st], obs.Label{Key: "stage", Value: st}))
+	}
+	return []obs.Family{
+		{Name: "engine_runs_started_total", Help: "Study runs started.", Type: "counter",
+			Points: []obs.Point{{Value: float64(s.Started)}}},
+		{Name: "engine_runs_completed_total", Help: "Study runs completed successfully.", Type: "counter",
+			Points: []obs.Point{{Value: float64(s.Completed)}}},
+		{Name: "engine_runs_failed_total", Help: "Study runs that returned an error.", Type: "counter",
+			Points: []obs.Point{{Value: float64(s.Failed)}}},
+		{Name: "engine_throughput_runs_per_second", Help: "Completed runs per second over the observation window.", Type: "gauge",
+			Points: []obs.Point{{Value: s.Throughput}}},
+		{Name: "engine_run_duration_seconds", Help: "Whole-run wall time.", Type: "histogram",
+			Points: []obs.Point{histFamilyPoint(s.Run)}},
+		{Name: "engine_stage_duration_seconds", Help: "Per-stage wall time of the study pipeline.", Type: "histogram",
+			Points: stagePoints},
+	}
 }
 
 // round trims histogram durations to a readable resolution.

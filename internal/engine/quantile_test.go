@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantileSingleObservation: with one sample, every quantile must
+// return exactly that sample — the Min/Max clamp makes the bucket
+// interpolation degenerate to the observed value.
+func TestQuantileSingleObservation(t *testing.T) {
+	h := newHistogram()
+	d := 3 * time.Millisecond
+	h.observe(d)
+	for _, q := range []float64{0.01, 0.5, 0.95, 0.99, 1} {
+		if got := h.Quantile(q); got != d {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, d)
+		}
+	}
+	qs := h.Quantiles()
+	if qs.P50 != d || qs.P95 != d || qs.P99 != d {
+		t.Errorf("Quantiles() = %+v, want all %v", qs, d)
+	}
+}
+
+// TestQuantileOverflowBucket: samples past the last finite bound land in
+// the overflow bucket, which has no upper edge to interpolate toward —
+// the estimate must report the exact observed Max, not +Inf or a bound.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := newHistogram()
+	h.observe(15 * time.Second) // beyond the 10s top bound
+	h.observe(20 * time.Second)
+	// Overflow interpolates over [Min=15s, Max=20s]:
+	// p25 has rank 0.5 of 2 → fraction 0.25 → 16.25s;
+	// p99 has rank 1.98 → fraction 0.99 → 19.95s.
+	if got, want := h.Quantile(0.25), 16250*time.Millisecond; got != want {
+		t.Errorf("p25 in overflow = %v, want %v", got, want)
+	}
+	if got, want := h.Quantile(0.99), 19950*time.Millisecond; got != want {
+		t.Errorf("p99 in overflow = %v, want %v", got, want)
+	}
+	if got := h.Quantile(1); got != 20*time.Second {
+		t.Errorf("p100 = %v, want exact Max 20s", got)
+	}
+
+	solo := newHistogram()
+	solo.observe(time.Minute)
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if got := solo.Quantile(q); got != time.Minute {
+			t.Errorf("single overflow observation Quantile(%v) = %v, want 1m", q, got)
+		}
+	}
+}
+
+// TestQuantileInterpolatesWithinBucket: many samples spread over buckets
+// give monotone estimates bounded by the observed range.
+func TestQuantileInterpolatesWithinBucket(t *testing.T) {
+	h := newHistogram()
+	for i := 1; i <= 100; i++ {
+		h.observe(time.Duration(i) * time.Millisecond)
+	}
+	prev := time.Duration(0)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.95, 0.99} {
+		got := h.Quantile(q)
+		if got < h.Min || got > h.Max {
+			t.Errorf("Quantile(%v) = %v outside [%v,%v]", q, got, h.Min, h.Max)
+		}
+		if got < prev {
+			t.Errorf("Quantile(%v) = %v < previous %v (not monotone)", q, got, prev)
+		}
+		prev = got
+	}
+	// p50 of 1..100ms should land in the (25ms,50ms] bucket.
+	if p50 := h.Quantile(0.5); p50 <= 25*time.Millisecond || p50 > 50*time.Millisecond {
+		t.Errorf("p50 = %v, want within (25ms,50ms]", p50)
+	}
+	if h.Quantile(0) == 0 && h.N > 0 {
+		// q=0 is out of contract (0 < q <= 1) but must not panic; any
+		// clamped value is fine. Reaching here is the assertion.
+		_ = prev
+	}
+}
+
+// TestQuantileEmptyHistogram: no observations → zero, not a panic.
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := newHistogram()
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+}

@@ -1,6 +1,16 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"pblparallel/internal/obs"
+)
+
+// collectiveSpan opens a per-rank span for one collective operation;
+// inert (zero Span) when tracing is disabled.
+func collectiveSpan(c *Comm, name string, root int) obs.Span {
+	return obs.Default().Span(obs.PIDMPI, c.lane(), "mpi", name).Int("root", int64(root))
+}
 
 // Bcast distributes root's value to every rank and returns it; on
 // non-root ranks the input value is ignored (MPI_Bcast semantics).
@@ -9,6 +19,8 @@ func Bcast[T any](c *Comm, root int, value T) (T, error) {
 	if root < 0 || root >= c.Size() {
 		return zero, fmt.Errorf("mpi: bcast root %d of %d", root, c.Size())
 	}
+	sp := collectiveSpan(c, "bcast", root)
+	defer sp.End()
 	if c.Rank() == root {
 		for r := 0; r < c.Size(); r++ {
 			if r == root {
@@ -42,6 +54,8 @@ func Reduce[T any](c *Comm, root int, value T, op func(a, b T) T) (T, error) {
 	if op == nil {
 		return zero, fmt.Errorf("mpi: nil reduce op")
 	}
+	sp := collectiveSpan(c, "reduce", root)
+	defer sp.End()
 	if c.Rank() != root {
 		return zero, c.Send(root, tagReduce, value)
 	}
@@ -95,6 +109,8 @@ func Scatter[T any](c *Comm, root int, values []T) ([]T, error) {
 	if root < 0 || root >= c.Size() {
 		return nil, fmt.Errorf("mpi: scatter root %d of %d", root, c.Size())
 	}
+	sp := collectiveSpan(c, "scatter", root)
+	defer sp.End()
 	if c.Rank() == root {
 		if len(values)%c.Size() != 0 {
 			return nil, fmt.Errorf("mpi: scatter %d values over %d ranks", len(values), c.Size())
@@ -128,6 +144,8 @@ func Gather[T any](c *Comm, root int, part []T) ([]T, error) {
 	if root < 0 || root >= c.Size() {
 		return nil, fmt.Errorf("mpi: gather root %d of %d", root, c.Size())
 	}
+	sp := collectiveSpan(c, "gather", root)
+	defer sp.End()
 	if c.Rank() != root {
 		return nil, c.Send(root, tagGather, append([]T(nil), part...))
 	}

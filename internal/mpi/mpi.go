@@ -13,8 +13,64 @@ package mpi
 
 import (
 	"fmt"
+	"reflect"
 	"sync"
+	"sync/atomic"
+
+	"pblparallel/internal/obs"
 )
+
+// worldSeq allocates trace lanes: each traced Run claims a block of
+// size+1 lanes (one for the world span, one per rank) so concurrent
+// worlds render on disjoint Perfetto tracks. Only bumped when a tracer
+// is installed.
+var worldSeq atomic.Uint32
+
+// Runtime counters, cached from the process registry at init.
+var (
+	messagesSent = obs.Metrics().Counter("mpi_messages_sent_total",
+		"Point-to-point messages sent (collectives included).")
+	bytesSent = obs.Metrics().Counter("mpi_message_bytes_sent_total",
+		"Estimated payload bytes of sent messages.")
+	worldsRun = obs.Metrics().Counter("mpi_worlds_total",
+		"MPI worlds launched via Run.")
+)
+
+// payloadBytes estimates a message payload's size for trace events and
+// the byte counter: exact for the common scalar/slice types the
+// patternlets exchange, element-size arithmetic via reflection for
+// other slices, and the value's own size otherwise.
+func payloadBytes(v any) int64 {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case bool, int8, uint8:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32, float32:
+		return 4
+	case int, int64, uint64, float64, complex64:
+		return 8
+	case string:
+		return int64(len(x))
+	case []byte:
+		return int64(len(x))
+	case []int, []int64, []uint64, []float64:
+		return int64(reflect.ValueOf(x).Len()) * 8
+	case []float32, []int32, []uint32:
+		return int64(reflect.ValueOf(x).Len()) * 4
+	}
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Slice, reflect.Array:
+		return int64(rv.Len()) * int64(rv.Type().Elem().Size())
+	case reflect.Ptr, reflect.Map, reflect.Chan, reflect.Func, reflect.Interface:
+		return 8
+	default:
+		return int64(rv.Type().Size())
+	}
+}
 
 // message is one point-to-point transfer.
 type message struct {
@@ -24,9 +80,10 @@ type message struct {
 
 // world is the shared fabric of one Run.
 type world struct {
-	size    int
-	inboxes []chan message
-	barrier *centralBarrier
+	size     int
+	inboxes  []chan message
+	barrier  *centralBarrier
+	laneBase uint32 // base of this world's trace-lane block (0 = untraced)
 }
 
 // Comm is one rank's communicator handle.
@@ -36,6 +93,9 @@ type Comm struct {
 	// pending holds messages received ahead of a matching Recv.
 	pending []message
 }
+
+// lane is the rank's trace lane within the world's block.
+func (c *Comm) lane() uint32 { return c.w.laneBase + 1 + uint32(c.rank) }
 
 // Rank returns the caller's rank (0-based).
 func (c *Comm) Rank() int { return c.rank }
@@ -67,6 +127,13 @@ func (c *Comm) Send(to, tag int, data any) error {
 	if tag < 0 && !isInternalTag(tag) {
 		return fmt.Errorf("mpi: negative tag %d is reserved", tag)
 	}
+	nb := payloadBytes(data)
+	messagesSent.Inc()
+	bytesSent.Add(nb)
+	if tr := obs.Default(); tr != nil {
+		tr.Span(obs.PIDMPI, c.lane(), "mpi", "send").
+			Int("to", int64(to)).Int("tag", int64(tag)).Int("bytes", nb).Emit()
+	}
 	c.w.inboxes[to] <- message{from: c.rank, tag: tag, data: data}
 	return nil
 }
@@ -85,16 +152,27 @@ func (c *Comm) Recv(from, tag int) (data any, source int, err error) {
 	match := func(m message) bool {
 		return (from == AnySource || m.from == from) && (tag == AnyTag || m.tag == tag)
 	}
+	// The whole receive — including any blocking wait — is one span on
+	// the rank's lane, so the trace shows which ranks idle on messages.
+	tr := obs.Default()
+	sp := tr.Span(obs.PIDMPI, c.lane(), "mpi", "recv").
+		Int("from", int64(from)).Int("tag", int64(tag))
+	deliver := func(m message) (any, int, error) {
+		if tr != nil {
+			sp.Int("source", int64(m.from)).Int("bytes", payloadBytes(m.data)).End()
+		}
+		return m.data, m.from, nil
+	}
 	for i, m := range c.pending {
 		if match(m) {
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
-			return m.data, m.from, nil
+			return deliver(m)
 		}
 	}
 	for {
 		m := <-c.w.inboxes[c.rank]
 		if match(m) {
-			return m.data, m.from, nil
+			return deliver(m)
 		}
 		c.pending = append(c.pending, m)
 	}
@@ -115,8 +193,18 @@ func (c *Comm) Sendrecv(to, sendTag int, data any, from, recvTag int) (any, int,
 	return got, src, nil
 }
 
-// Barrier blocks until every rank has entered it.
-func (c *Comm) Barrier() { c.w.barrier.wait() }
+// Barrier blocks until every rank has entered it. When tracing, the
+// wait is a span on the rank's lane (barrier skew made visible).
+func (c *Comm) Barrier() {
+	tr := obs.Default()
+	if tr == nil {
+		c.w.barrier.wait()
+		return
+	}
+	sp := tr.Span(obs.PIDMPI, c.lane(), "mpi", "barrier")
+	c.w.barrier.wait()
+	sp.End()
+}
 
 // centralBarrier is a reusable counting barrier.
 type centralBarrier struct {
@@ -180,23 +268,33 @@ func Run(size int, body func(c *Comm) error) error {
 	for i := range w.inboxes {
 		w.inboxes[i] = make(chan message, 1024)
 	}
+	worldsRun.Inc()
+	tr := obs.Default()
+	if tr != nil {
+		w.laneBase = worldSeq.Add(uint32(size)+1) - uint32(size)
+	}
+	worldSpan := tr.Span(obs.PIDMPI, w.laneBase, "mpi", "world").Int("size", int64(size))
 	errs := make([]error, size)
 	var wg sync.WaitGroup
 	for r := 0; r < size; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
+			c := &Comm{w: w, rank: rank}
+			rsp := tr.Span(obs.PIDMPI, c.lane(), "mpi", "rank").Int("rank", int64(rank))
+			defer rsp.End()
 			defer func() {
 				if p := recover(); p != nil {
 					errs[rank] = &RankError{Rank: rank, Err: fmt.Errorf("panic: %v", p)}
 				}
 			}()
-			if err := body(&Comm{w: w, rank: rank}); err != nil {
+			if err := body(c); err != nil {
 				errs[rank] = &RankError{Rank: rank, Err: err}
 			}
 		}(r)
 	}
 	wg.Wait()
+	worldSpan.End()
 	for _, err := range errs {
 		if err != nil {
 			return err

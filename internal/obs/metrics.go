@@ -1,0 +1,365 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension; Point labels are kept ordered so
+// renderings are deterministic.
+type Label struct {
+	Key, Value string
+}
+
+// Bucket is one cumulative histogram bucket in a gathered Point.
+type Bucket struct {
+	UpperBound      float64 // seconds (or the metric's native unit); +Inf allowed
+	CumulativeCount uint64
+}
+
+// Point is one sample of a metric family: a scalar for counters and
+// gauges, buckets/sum/count for histograms.
+type Point struct {
+	Labels  []Label
+	Value   float64
+	Buckets []Bucket
+	Sum     float64
+	Count   uint64
+}
+
+// Family is one named metric with its samples — the exchange format
+// between sources (the registry's own instruments, external Gatherers
+// like engine.Metrics) and the renderers.
+type Family struct {
+	Name string
+	Help string
+	Type string // "counter", "gauge", or "histogram"
+	Points []Point
+}
+
+// Gatherer contributes metric families at render time. It is how
+// subsystems with their own sinks (the engine's per-stage histograms)
+// unify into the registry without giving up their native types.
+type Gatherer interface {
+	GatherMetrics() []Family
+}
+
+// GathererFunc adapts a function to the Gatherer interface.
+type GathererFunc func() []Family
+
+// GatherMetrics implements Gatherer.
+func (f GathererFunc) GatherMetrics() []Family { return f() }
+
+// Counter is a monotonically increasing named value.
+type Counter struct {
+	help string
+	v    atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative deltas are a programming error and ignored.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a named value that can go up and down.
+type Gauge struct {
+	help string
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value reads the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Hist is a fixed-bucket histogram over float64 observations (by
+// convention, seconds).
+type Hist struct {
+	help   string
+	bounds []float64
+	mu     sync.Mutex
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+// Observe records one value.
+func (h *Hist) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// snapshot copies the histogram state into a Point.
+func (h *Hist) snapshot() Point {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	p := Point{Sum: h.sum, Count: h.n, Buckets: make([]Bucket, 0, len(h.bounds)+1)}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		p.Buckets = append(p.Buckets, Bucket{UpperBound: b, CumulativeCount: cum})
+	}
+	cum += h.counts[len(h.bounds)]
+	p.Buckets = append(p.Buckets, Bucket{UpperBound: math.Inf(1), CumulativeCount: cum})
+	return p
+}
+
+// Registry holds named instruments and render-time Gatherers. All
+// methods are safe for concurrent use; instrument getters are
+// idempotent (the same name always returns the same instrument), so
+// packages can cache them in variables at init.
+type Registry struct {
+	mu        sync.Mutex
+	counters  map[string]*Counter
+	gauges    map[string]*Gauge
+	hists     map[string]*Hist
+	gatherers []Gatherer
+	published bool
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Hist),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{help: help}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{help: help}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram with the given bucket upper
+// bounds (ascending; an implicit +Inf bucket is appended), creating it
+// on first use. Bounds are fixed at creation; later calls ignore the
+// argument.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Hist {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Hist{help: help, bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterGatherer adds a render-time metrics source.
+func (r *Registry) RegisterGatherer(g Gatherer) {
+	if g == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gatherers = append(r.gatherers, g)
+	r.mu.Unlock()
+}
+
+// Gather snapshots every instrument and gatherer into families sorted
+// by name.
+func (r *Registry) Gather() []Family {
+	r.mu.Lock()
+	fams := make([]Family, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for name, c := range r.counters {
+		fams = append(fams, Family{Name: name, Help: c.help, Type: "counter",
+			Points: []Point{{Value: float64(c.Value())}}})
+	}
+	for name, g := range r.gauges {
+		fams = append(fams, Family{Name: name, Help: g.help, Type: "gauge",
+			Points: []Point{{Value: g.Value()}}})
+	}
+	for name, h := range r.hists {
+		fams = append(fams, Family{Name: name, Help: h.help, Type: "histogram",
+			Points: []Point{h.snapshot()}})
+	}
+	gatherers := append([]Gatherer(nil), r.gatherers...)
+	r.mu.Unlock()
+	for _, g := range gatherers {
+		fams = append(fams, g.GatherMetrics()...)
+	}
+	sort.SliceStable(fams, func(i, j int) bool { return fams[i].Name < fams[j].Name })
+	return fams
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// labelString renders {k="v",...} with an optional extra label appended
+// (the histogram "le").
+func labelString(labels []Label, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	writePair := func(k, v string) {
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(v))
+		b.WriteByte('"')
+	}
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writePair(l.Key, l.Value)
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		writePair(extraKey, extraVal)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatBound renders a bucket upper bound the way Prometheus does.
+func formatBound(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.Gather() {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, f.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Type); err != nil {
+			return err
+		}
+		for _, p := range f.Points {
+			if f.Type == "histogram" {
+				for _, b := range p.Buckets {
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+						f.Name, labelString(p.Labels, "le", formatBound(b.UpperBound)), b.CumulativeCount); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+					f.Name, labelString(p.Labels, "", ""), formatFloat(p.Sum),
+					f.Name, labelString(p.Labels, "", ""), p.Count); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				f.Name, labelString(p.Labels, "", ""), formatFloat(p.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a sample value (shortest round-trip form).
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ExpvarFunc returns an expvar.Func whose JSON value is the gathered
+// families — the expvar renderer of the registry.
+func (r *Registry) ExpvarFunc() expvar.Func {
+	return func() any {
+		type jsonPoint struct {
+			Labels  map[string]string `json:"labels,omitempty"`
+			Value   *float64          `json:"value,omitempty"`
+			Sum     *float64          `json:"sum,omitempty"`
+			Count   *uint64           `json:"count,omitempty"`
+			Buckets map[string]uint64 `json:"buckets,omitempty"`
+		}
+		out := make(map[string]any)
+		for _, f := range r.Gather() {
+			pts := make([]jsonPoint, 0, len(f.Points))
+			for _, p := range f.Points {
+				jp := jsonPoint{}
+				if len(p.Labels) > 0 {
+					jp.Labels = make(map[string]string, len(p.Labels))
+					for _, l := range p.Labels {
+						jp.Labels[l.Key] = l.Value
+					}
+				}
+				if f.Type == "histogram" {
+					sum, count := p.Sum, p.Count
+					jp.Sum, jp.Count = &sum, &count
+					jp.Buckets = make(map[string]uint64, len(p.Buckets))
+					for _, b := range p.Buckets {
+						jp.Buckets[formatBound(b.UpperBound)] = b.CumulativeCount
+					}
+				} else {
+					v := p.Value
+					jp.Value = &v
+				}
+				pts = append(pts, jp)
+			}
+			out[f.Name] = pts
+		}
+		return out
+	}
+}
+
+// PublishExpvar publishes the registry under the given expvar name
+// (idempotent per registry; expvar itself panics on duplicate names, so
+// the guard matters for repeated CLI sessions in one process).
+func (r *Registry) PublishExpvar(name string) {
+	r.mu.Lock()
+	already := r.published
+	r.published = true
+	r.mu.Unlock()
+	if already || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, r.ExpvarFunc())
+}

@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRegistryInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("runs_total", "Total runs.")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotonic
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("runs_total", "") != c {
+		t.Fatal("Counter is not idempotent by name")
+	}
+	g := r.Gauge("throughput", "Runs per second.")
+	g.Set(12.5)
+	if g.Value() != 12.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	p := h.snapshot()
+	if p.Count != 3 || p.Sum != 5.55 {
+		t.Fatalf("hist count=%d sum=%v", p.Count, p.Sum)
+	}
+	want := []uint64{1, 2, 3}
+	for i, b := range p.Buckets {
+		if b.CumulativeCount != want[i] {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, b.CumulativeCount, want[i])
+		}
+	}
+	if !math.IsInf(p.Buckets[2].UpperBound, 1) {
+		t.Fatal("missing +Inf bucket")
+	}
+}
+
+func TestWritePrometheusParsesCleanly(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("pbl_runs_total", "Total study runs.").Add(3)
+	r.Gauge("pbl_throughput", "Runs per second.").Set(1.5)
+	r.Histogram("pbl_latency_seconds", "Run latency.", []float64{0.01, 0.1}).Observe(0.02)
+	r.RegisterGatherer(GathererFunc(func() []Family {
+		return []Family{{
+			Name: "external_stage_seconds", Help: "From a gatherer.", Type: "histogram",
+			Points: []Point{{
+				Labels:  []Label{{Key: "stage", Value: `co"hort`}},
+				Buckets: []Bucket{{UpperBound: 1, CumulativeCount: 2}, {UpperBound: math.Inf(1), CumulativeCount: 2}},
+				Sum:     0.5, Count: 2,
+			}},
+		}}
+	}))
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	var families []string
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families = append(families, strings.Fields(line)[2])
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+	}
+	for _, want := range []string{
+		`pbl_runs_total 3`,
+		`pbl_throughput 1.5`,
+		`pbl_latency_seconds_bucket{le="0.01"} 0`,
+		`pbl_latency_seconds_bucket{le="+Inf"} 1`,
+		`pbl_latency_seconds_count 1`,
+		`external_stage_seconds_bucket{stage="co\"hort",le="1"} 2`,
+		`external_stage_seconds_sum{stage="co\"hort"} 0.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	if len(families) != 4 {
+		t.Errorf("rendered %d TYPE lines, want 4", len(families))
+	}
+	// Families come out sorted by name for deterministic scrapes.
+	if !strings.HasPrefix(out, "# HELP external_stage_seconds") {
+		t.Errorf("families not sorted:\n%s", out[:60])
+	}
+}
+
+func TestHistogramSumLineCarriesLabels(t *testing.T) {
+	r := NewRegistry()
+	r.RegisterGatherer(GathererFunc(func() []Family {
+		return []Family{{
+			Name: "labeled_seconds", Type: "histogram",
+			Points: []Point{{
+				Labels:  []Label{{Key: "stage", Value: "teams"}},
+				Buckets: []Bucket{{UpperBound: math.Inf(1), CumulativeCount: 1}},
+				Sum:     2, Count: 1,
+			}},
+		}}
+	}))
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `labeled_seconds_sum{stage="teams"} 2`) {
+		t.Fatalf("sum line lost its labels:\n%s", buf.String())
+	}
+}
+
+func TestExpvarRendererEmitsValidJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "").Add(2)
+	r.Histogram("b_seconds", "", []float64{1}).Observe(0.5)
+	s := r.ExpvarFunc().String()
+	var decoded map[string]any
+	if err := json.Unmarshal([]byte(s), &decoded); err != nil {
+		t.Fatalf("expvar output is not JSON: %v\n%s", err, s)
+	}
+	if _, ok := decoded["a_total"]; !ok {
+		t.Fatalf("counter missing from expvar view: %s", s)
+	}
+	if _, ok := decoded["b_seconds"]; !ok {
+		t.Fatalf("histogram missing from expvar view: %s", s)
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := NewRegistry()
+	// A second call must not panic (expvar.Publish does on duplicates).
+	r.PublishExpvar("obs_test_registry")
+	r.PublishExpvar("obs_test_registry")
+}

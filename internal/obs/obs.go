@@ -1,0 +1,68 @@
+// Package obs is the process-wide observability subsystem: a
+// low-overhead span/event tracer that exports Chrome trace_event JSON
+// (viewable in Perfetto or chrome://tracing) and a registry of named
+// counters, gauges, and histograms with expvar and Prometheus
+// text-exposition renderers.
+//
+// The design constraint is the same one the engine imposes on
+// execution: observability must never change what the system computes.
+// Tracing writes only to its own ring buffers, metrics only to their
+// own atomics, and the disabled path — no tracer installed — is a nil
+// pointer check with zero allocations, so study output stays
+// byte-identical whether or not anyone is watching.
+//
+// Subsystems are identified by trace "process" ids (PIDCore, PIDOMP,
+// ...) so each layer gets its own track group in the viewer; within a
+// subsystem, lanes (trace "thread" ids) carry one timeline each — an
+// omp team member, an mpi rank, a simulated Pi core.
+package obs
+
+import "sync/atomic"
+
+// Trace process ids: one per instrumented subsystem. The exporter names
+// them via trace_event metadata so Perfetto shows labeled track groups.
+const (
+	PIDCore   = 1 // core.Study pipeline stages
+	PIDEngine = 2 // engine worker pool
+	PIDOMP    = 3 // omp shared-memory runtime
+	PIDMPI    = 4 // mpi message-passing runtime
+	PIDPisim  = 5 // pisim virtual-time Pi simulation
+)
+
+// pidNames labels the subsystems in the exported trace.
+var pidNames = map[uint32]string{
+	PIDCore:   "core study",
+	PIDEngine: "engine pool",
+	PIDOMP:    "omp runtime",
+	PIDMPI:    "mpi runtime",
+	PIDPisim:  "pisim Pi 3 B+ (virtual time)",
+}
+
+// defaultTracer is the process-wide tracer; nil means disabled.
+var defaultTracer atomic.Pointer[Tracer]
+
+// Install makes t the process-wide tracer returned by Default; nil
+// uninstalls. Instrumented code never holds a tracer across calls, so
+// installation takes effect at the next span.
+func Install(t *Tracer) {
+	defaultTracer.Store(t)
+}
+
+// Default returns the installed tracer, or nil when tracing is
+// disabled. All Tracer and Span methods are safe on the nil result, so
+// the idiomatic call site is obs.Default().Span(...) with no check;
+// sites that build argument lists should guard with a nil test to keep
+// the disabled path allocation-free.
+func Default() *Tracer {
+	return defaultTracer.Load()
+}
+
+// std is the process-wide metrics registry.
+var std = NewRegistry()
+
+// Metrics returns the process-wide metrics registry. Packages cache the
+// instruments they need in package variables (one map lookup at init,
+// atomic updates thereafter).
+func Metrics() *Registry {
+	return std
+}

@@ -1,0 +1,182 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsCompleteEvent(t *testing.T) {
+	tr := NewTracer(1024)
+	sp := tr.Span(PIDCore, 7, "core", "cohort").Int("seed", 42).Str("mode", "paper")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Span(PIDMPI, 1, "mpi", "send").Int("to", 2).Emit()
+
+	recs := tr.Records()
+	if len(recs) != 2 {
+		t.Fatalf("recorded %d records, want 2", len(recs))
+	}
+	x := recs[0]
+	if x.Phase != 'X' || x.PID != PIDCore || x.TID != 7 || x.Cat != "core" || x.Name != "cohort" {
+		t.Fatalf("span record = %+v", x)
+	}
+	if x.Dur < time.Millisecond {
+		t.Fatalf("span dur %v, want >= 1ms", x.Dur)
+	}
+	if x.Args["seed"] != int64(42) || x.Args["mode"] != "paper" {
+		t.Fatalf("span args = %v", x.Args)
+	}
+	i := recs[1]
+	if i.Phase != 'i' || i.PID != PIDMPI || i.Args["to"] != int64(2) {
+		t.Fatalf("instant record = %+v", i)
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Span(PIDOMP, 0, "omp", "x").Int("k", 1).Str("s", "v")
+	sp.End()
+	sp.Emit()
+	tr.SpanAt(PIDPisim, 0, "pisim", "y", time.Second).EndAt(time.Second)
+	if recs := tr.Records(); recs != nil {
+		t.Fatalf("nil tracer returned records: %v", recs)
+	}
+	if tr.Evicted() != 0 {
+		t.Fatal("nil tracer reports evictions")
+	}
+}
+
+// TestDisabledSpanFastPathAllocs is the acceptance criterion for the
+// disabled hot path: with no tracer installed, opening and ending a
+// span must not allocate.
+func TestDisabledSpanFastPathAllocs(t *testing.T) {
+	Install(nil)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := Default().Span(PIDOMP, 3, "omp", "chunk")
+		sp = sp.Int("start", 10)
+		sp.End()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled span fast path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestRingWrapEvicts(t *testing.T) {
+	tr := NewTracer(1) // rounds up to 16 per shard; still tiny
+	const n = 10000
+	for i := 0; i < n; i++ {
+		tr.Span(PIDCore, 0, "c", "s").End()
+	}
+	recs := tr.Records()
+	if len(recs) >= n {
+		t.Fatalf("ring kept %d of %d records; expected eviction", len(recs), n)
+	}
+	if tr.Evicted() != int64(n-len(recs)) {
+		t.Fatalf("evicted %d, want %d", tr.Evicted(), n-len(recs))
+	}
+	// The survivors are the newest records per shard.
+	last := recs[len(recs)-1]
+	if last.Start == 0 {
+		t.Fatal("expected newest records to survive the wrap")
+	}
+}
+
+func TestConcurrentEmission(t *testing.T) {
+	tr := NewTracer(1 << 14)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr.Span(PIDOMP, uint32(g), "omp", "work").Int("i", int64(i)).End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := len(tr.Records()); got != 1600 {
+		t.Fatalf("recorded %d, want 1600", got)
+	}
+}
+
+func TestWriteToProducesValidTraceEventJSON(t *testing.T) {
+	tr := NewTracer(1024)
+	tr.Span(PIDCore, 1, "core", "analysis").Int("seed", 9).End()
+	tr.SpanAt(PIDPisim, 3, "pisim", "chunk", 2*time.Microsecond).Int("core", 3).EndAt(5 * time.Microsecond)
+	tr.Span(PIDOMP, 2, "omp", "barrier.broken").Emit()
+
+	var buf bytes.Buffer
+	if err := tr.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  uint32         `json:"pid"`
+			TID  uint32         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var phases []string
+	var sawVirtual, sawMeta bool
+	for _, ev := range doc.TraceEvents {
+		phases = append(phases, ev.Ph)
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			sawMeta = true
+		}
+		if ev.Cat == "pisim" {
+			sawVirtual = true
+			if ev.Ts != 2 || ev.Dur != 5 {
+				t.Fatalf("virtual span ts/dur = %v/%v µs, want 2/5", ev.Ts, ev.Dur)
+			}
+		}
+	}
+	if !sawMeta {
+		t.Fatalf("no process_name metadata in %v", phases)
+	}
+	if !sawVirtual {
+		t.Fatal("virtual-time span missing from export")
+	}
+}
+
+func TestInstallDefault(t *testing.T) {
+	if Default() != nil {
+		t.Fatal("tracer installed at test start")
+	}
+	tr := NewTracer(64)
+	Install(tr)
+	if Default() != tr {
+		t.Fatal("Install did not take")
+	}
+	Install(nil)
+	if Default() != nil {
+		t.Fatal("uninstall did not take")
+	}
+}
+
+func TestArgOverflowDropped(t *testing.T) {
+	tr := NewTracer(64)
+	sp := tr.Span(PIDCore, 0, "c", "s")
+	for i := 0; i < 10; i++ {
+		sp = sp.Int("k", int64(i))
+	}
+	sp.End()
+	recs := tr.Records()
+	if len(recs) != 1 || len(recs[0].Args) > maxArgs {
+		t.Fatalf("args not bounded: %+v", recs)
+	}
+}

@@ -3,7 +3,13 @@ package omp
 import (
 	"errors"
 	"sync"
+
+	"pblparallel/internal/obs"
 )
+
+// barrierBreaks counts barrier poisonings process-wide.
+var barrierBreaks = obs.Metrics().Counter("omp_barrier_breaks_total",
+	"Barriers poisoned because a team member exited abnormally.")
 
 // ErrBarrierBroken is returned from Barrier.Wait when the barrier was
 // poisoned because a team member died (panicked) and can never arrive.
@@ -62,10 +68,19 @@ func (b *Barrier) Wait() error {
 }
 
 // Break poisons the barrier, waking all waiters with ErrBarrierBroken.
-// Used when a team member panics and can never arrive.
+// Used when a team member panics and can never arrive. The first Break
+// records a broken-barrier instant in the trace.
 func (b *Barrier) Break() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	first := !b.broken
 	b.broken = true
 	b.cond.Broadcast()
+	b.mu.Unlock()
+	if first {
+		barrierBreaks.Inc()
+		if tr := obs.Default(); tr != nil {
+			tr.Span(obs.PIDOMP, 0, "omp", "barrier.broken").
+				Int("parties", int64(b.parties)).Emit()
+		}
+	}
 }

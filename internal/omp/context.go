@@ -1,10 +1,13 @@
 package omp
 
+import "pblparallel/internal/obs"
+
 // ThreadContext is one team member's view of the parallel region: its
 // identity plus the work-sharing and synchronization constructs.
 type ThreadContext struct {
 	tid  int
 	team *team
+	lane uint32 // trace lane (base+1+tid of the region's lane block)
 
 	// Per-thread epochs for the work-sharing constructs that must be
 	// reached by every team member in the same order (OpenMP's rule for
@@ -24,8 +27,23 @@ func (tc *ThreadContext) ThreadNum() int { return tc.tid }
 func (tc *ThreadContext) NumThreads() int { return tc.team.n }
 
 // Barrier blocks until every team member has reached it — the
-// patternlet's "coordination: synchronization with a barrier".
-func (tc *ThreadContext) Barrier() error { return tc.team.barrier.Wait() }
+// patternlet's "coordination: synchronization with a barrier". When
+// tracing, the wait renders as a span on the thread's lane, so barrier
+// skew (fast threads idling for slow ones) is visible directly; a
+// poisoned barrier marks the span outcome=broken.
+func (tc *ThreadContext) Barrier() error {
+	tr := obs.Default()
+	if tr == nil {
+		return tc.team.barrier.Wait()
+	}
+	sp := tr.Span(obs.PIDOMP, tc.lane, "omp", "barrier.wait")
+	err := tc.team.barrier.Wait()
+	if err != nil {
+		sp = sp.Str("outcome", "broken")
+	}
+	sp.End()
+	return err
+}
 
 // Master runs f on thread 0 only, with no implied barrier (OpenMP
 // master semantics).
@@ -63,7 +81,13 @@ func (tc *ThreadContext) Single(f func()) error {
 	}
 	tm.singleMu.Unlock()
 	if !claimed {
-		f()
+		if tr := obs.Default(); tr != nil {
+			sp := tr.Span(obs.PIDOMP, tc.lane, "omp", "single")
+			f()
+			sp.End()
+		} else {
+			f()
+		}
 	}
 	return tc.Barrier()
 }
@@ -95,7 +119,13 @@ func (tc *ThreadContext) Sections(blocks ...func()) error {
 		if i >= len(blocks) {
 			break
 		}
-		blocks[i]()
+		if tr := obs.Default(); tr != nil {
+			sp := tr.Span(obs.PIDOMP, tc.lane, "omp", "section").Int("block", int64(i))
+			blocks[i]()
+			sp.End()
+		} else {
+			blocks[i]()
+		}
 	}
 	return tc.Barrier()
 }

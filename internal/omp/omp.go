@@ -19,6 +19,23 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
+
+	"pblparallel/internal/obs"
+)
+
+// laneSeq allocates trace lanes: each traced parallel region claims a
+// block of n+1 lanes (one for the region span, one per thread), so
+// concurrent regions render on disjoint Perfetto tracks. Only bumped
+// when a tracer is installed.
+var laneSeq atomic.Uint32
+
+// Runtime counters, cached from the process registry at init.
+var (
+	regionsStarted = obs.Metrics().Counter("omp_parallel_regions_total",
+		"Parallel regions forked.")
+	threadPanics = obs.Metrics().Counter("omp_thread_panics_total",
+		"Team members that exited a region by panicking.")
 )
 
 // DefaultNumThreads mirrors omp_get_max_threads(): the value used when a
@@ -83,24 +100,42 @@ func Parallel(body func(tc *ThreadContext), opts ...Option) error {
 		barrier:  NewBarrier(n),
 		critical: make(map[string]*sync.Mutex),
 	}
+	regionsStarted.Inc()
+
+	// Tracing: the region span sits on the block's base lane, each team
+	// member on base+1+tid. tr is nil when disabled and every span call
+	// is then an inert value operation.
+	tr := obs.Default()
+	var base uint32
+	if tr != nil {
+		base = laneSeq.Add(uint32(n)+1) - uint32(n)
+	}
+	regionSpan := tr.Span(obs.PIDOMP, base, "omp", "parallel").Int("threads", int64(n))
+
 	panics := make([]*RegionPanicError, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for tid := 0; tid < n; tid++ {
 		go func(tid int) {
 			defer wg.Done()
+			lane := base + 1 + uint32(tid)
+			tsp := tr.Span(obs.PIDOMP, lane, "omp", "thread").Int("tid", int64(tid))
+			defer tsp.End()
 			defer func() {
 				if r := recover(); r != nil {
 					panics[tid] = &RegionPanicError{ThreadNum: tid, Value: r}
+					threadPanics.Inc()
+					tr.Span(obs.PIDOMP, lane, "omp", "panic").Int("tid", int64(tid)).Emit()
 					// A panicked member can no longer reach barriers;
 					// poison them so siblings don't deadlock.
 					tm.barrier.Break()
 				}
 			}()
-			body(&ThreadContext{tid: tid, team: tm})
+			body(&ThreadContext{tid: tid, team: tm, lane: lane})
 		}(tid)
 	}
 	wg.Wait()
+	regionSpan.End()
 	for _, p := range panics {
 		if p != nil {
 			return p

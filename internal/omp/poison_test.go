@@ -1,0 +1,87 @@
+package omp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"pblparallel/internal/obs"
+)
+
+// TestPoisonedBarrierReleasesWaitersAndLateArrivals drives the full
+// failure path: one team member panics mid-phase, a sibling already
+// blocked in the barrier must be released with ErrBarrierBroken, and a
+// sibling that arrives after the break must get the same error instead
+// of deadlocking — with the broken barrier recorded in the trace.
+func TestPoisonedBarrierReleasesWaitersAndLateArrivals(t *testing.T) {
+	tr := obs.NewTracer(1 << 12)
+	obs.Install(tr)
+	defer obs.Install(nil)
+
+	var mu sync.Mutex
+	barrierErrs := map[int]error{}
+	err := Parallel(func(tc *ThreadContext) {
+		switch tc.ThreadNum() {
+		case 0:
+			panic("mid-phase failure")
+		case 2:
+			// Late arrival: reach the barrier well after the panic has
+			// (very likely) already poisoned it. Either ordering must
+			// resolve to ErrBarrierBroken — never a hang.
+			time.Sleep(30 * time.Millisecond)
+		}
+		e := tc.Barrier()
+		mu.Lock()
+		barrierErrs[tc.ThreadNum()] = e
+		mu.Unlock()
+	}, WithNumThreads(3))
+
+	var rpe *RegionPanicError
+	if !errors.As(err, &rpe) || rpe.ThreadNum != 0 {
+		t.Fatalf("Parallel error = %v, want RegionPanicError on thread 0", err)
+	}
+	for _, tid := range []int{1, 2} {
+		if !errors.Is(barrierErrs[tid], ErrBarrierBroken) {
+			t.Errorf("thread %d barrier error = %v, want ErrBarrierBroken", tid, barrierErrs[tid])
+		}
+	}
+
+	var brokenEvents, brokenWaits int
+	for _, r := range tr.Records() {
+		if r.Name == "barrier.broken" && r.Phase == 'i' {
+			brokenEvents++
+		}
+		if r.Name == "barrier.wait" && r.Args["outcome"] == "broken" {
+			brokenWaits++
+		}
+	}
+	if brokenEvents != 1 {
+		t.Errorf("trace has %d barrier.broken instants, want exactly 1", brokenEvents)
+	}
+	if brokenWaits != 2 {
+		t.Errorf("trace has %d broken barrier.wait spans, want 2", brokenWaits)
+	}
+}
+
+// TestBarrierBreakDirectWaiterAndLateArrival exercises the Barrier type
+// without the region machinery: Break must release a blocked waiter and
+// poison every later Wait.
+func TestBarrierBreakDirectWaiterAndLateArrival(t *testing.T) {
+	b := NewBarrier(2)
+	waiter := make(chan error, 1)
+	go func() { waiter <- b.Wait() }()
+	time.Sleep(10 * time.Millisecond) // let the waiter block (best effort)
+	b.Break()
+	select {
+	case err := <-waiter:
+		if !errors.Is(err, ErrBarrierBroken) {
+			t.Fatalf("waiter error = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still blocked after Break")
+	}
+	if err := b.Wait(); !errors.Is(err, ErrBarrierBroken) {
+		t.Fatalf("late arrival error = %v", err)
+	}
+}

@@ -3,6 +3,8 @@ package omp
 import (
 	"fmt"
 	"sync/atomic"
+
+	"pblparallel/internal/obs"
 )
 
 // Schedule chooses how a parallel-for's iteration range is mapped onto
@@ -157,15 +159,34 @@ func (tc *ThreadContext) For(lo, hi int, sched Schedule, body func(i int)) error
 	ticket := tc.team.loopTicket(tc.loopCount)
 	tc.loopCount++
 	next := sched.newRunner(count, tc.tid, tc.team.n, ticket)
+	// When tracing, the thread's share of the loop is one span and each
+	// claimed chunk a child span — the scheduling patternlet's chunk
+	// assignment, readable straight off the timeline.
+	tr := obs.Default()
+	var lsp obs.Span
+	if tr != nil {
+		lsp = tr.Span(obs.PIDOMP, tc.lane, "omp", "for."+sched.name()).
+			Int("count", int64(count))
+	}
 	for {
 		start, length := next()
 		if length == 0 {
 			break
 		}
+		if tr != nil {
+			csp := tr.Span(obs.PIDOMP, tc.lane, "omp", "chunk").
+				Int("start", int64(lo+start)).Int("len", int64(length))
+			for i := start; i < start+length; i++ {
+				body(lo + i)
+			}
+			csp.End()
+			continue
+		}
 		for i := start; i < start+length; i++ {
 			body(lo + i)
 		}
 	}
+	lsp.End()
 	return tc.Barrier()
 }
 

@@ -3,7 +3,20 @@ package pisim
 import (
 	"container/heap"
 	"fmt"
+	"sync/atomic"
+
+	"pblparallel/internal/obs"
 )
+
+// loopSeq allocates trace lanes: each traced loop simulation claims a
+// block of cores+1 lanes (one for the loop span, one per simulated
+// core) so concurrent simulations render on disjoint Perfetto tracks.
+// Only bumped when a tracer is installed.
+var loopSeq atomic.Uint32
+
+// loopsRun counts simulated loops process-wide.
+var loopsRun = obs.Metrics().Counter("pisim_loops_total",
+	"Work-sharing loops simulated (RunLoop and RunSequential).")
 
 // Policy selects how loop iterations map onto cores, mirroring the
 // schedules of the omp runtime but evaluated in virtual time.
@@ -213,6 +226,28 @@ func (m *Machine) RunLoop(costs []Cycles, policy Policy) (LoopResult, error) {
 	factor := m.contentionFactor(cores)
 	chunks := policy.chunks(len(costs), cores)
 	busy := make([]Cycles, cores)
+	loopsRun.Inc()
+
+	// Tracing maps the simulation's virtual clock onto trace timelines:
+	// every chunk becomes a span on its core's lane at the cycle-accurate
+	// start/duration (converted to wall time at the machine's clock), so
+	// Perfetto shows the schedule exactly as the model computed it —
+	// including the idle tails that make load imbalance visible.
+	tr := obs.Default()
+	var base uint32
+	if tr != nil {
+		base = loopSeq.Add(uint32(cores)+1) - uint32(cores)
+	}
+	laneOf := func(core int) uint32 { return base + 1 + uint32(core) }
+	emitChunk := func(ch chunk, core int, start, cost Cycles) {
+		if tr == nil {
+			return
+		}
+		tr.SpanAt(obs.PIDPisim, laneOf(core), "pisim", "chunk", m.Duration(start)).
+			Int("iter_start", int64(ch.Start)).Int("iter_len", int64(ch.Len)).
+			Int("cycles", int64(cost)).
+			EndAt(m.Duration(cost))
+	}
 	// Prefix sums for O(1) chunk cost.
 	prefix := make([]Cycles, len(costs)+1)
 	for i, c := range costs {
@@ -232,7 +267,9 @@ func (m *Machine) RunLoop(costs []Cycles, policy Policy) (LoopResult, error) {
 	heap.Init(&h)
 	for _, ch := range chunks {
 		if ch.Core >= 0 {
-			busy[ch.Core] += chunkCost(ch)
+			cost := chunkCost(ch)
+			emitChunk(ch, ch.Core, busy[ch.Core], cost)
+			busy[ch.Core] += cost
 		}
 	}
 	// Seed heap with static busy times so mixed policies would compose;
@@ -247,17 +284,32 @@ func (m *Machine) RunLoop(costs []Cycles, policy Policy) (LoopResult, error) {
 		}
 		c := h.Peek()
 		cost := chunkCost(ch)
+		emitChunk(ch, c.id, c.free, cost)
 		busy[c.id] += cost
 		c.free += cost
 		h.Replace(c)
 	}
-	var makespan Cycles
+	var maxBusy Cycles
 	for _, b := range busy {
-		if b > makespan {
-			makespan = b
+		if b > maxBusy {
+			maxBusy = b
 		}
 	}
-	makespan += m.cfg.BarrierCost
+	makespan := maxBusy + m.cfg.BarrierCost
+	if tr != nil {
+		for id, b := range busy {
+			if b < maxBusy {
+				tr.SpanAt(obs.PIDPisim, laneOf(id), "pisim", "idle", m.Duration(b)).
+					EndAt(m.Duration(maxBusy - b))
+			}
+			tr.SpanAt(obs.PIDPisim, laneOf(id), "pisim", "barrier", m.Duration(maxBusy)).
+				EndAt(m.Duration(m.cfg.BarrierCost))
+		}
+		tr.SpanAt(obs.PIDPisim, base, "pisim", "loop."+policy.Name(), 0).
+			Int("cores", int64(cores)).Int("chunks", int64(len(chunks))).
+			Int("makespan_cycles", int64(makespan)).
+			EndAt(m.Duration(makespan))
+	}
 	return LoopResult{
 		Policy:         policy.Name(),
 		Cores:          cores,
@@ -278,6 +330,13 @@ func (m *Machine) RunSequential(costs []Cycles) (LoopResult, error) {
 			return LoopResult{}, fmt.Errorf("pisim: negative cost at iteration %d", i)
 		}
 		total += c
+	}
+	loopsRun.Inc()
+	if tr := obs.Default(); tr != nil {
+		lane := loopSeq.Add(1)
+		tr.SpanAt(obs.PIDPisim, lane, "pisim", "loop.sequential", 0).
+			Int("iters", int64(len(costs))).Int("makespan_cycles", int64(total)).
+			EndAt(m.Duration(total))
 	}
 	return LoopResult{
 		Policy:         "sequential",
