@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: verify build test race vet bench
+.PHONY: verify build test race vet bench golden fuzz fuzz-smoke chaos
 
-## verify: the tier-1 gate — vet, build, and race-test everything.
-verify: vet build race
+## verify: the tier-1 gate — vet, build, race-test everything, pin the
+## golden run output, and smoke the fuzz targets on their seed corpora.
+verify: vet build race golden fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -17,9 +18,36 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench: the engine's sequential-vs-parallel sweep benchmarks plus the
-## tracer span micro-benchmarks, recorded to BENCH_PR2.json via benchjson.
+## golden: byte-compare `pblstudy run -json` against testdata/golden.
+## Regenerate a deliberately changed baseline with:
+##   go test -run TestGoldenRunJSON -update .
+golden:
+	$(GO) test -run TestGoldenRunJSON .
+
+## fuzz-smoke: 2s of coverage-guided fuzzing per target — enough to
+## exercise the corpora plus a few thousand mutations in CI.
+fuzz-smoke:
+	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzHistogramQuantile -fuzztime 2s
+	$(GO) test ./internal/armsim -run '^$$' -fuzz FuzzAsmParse -fuzztime 2s
+	$(GO) test ./internal/survey -run '^$$' -fuzz FuzzSurveyScores -fuzztime 2s
+
+## fuzz: the longer local run, 30s per target.
+fuzz:
+	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzHistogramQuantile -fuzztime 30s
+	$(GO) test ./internal/armsim -run '^$$' -fuzz FuzzAsmParse -fuzztime 30s
+	$(GO) test ./internal/survey -run '^$$' -fuzz FuzzSurveyScores -fuzztime 30s
+
+## chaos: the 200-seed fault-injection sweep; exits non-zero if any
+## statistic drifts under recoverable faults.
+chaos:
+	$(GO) run ./cmd/pblstudy chaos
+
+## bench: sweep + tracer benchmarks (PR2 baseline) and the
+## fault-injection overhead benchmarks (disabled-path must stay at
+## 0 allocs/op), recorded via benchjson.
 bench:
 	{ $(GO) test ./internal/engine/ -bench 'Sweep200' -benchtime 2x -run '^$$' && \
 	  $(GO) test ./internal/obs/ -bench 'Span' -benchmem -run '^$$'; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_PR2.json
+	$(GO) test ./internal/fault/ -bench . -benchmem -run '^$$' \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR3.json

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"pblparallel/internal/core"
+	"pblparallel/internal/engine"
+	"pblparallel/internal/fault"
+	"pblparallel/internal/obs"
+)
+
+// cmdChaos runs the same seed sweep twice — once clean, once under a
+// deterministic fault-injection plan with the engine's retry layer
+// armed — and asserts that every run's machine-readable summary is
+// byte-identical. That is the repo's resilience contract: recoverable
+// faults (message drops under reliable delivery, duplicates, delays,
+// thread stalls, core slowdowns) are absorbed inside the runtime that
+// injected them, and transient failures (injected panics, run
+// failures) are retried to success, so chaos never changes what the
+// study computes.
+func cmdChaos(args []string) {
+	fs := flag.NewFlagSet("pblstudy chaos", flag.ExitOnError)
+	seeds := fs.Int("seeds", 200, "number of study seeds to sweep")
+	start := fs.Int64("start", 20180800, "first seed of the sweep")
+	workers := fs.Int("workers", 0, "engine worker pool size (0 = all CPUs)")
+	drop := fs.Float64("drop", 0.2, "probability an MPI message is dropped on the wire (recovered by reliable delivery)")
+	dup := fs.Float64("dup", 0.05, "probability an MPI message is duplicated (deduplicated by sequence numbers)")
+	delay := fs.Float64("delay", 0.05, "probability an MPI message is delayed before delivery")
+	stall := fs.Float64("stall", 0.05, "probability an omp thread stalls at a barrier or chunk claim")
+	panicP := fs.Float64("panic", 0.005, "probability an omp thread panics at a barrier (transient; retried)")
+	slow := fs.Float64("slow", 0.25, "probability a simulated Pi core runs slowed (virtual time only)")
+	runfail := fs.Float64("runfail", 0.005, "probability an engine run fails transiently before executing")
+	retries := fs.Int("retries", 3, "engine retry budget for transient failures")
+	faultSeed := fs.Int64("fault-seed", 1, "seed of the fault-decision stream")
+	asJSON := fs.Bool("json", false, "emit the chaos report as JSON instead of text")
+	obsCLI := obs.BindFlags(fs)
+	fs.Parse(args)
+	sess := startObs(obsCLI)
+
+	plan := fault.Plan{Seed: *faultSeed, Rules: []fault.Rule{
+		{Site: fault.SiteMPISend, Kind: fault.MsgDrop, Prob: *drop},
+		{Site: fault.SiteMPISend, Kind: fault.MsgDup, Prob: *dup},
+		{Site: fault.SiteMPISend, Kind: fault.MsgDelay, Prob: *delay, Max: 200e-6},
+		{Site: fault.SiteOMPBarrier, Kind: fault.ThreadPanic, Prob: *panicP},
+		{Site: fault.SiteOMPBarrier, Kind: fault.ThreadStall, Prob: *stall, Max: 200e-6},
+		{Site: fault.SiteOMPFor, Kind: fault.ThreadStall, Prob: *stall, Max: 200e-6},
+		{Site: fault.SitePisimCore, Kind: fault.CoreSlow, Prob: *slow},
+		{Site: fault.SiteEngineRun, Kind: fault.RunFail, Prob: *runfail},
+	}}
+	inj, err := fault.New(plan)
+	if err != nil {
+		sess.Close()
+		fail(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	cfg := core.PaperStudy()
+	stream := engine.SequentialSeeds(*start)
+
+	// Clean baseline: no injector in the context, no retries needed.
+	clean := engine.New(engine.WithWorkers(*workers))
+	baseRes, err := clean.Sweep(ctx, cfg, stream, *seeds)
+	if err != nil {
+		sess.Close()
+		fail(fmt.Errorf("baseline sweep: %w", err))
+	}
+	if err := baseRes.FirstErr(); err != nil {
+		sess.Close()
+		fail(fmt.Errorf("baseline sweep: %w", err))
+	}
+	baseline := make([][]byte, *seeds)
+	for _, r := range baseRes.Runs {
+		b, err := json.Marshal(outcomeSummary(r.Seed, cfg.Calibrate, r.Outcome))
+		if err != nil {
+			sess.Close()
+			fail(err)
+		}
+		baseline[r.Index] = b
+	}
+
+	// Chaos pass: same seeds, faults armed, transient failures retried.
+	metrics := engine.NewMetrics()
+	obs.Metrics().RegisterGatherer(metrics)
+	chaotic := engine.New(
+		engine.WithWorkers(*workers),
+		engine.WithMetrics(metrics),
+		engine.WithRetry(*retries, 100*time.Microsecond),
+	)
+	chaosRes, err := chaotic.Sweep(fault.NewContext(ctx, inj), cfg, stream, *seeds)
+	if err != nil {
+		sess.Close()
+		fail(fmt.Errorf("chaos sweep: %w", err))
+	}
+
+	var drifted []int64
+	failed := 0
+	attempts := 0
+	for _, r := range chaosRes.Runs {
+		attempts += r.Attempts
+		if r.Err != nil {
+			failed++
+			drifted = append(drifted, r.Seed)
+			continue
+		}
+		b, err := json.Marshal(outcomeSummary(r.Seed, cfg.Calibrate, r.Outcome))
+		if err != nil {
+			sess.Close()
+			fail(err)
+		}
+		if string(b) != string(baseline[r.Index]) {
+			drifted = append(drifted, r.Seed)
+		}
+	}
+	stats := inj.Stats()
+	snap := metrics.Snapshot()
+
+	report := chaosJSON{
+		Seeds:     *seeds,
+		Start:     *start,
+		Workers:   chaosRes.Workers,
+		Retries:   *retries,
+		FaultSeed: *faultSeed,
+		Plan: map[string]float64{
+			"drop": *drop, "dup": *dup, "delay": *delay, "stall": *stall,
+			"panic": *panicP, "slow": *slow, "runfail": *runfail,
+		},
+		Faults:        stats,
+		RunsRetried:   snap.Retried,
+		AttemptsTotal: attempts,
+		FailedRuns:    failed,
+		DriftedSeeds:  drifted,
+		Identical:     len(drifted) == 0,
+	}
+	if *asJSON {
+		emitJSON(report)
+	} else {
+		renderChaos(report)
+	}
+	closeObs(sess)
+	if !report.Identical {
+		os.Exit(1)
+	}
+}
+
+// chaosJSON is the machine-readable chaos report.
+type chaosJSON struct {
+	Seeds         int                 `json:"seeds"`
+	Start         int64               `json:"start"`
+	Workers       int                 `json:"workers"`
+	Retries       int                 `json:"retries"`
+	FaultSeed     int64               `json:"fault_seed"`
+	Plan          map[string]float64  `json:"plan"`
+	Faults        fault.StatsSnapshot `json:"faults"`
+	RunsRetried   int64               `json:"runs_retried"`
+	AttemptsTotal int                 `json:"attempts_total"`
+	FailedRuns    int                 `json:"failed_runs"`
+	DriftedSeeds  []int64             `json:"drifted_seeds,omitempty"`
+	Identical     bool                `json:"identical"`
+}
+
+func renderChaos(r chaosJSON) {
+	fmt.Printf("chaos sweep: %d seeds from %d, workers=%d, retry budget=%d, fault seed=%d\n",
+		r.Seeds, r.Start, r.Workers, r.Retries, r.FaultSeed)
+	fmt.Printf("plan: drop=%.3g dup=%.3g delay=%.3g stall=%.3g panic=%.3g slow=%.3g runfail=%.3g\n",
+		r.Plan["drop"], r.Plan["dup"], r.Plan["delay"], r.Plan["stall"],
+		r.Plan["panic"], r.Plan["slow"], r.Plan["runfail"])
+	fmt.Printf("faults: injected=%d", r.Faults.Injected)
+	if len(r.Faults.ByKind) > 0 {
+		b, _ := json.Marshal(r.Faults.ByKind)
+		fmt.Printf(" %s", b)
+	}
+	fmt.Printf(" recovered=%d delivery/run retries=%d\n", r.Faults.Recovered, r.Faults.Retries)
+	fmt.Printf("runs: %d attempts for %d seeds, %d engine retries, %d failed after retry\n",
+		r.AttemptsTotal, r.Seeds, r.RunsRetried, r.FailedRuns)
+	if r.Identical {
+		fmt.Println("result: OK — study statistics byte-identical under injected faults")
+	} else {
+		fmt.Printf("result: DRIFT — %d seed(s) diverged or failed: %v\n", len(r.DriftedSeeds), r.DriftedSeeds)
+	}
+}

@@ -59,6 +59,8 @@ func main() {
 		cmdRun(args[1:])
 	case "sensitivity":
 		cmdSensitivity(args[1:])
+	case "chaos":
+		cmdChaos(args[1:])
 	case "instrument":
 		cmdInstrument(args[1:])
 	case "spring2019":
@@ -80,6 +82,8 @@ subcommands:
                paper-vs-measured comparison (default when omitted)
   sensitivity  re-run the study across many seeds on the parallel
                engine and report statistic distributions
+  chaos        re-run a seed sweep under deterministic fault injection
+               and assert the statistics are byte-identical
   instrument   print the full survey instrument (Fig. 2 for every element)
   spring2019   the planned Spring 2019 revision and its projected effect
 
@@ -144,6 +148,12 @@ type runJSON struct {
 
 func runSummary(study *core.Study, o *core.Outcome) runJSON {
 	cfg := study.Config()
+	return outcomeSummary(cfg.Seed, cfg.Calibrate, o)
+}
+
+// outcomeSummary builds the machine-readable summary from an outcome
+// alone — the form the chaos sweep byte-compares across fault plans.
+func outcomeSummary(seed int64, calibrated bool, o *core.Outcome) runJSON {
 	held := 0
 	for _, s := range o.Comparison.Shape {
 		if s.Holds {
@@ -151,10 +161,10 @@ func runSummary(study *core.Study, o *core.Outcome) runJSON {
 		}
 	}
 	return runJSON{
-		Seed:       cfg.Seed,
+		Seed:       seed,
 		Students:   len(o.Cohort.Students),
 		Teams:      len(o.Formation.Teams),
-		Calibrated: cfg.Calibrate,
+		Calibrated: calibrated,
 		EmphasisT:  o.Report.Table1.ClassEmphasis.T,
 		EmphasisP:  o.Report.Table1.ClassEmphasis.P,
 		GrowthT:    o.Report.Table1.PersonalGrowth.T,

@@ -1,0 +1,59 @@
+package pblparallel
+
+// Golden-file regression: the machine-readable summary of the paper's
+// canonical run is pinned byte-for-byte. Any change to the pipeline
+// that moves a statistic — intentional or not — fails this test until
+// the golden file is regenerated with -update, making drift a reviewed
+// decision instead of an accident.
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "regenerate golden files instead of comparing")
+
+// goldenRunPath is the canonical `pblstudy run -json` output for the
+// paper's seed and configuration.
+const goldenRunPath = "testdata/golden/run_paper_seed.json"
+
+func TestGoldenRunJSON(t *testing.T) {
+	bin := filepath.Join(t.TempDir(), "pblstudy")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	build := exec.Command("go", "build", "-o", bin, "./cmd/pblstudy")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/pblstudy: %v\n%s", err, out)
+	}
+	cmd := exec.Command(bin, "run", "-json")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	got, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("pblstudy run -json: %v\n%s", err, stderr.String())
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(goldenRunPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenRunPath, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("regenerated %s (%d bytes)", goldenRunPath, len(got))
+		return
+	}
+	want, err := os.ReadFile(goldenRunPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with `go test -run TestGoldenRunJSON -update .`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("pblstudy run -json drifted from %s\n--- got ---\n%s\n--- want ---\n%s\n(if the change is intended, regenerate with `go test -run TestGoldenRunJSON -update .`)",
+			goldenRunPath, got, want)
+	}
+}

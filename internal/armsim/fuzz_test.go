@@ -1,0 +1,31 @@
+package armsim
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAsmParse feeds the assembler arbitrary source text: it must
+// return a diagnostic error or a runnable program — never panic, and
+// never hand back a nil program without an error.
+func FuzzAsmParse(f *testing.F) {
+	f.Add("mov r0, #10\nhlt")
+	f.Add("loop: add r1, r1, r0\n cmp r1, #0x40\n blt loop\n hlt")
+	f.Add("ldr r2, [r3, #4]\nstr r2, [r3]\nhlt ; trailing comment")
+	f.Add("label:")
+	f.Add("mov pc, r15, lsl #33")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatal("Parse returned nil program with nil error")
+		}
+		// Assemble rejects empty programs, so a successful parse always
+		// carries at least one instruction.
+		if len(p.Instructions) == 0 {
+			t.Fatalf("Parse(%q) succeeded with zero instructions", strings.TrimSpace(src))
+		}
+	})
+}

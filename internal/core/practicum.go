@@ -1,6 +1,7 @@
 package core
 
 import (
+	"pblparallel/internal/fault"
 	"pblparallel/internal/mpi"
 	"pblparallel/internal/pisim"
 	"pblparallel/internal/teams"
@@ -35,8 +36,12 @@ type PracticumResult struct {
 
 // runPracticum executes the practicum stage. Both halves are
 // deterministic: the MPI reduction is order-insensitive integer
-// addition, and the Pi simulation runs in virtual time.
-func runPracticum(formation *teams.Formation, activity map[int]*teamwork.Log) (*PracticumResult, error) {
+// addition, and the Pi simulation runs in virtual time. When a fault
+// injector is armed, the MPI world runs over a lossy link in reliable
+// mode (drops, delays, and duplicates are absorbed by the seq/ack
+// layer) and the simulated Pi draws per-core slowdowns — the results
+// are identical either way, which is what the chaos sweep asserts.
+func runPracticum(formation *teams.Formation, activity map[int]*teamwork.Log, inj *fault.Injector) (*PracticumResult, error) {
 	counts := make([]int, len(formation.Teams))
 	for i, tm := range formation.Teams {
 		counts[i] = len(activity[tm.ID].Events)
@@ -46,6 +51,10 @@ func runPracticum(formation *teams.Formation, activity map[int]*teamwork.Log) (*
 	padded := append([]int(nil), counts...)
 	for len(padded)%piCores != 0 {
 		padded = append(padded, 0)
+	}
+	var mpiOpts []mpi.RunOption
+	if inj != nil {
+		mpiOpts = append(mpiOpts, mpi.WithFault(inj), mpi.WithReliable(mpi.Reliable{}))
 	}
 	var total int
 	if err := mpi.Run(piCores, func(c *mpi.Comm) error {
@@ -66,7 +75,7 @@ func runPracticum(formation *teams.Formation, activity map[int]*teamwork.Log) (*
 			total = sum
 		}
 		return nil
-	}); err != nil {
+	}, mpiOpts...); err != nil {
 		return nil, err
 	}
 
@@ -74,6 +83,7 @@ func runPracticum(formation *teams.Formation, activity map[int]*teamwork.Log) (*
 	if err != nil {
 		return nil, err
 	}
+	m = m.WithFault(inj)
 	costs := make([]pisim.Cycles, len(counts))
 	for i, c := range counts {
 		costs[i] = pisim.Cycles(1+c) * practicumCyclesPerEvent

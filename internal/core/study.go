@@ -9,6 +9,7 @@ import (
 
 	"pblparallel/internal/analysis"
 	"pblparallel/internal/cohort"
+	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
 	"pblparallel/internal/omp"
 	"pblparallel/internal/pbl"
@@ -148,6 +149,10 @@ func (s *Study) Run(ctx context.Context) (*Outcome, error) {
 	}
 	cfg := s.cfg
 	studiesStarted.Inc()
+	// Fault injection rides the context (the engine forks a fresh
+	// injector per attempt); nil when chaos testing is off, and every
+	// hook below is then a nil check.
+	inj := fault.FromContext(ctx)
 
 	// Tracing: one lane per run, one span per pipeline stage plus a
 	// whole-run span. tr is nil when disabled; every span call below is
@@ -230,7 +235,7 @@ func (s *Study) Run(ctx context.Context) (*Outcome, error) {
 		_ = tc.For(0, nTeams, omp.Dynamic{Chunk: 1}, func(i int) {
 			logs[i], logErrs[i] = teamwork.SimulateTeamActivity(formation.Teams[i], module.SemesterWeeks, cfg.Seed+2)
 		})
-	}, omp.WithNumThreads(nThreads)); err != nil {
+	}, omp.WithNumThreads(nThreads), omp.WithFault(inj)); err != nil {
 		return nil, fmt.Errorf("core: activity: %w", err)
 	}
 	activity := make(map[int]*teamwork.Log, nTeams)
@@ -246,7 +251,7 @@ func (s *Study) Run(ctx context.Context) (*Outcome, error) {
 		return nil, err
 	}
 	start, sp = stageBegin(StagePracticum)
-	practicum, err := runPracticum(formation, activity)
+	practicum, err := runPracticum(formation, activity, inj)
 	if err != nil {
 		return nil, fmt.Errorf("core: practicum: %w", err)
 	}

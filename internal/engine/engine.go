@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"pblparallel/internal/core"
+	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
 )
 
@@ -66,6 +67,8 @@ type Engine struct {
 	workers int
 	timeout time.Duration
 	metrics *Metrics
+	retries int
+	backoff time.Duration
 }
 
 // Option configures an Engine.
@@ -92,6 +95,24 @@ func WithMetrics(m *Metrics) Option {
 	return func(e *Engine) { e.metrics = m }
 }
 
+// WithRetry re-executes a run that failed with a transient error
+// (fault.IsTransient: injected faults, delivery exhaustion, per-run
+// deadline expiry) up to n more times, sleeping backoff<<attempt
+// between attempts. Permanent errors are never retried. Each attempt
+// draws a freshly forked fault stream keyed by (run index, attempt), so
+// retry outcomes — like everything else in a sweep — are deterministic
+// and worker-count independent.
+func WithRetry(n int, backoff time.Duration) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.retries = n
+		}
+		if backoff > 0 {
+			e.backoff = backoff
+		}
+	}
+}
+
 // New builds an engine with runtime.NumCPU() workers unless overridden.
 func New(opts ...Option) *Engine {
 	e := &Engine{workers: runtime.NumCPU()}
@@ -114,6 +135,8 @@ type RunResult struct {
 	Outcome *core.Outcome
 	Err     error
 	Elapsed time.Duration
+	// Attempts is how many executions the run took (1 = no retries).
+	Attempts int
 }
 
 // SweepResult collects a sweep's completed runs in index order.
@@ -131,11 +154,20 @@ type SweepResult struct {
 
 // FirstErr returns the lowest-index run error, or nil. The lowest index
 // — not the first in completion order — keeps error reporting
-// deterministic under parallelism.
+// deterministic under parallelism. The message classifies the failure
+// as transient (retryable: injected faults, delivery exhaustion, run
+// timeouts) or permanent, so sweep reports distinguish flaky-hardware
+// losses from genuinely broken configurations; the class is also
+// queryable with fault.IsTransient on the returned error.
 func (r *SweepResult) FirstErr() error {
 	for i := range r.Runs {
-		if r.Runs[i].Err != nil {
-			return fmt.Errorf("engine: run %d (seed %d): %w", r.Runs[i].Index, r.Runs[i].Seed, r.Runs[i].Err)
+		if err := r.Runs[i].Err; err != nil {
+			class := "permanent"
+			if fault.IsTransient(err) {
+				class = "transient"
+			}
+			return fmt.Errorf("engine: run %d (seed %d): %s failure: %w",
+				r.Runs[i].Index, r.Runs[i].Seed, class, err)
 		}
 	}
 	return nil
@@ -160,6 +192,10 @@ func (e *Engine) Sweep(ctx context.Context, cfg core.StudyConfig, seeds SeedStre
 
 	sweepSpan := obs.Default().Span(obs.PIDEngine, 0, "engine", "sweep").
 		Int("runs", int64(n)).Int("workers", int64(e.workers))
+	// The fault base is resolved once: each attempt below forks it with a
+	// (run index, attempt) salt, so every attempt draws a fresh — but
+	// fully deterministic — fault schedule. Nil when injection is off.
+	faultBase := fault.FromContext(ctx)
 	e.mapIndexed(ctx, n, func(runCtx context.Context, i, worker int) {
 		seed := seeds(i)
 		opts := []core.Option{core.WithConfig(cfg), core.WithSeed(seed)}
@@ -172,7 +208,7 @@ func (e *Engine) Sweep(ctx context.Context, cfg core.StudyConfig, seeds SeedStre
 			Int("index", int64(i)).Int("seed", seed)
 		e.metrics.runStarted()
 		start := time.Now()
-		out, err := core.NewStudy(opts...).Run(runCtx)
+		out, err, attempts := e.runWithRetry(runCtx, faultBase, i, opts)
 		elapsed := time.Since(start)
 		if err != nil {
 			e.metrics.runFailed(elapsed)
@@ -180,7 +216,7 @@ func (e *Engine) Sweep(ctx context.Context, cfg core.StudyConfig, seeds SeedStre
 			e.metrics.runCompleted(elapsed)
 		}
 		sp.End()
-		results[i] = RunResult{Index: i, Seed: seed, Outcome: out, Err: err, Elapsed: elapsed}
+		results[i] = RunResult{Index: i, Seed: seed, Outcome: out, Err: err, Elapsed: elapsed, Attempts: attempts}
 		done[i] = true
 	})
 	sweepSpan.End()
@@ -197,10 +233,70 @@ func (e *Engine) Sweep(ctx context.Context, cfg core.StudyConfig, seeds SeedStre
 	return sr, nil
 }
 
+// runWithRetry executes one study run, re-attempting transient
+// failures up to the engine's retry budget. Each attempt gets its own
+// per-attempt timeout (a retry earns a fresh deadline — the whole point
+// of retrying a timed-out run) and, when fault injection is armed, its
+// own forked decision stream. Returns the final outcome, error, and
+// attempt count.
+func (e *Engine) runWithRetry(ctx context.Context, faultBase *fault.Injector, i int, opts []core.Option) (*core.Outcome, error, int) {
+	for attempt := 0; ; attempt++ {
+		attemptCtx := ctx
+		if faultBase != nil {
+			inj := faultBase.Fork(fault.Mix2(uint64(i), uint64(attempt)))
+			attemptCtx = fault.NewContext(ctx, inj)
+			// The engine's own injection site: fail the attempt with a
+			// transient error before the study executes.
+			if f, ok := inj.Hit(fault.SiteEngineRun, fault.Mix2(uint64(i), uint64(attempt))); ok && f.Kind == fault.RunFail {
+				obs.Default().Span(obs.PIDEngine, 0, "fault", "run-fail").
+					Int("index", int64(i)).Int("attempt", int64(attempt)).Emit()
+				if next, retry := e.nextAttempt(ctx, faultBase, attempt,
+					fmt.Errorf("engine: injected run failure: %w", fault.ErrTransient)); !retry {
+					return nil, next, attempt + 1
+				}
+				continue
+			}
+		}
+		cancel := context.CancelFunc(func() {})
+		if e.timeout > 0 {
+			attemptCtx, cancel = context.WithTimeout(attemptCtx, e.timeout)
+		}
+		out, err := core.NewStudy(opts...).Run(attemptCtx)
+		cancel()
+		if err == nil {
+			if attempt > 0 {
+				// The transient fault(s) that failed earlier attempts are
+				// now fully absorbed.
+				faultBase.MarkRecovered(1)
+			}
+			return out, nil, attempt + 1
+		}
+		if next, retry := e.nextAttempt(ctx, faultBase, attempt, err); !retry {
+			return nil, next, attempt + 1
+		}
+	}
+}
+
+// nextAttempt decides whether a failed attempt is retried: the error
+// must classify transient, budget must remain, and the caller's context
+// must still be live. On retry it records the retry in metrics and the
+// fault ledger and sleeps the deterministic backoff.
+func (e *Engine) nextAttempt(ctx context.Context, faultBase *fault.Injector, attempt int, err error) (error, bool) {
+	if attempt >= e.retries || !fault.IsTransient(err) || ctx.Err() != nil {
+		return err, false
+	}
+	e.metrics.runRetried()
+	faultBase.MarkRetry()
+	if e.backoff > 0 {
+		time.Sleep(e.backoff << uint(attempt))
+	}
+	return nil, true
+}
+
 // mapIndexed drives the pool: workers pull indices from a shared
-// channel until it drains or ctx ends, applying fn under the per-run
-// timeout. fn must handle its own errors; each index is attempted at
-// most once.
+// channel until it drains or ctx ends. fn must handle its own errors
+// (and its own per-attempt timeout); each index is attempted at most
+// once.
 func (e *Engine) mapIndexed(ctx context.Context, n int, fn func(ctx context.Context, i, worker int)) {
 	workers := e.workers
 	if workers > n {
@@ -231,13 +327,7 @@ func (e *Engine) mapIndexed(ctx context.Context, n int, fn func(ctx context.Cont
 		go func(worker int) {
 			defer wg.Done()
 			for i := range idx {
-				runCtx := ctx
-				cancel := context.CancelFunc(func() {})
-				if e.timeout > 0 {
-					runCtx, cancel = context.WithTimeout(ctx, e.timeout)
-				}
-				fn(runCtx, i, worker)
-				cancel()
+				fn(ctx, i, worker)
 			}
 		}(w)
 	}
@@ -259,6 +349,11 @@ func Map[T any](ctx context.Context, e *Engine, n int, fn func(ctx context.Conte
 	e.mapIndexed(mapCtx, n, func(runCtx context.Context, i, worker int) {
 		sp := obs.Default().Span(obs.PIDEngine, uint32(worker)+1, "engine", "map.run").Int("index", int64(i))
 		defer sp.End()
+		if e.timeout > 0 {
+			var cancelRun context.CancelFunc
+			runCtx, cancelRun = context.WithTimeout(runCtx, e.timeout)
+			defer cancelRun()
+		}
 		v, err := fn(runCtx, i)
 		if err != nil {
 			errs[i] = err

@@ -151,6 +151,7 @@ type Metrics struct {
 	started   atomic.Int64
 	completed atomic.Int64
 	failed    atomic.Int64
+	retried   atomic.Int64
 
 	mu     sync.Mutex
 	begin  time.Time // first run start
@@ -211,9 +212,19 @@ func (m *Metrics) runFinished(d time.Duration, failed bool) {
 func (m *Metrics) runCompleted(d time.Duration) { m.runFinished(d, false) }
 func (m *Metrics) runFailed(d time.Duration)    { m.runFinished(d, true) }
 
+// runRetried counts one retry of a transiently failed attempt. Retries
+// are attempts beyond the first; a run retried twice and then
+// succeeding contributes 2 here and 1 to completed.
+func (m *Metrics) runRetried() {
+	if m == nil {
+		return
+	}
+	m.retried.Add(1)
+}
+
 // Snapshot is a consistent point-in-time copy of the metrics.
 type Snapshot struct {
-	Started, Completed, Failed int64
+	Started, Completed, Failed, Retried int64
 	// Window is the wall time from the first run start to the last run
 	// finish; Throughput is completed runs per second over it.
 	Window     time.Duration
@@ -233,6 +244,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Started:   m.started.Load(),
 		Completed: m.completed.Load(),
 		Failed:    m.failed.Load(),
+		Retried:   m.retried.Load(),
 		Run:       m.run.clone(),
 		Stages:    make(map[string]*Histogram, len(m.stages)),
 	}
@@ -254,8 +266,8 @@ func (m *Metrics) Snapshot() Snapshot {
 // whole-run line).
 func (m *Metrics) Render(w io.Writer) error {
 	s := m.Snapshot()
-	if _, err := fmt.Fprintf(w, "engine metrics: started=%d completed=%d failed=%d window=%s throughput=%.1f runs/s\n",
-		s.Started, s.Completed, s.Failed, s.Window.Round(time.Millisecond), s.Throughput); err != nil {
+	if _, err := fmt.Fprintf(w, "engine metrics: started=%d completed=%d failed=%d retried=%d window=%s throughput=%.1f runs/s\n",
+		s.Started, s.Completed, s.Failed, s.Retried, s.Window.Round(time.Millisecond), s.Throughput); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "  %-13s %6s %10s %10s %10s %10s\n", "stage", "count", "mean", "p50", "p95", "max"); err != nil {
@@ -340,6 +352,8 @@ func (m *Metrics) GatherMetrics() []obs.Family {
 			Points: []obs.Point{{Value: float64(s.Completed)}}},
 		{Name: "engine_runs_failed_total", Help: "Study runs that returned an error.", Type: "counter",
 			Points: []obs.Point{{Value: float64(s.Failed)}}},
+		{Name: "engine_runs_retried_total", Help: "Transient-failure retries across all runs.", Type: "counter",
+			Points: []obs.Point{{Value: float64(s.Retried)}}},
 		{Name: "engine_throughput_runs_per_second", Help: "Completed runs per second over the observation window.", Type: "gauge",
 			Points: []obs.Point{{Value: s.Throughput}}},
 		{Name: "engine_run_duration_seconds", Help: "Whole-run wall time.", Type: "histogram",

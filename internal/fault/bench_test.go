@@ -1,0 +1,29 @@
+package fault
+
+import "testing"
+
+// BenchmarkDisabledHit is the zero-cost-when-disabled contract: a nil
+// injector's Hit — the form every production call site compiles to
+// when chaos is off — must be a pointer check, with no allocation.
+func BenchmarkDisabledHit(b *testing.B) {
+	var in *Injector
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := in.Hit(SiteMPISend, uint64(i)); ok {
+			b.Fatal("nil injector fired")
+		}
+	}
+}
+
+// BenchmarkEnabledMiss measures the armed-but-not-firing path: one map
+// lookup plus one SplitMix64 draw per rule.
+func BenchmarkEnabledMiss(b *testing.B) {
+	in, err := New(Plan{Seed: 1, Rules: []Rule{{Site: SiteMPISend, Kind: MsgDrop, Prob: 1e-12}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		in.Hit(SiteMPISend, uint64(i))
+	}
+}

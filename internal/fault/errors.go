@@ -1,0 +1,43 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// ErrTransient is the sentinel marking a failure as retryable: the run
+// failed because of an injected (or injected-class) fault, not because
+// the computation itself is wrong, so re-executing it can succeed.
+// Errors from the resilience paths — reliable-delivery budget
+// exhaustion, injected panics, engine run-fail injections — wrap it;
+// test with errors.Is or the IsTransient helper.
+var ErrTransient = errors.New("fault: transient failure")
+
+// IsTransient classifies an error as retryable. Besides explicit
+// ErrTransient wraps, a per-run deadline expiry counts as transient:
+// a timed-out run on flaky hardware is the textbook retry candidate,
+// and before this classification existed the engine could not tell it
+// apart from a permanently broken configuration.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Injected is the cause carried by an injected panic: the omp runtime
+// panics a team member with this value, the region machinery recovers
+// it, and the resulting region error unwraps to it — and through it to
+// ErrTransient — so retry layers can distinguish injected chaos from a
+// genuine program bug.
+type Injected struct {
+	Site Site
+	Kind Kind
+	Key  uint64
+}
+
+// Error describes the injection.
+func (e *Injected) Error() string {
+	return fmt.Sprintf("fault: injected %s at %s (key %#x)", e.Kind, e.Site, e.Key)
+}
+
+// Unwrap classifies every injected fault as transient.
+func (e *Injected) Unwrap() error { return ErrTransient }

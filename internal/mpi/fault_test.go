@@ -1,0 +1,221 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"pblparallel/internal/fault"
+)
+
+// lossyPlan arms the full wire-fault mix at the Send boundary.
+func lossyPlan(t *testing.T, seed int64, drop, dup, delay float64) *fault.Injector {
+	t.Helper()
+	in, err := fault.New(fault.Plan{Seed: seed, Rules: []fault.Rule{
+		{Site: fault.SiteMPISend, Kind: fault.MsgDrop, Prob: drop},
+		{Site: fault.SiteMPISend, Kind: fault.MsgDup, Prob: dup},
+		{Site: fault.SiteMPISend, Kind: fault.MsgDelay, Prob: delay, Max: 50e-6},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// ringOnce passes an incrementing token around the ring and returns
+// rank 0's final value.
+func ringOnce(n int, opts ...RunOption) (int, error) {
+	final := 0
+	err := Run(n, func(c *Comm) error {
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() - 1 + n) % n
+		if c.Rank() == 0 {
+			if err := c.Send(next, 0, 1); err != nil {
+				return err
+			}
+			got, _, err := c.Recv(prev, 0)
+			if err != nil {
+				return err
+			}
+			final = got.(int)
+			return nil
+		}
+		got, _, err := c.Recv(prev, 0)
+		if err != nil {
+			return err
+		}
+		return c.Send(next, 0, got.(int)+1)
+	}, opts...)
+	return final, err
+}
+
+// TestReliableRingSurvivesLossyLink is the resilience property test:
+// for any drop rate < 1 with enough retry budget, the ring completes
+// with the same token value as the fault-free run, across many fault
+// seeds and aggressive drop/dup/delay mixes.
+func TestReliableRingSurvivesLossyLink(t *testing.T) {
+	const n = 5
+	clean, err := ringOnce(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean != n {
+		t.Fatalf("fault-free ring token %d, want %d", clean, n)
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		in := lossyPlan(t, seed, 0.5, 0.3, 0.2)
+		got, err := ringOnce(n, WithFault(in),
+			WithReliable(Reliable{MaxRetries: 64, BaseBackoff: 50 * time.Microsecond}))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != clean {
+			t.Fatalf("seed %d: lossy ring token %d, fault-free %d", seed, got, clean)
+		}
+		s := in.Stats()
+		if seed == 0 && s.Injected == 0 {
+			t.Fatal("plan with 50% drop injected nothing")
+		}
+		if s.ByKind["msg-drop"] > 0 && s.Recovered == 0 {
+			t.Fatalf("seed %d: drops injected but none recovered: %+v", seed, s)
+		}
+	}
+}
+
+// TestCollectivesSurviveLossyLink runs Scatter + Allreduce — the exact
+// shapes the study practicum uses — over a dropping, duplicating wire
+// and checks the reduction against the fault-free answer.
+func TestCollectivesSurviveLossyLink(t *testing.T) {
+	const size = 4
+	data := make([]int, size*3)
+	want := 0
+	for i := range data {
+		data[i] = i * i
+		want += i * i
+	}
+	run := func(opts ...RunOption) (int, error) {
+		total := 0
+		err := Run(size, func(c *Comm) error {
+			part, err := Scatter(c, 0, data)
+			if err != nil {
+				return err
+			}
+			local := 0
+			for _, v := range part {
+				local += v
+			}
+			sum, err := Allreduce(c, local, func(a, b int) int { return a + b })
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				total = sum
+			}
+			return nil
+		}, opts...)
+		return total, err
+	}
+	clean, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean != want {
+		t.Fatalf("fault-free allreduce %d, want %d", clean, want)
+	}
+	for seed := int64(100); seed < 115; seed++ {
+		in := lossyPlan(t, seed, 0.4, 0.25, 0.15)
+		got, err := run(WithFault(in),
+			WithReliable(Reliable{MaxRetries: 64, BaseBackoff: 50 * time.Microsecond}))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got != clean {
+			t.Fatalf("seed %d: lossy allreduce %d, fault-free %d", seed, got, clean)
+		}
+	}
+}
+
+// TestReliableDeliveryExhaustsAsTransient pins the failure mode: a
+// wire that drops everything exhausts the retry budget and surfaces a
+// transient error — the class the engine's retry layer re-executes.
+func TestReliableDeliveryExhaustsAsTransient(t *testing.T) {
+	in, err := fault.New(fault.Plan{Seed: 1, Rules: []fault.Rule{
+		{Site: fault.SiteMPISend, Kind: fault.MsgDrop, Prob: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 0, "doomed")
+		}
+		// Rank 1 never receives: the wire eats everything. It must not
+		// block forever on Recv, so it just returns.
+		return nil
+	}, WithFault(in), WithReliable(Reliable{MaxRetries: 3, BaseBackoff: 10 * time.Microsecond}))
+	if err == nil {
+		t.Fatal("total loss delivered anyway")
+	}
+	if !fault.IsTransient(err) {
+		t.Fatalf("exhaustion error not transient: %v", err)
+	}
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 0 {
+		t.Fatalf("error lost rank attribution: %v", err)
+	}
+	if s := in.Stats(); s.Retries != 3 {
+		t.Fatalf("retry ledger %d, want 3", s.Retries)
+	}
+}
+
+// TestUnreliableDelayOnlyKeepsSemantics checks the non-reliable armed
+// path: delay faults slow Send but never change delivery, and drop/dup
+// rules are ignored rather than corrupting an unsequenced fabric.
+func TestUnreliableDelayOnlyKeepsSemantics(t *testing.T) {
+	in := lossyPlan(t, 7, 1, 1, 1) // drop rule first and certain — must be ignored
+	got, err := ringOnce(4, WithFault(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4 {
+		t.Fatalf("ring token %d under delay-only injection", got)
+	}
+}
+
+// TestReliableCleanWireIsTransparent: reliable mode with no injector
+// behaves exactly like the plain fabric (the seq/ack layer is pure
+// overhead, not semantics).
+func TestReliableCleanWireIsTransparent(t *testing.T) {
+	got, err := ringOnce(6, WithReliable(Reliable{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Fatalf("ring token %d over clean reliable wire", got)
+	}
+	// Ordering guarantee survives the NIC hop.
+	err = Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 50; i++ {
+				if err := c.Send(1, 0, i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 50; i++ {
+			got, _, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
+			if got != i {
+				return fmt.Errorf("message %d arrived as %v", i, got)
+			}
+		}
+		return nil
+	}, WithReliable(Reliable{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,7 +16,9 @@ import (
 	"reflect"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
 )
 
@@ -72,10 +74,13 @@ func payloadBytes(v any) int64 {
 	}
 }
 
-// message is one point-to-point transfer.
+// message is one point-to-point transfer. seq is non-zero only under
+// reliable delivery, where it orders and dedups the (from, receiver)
+// pair's traffic.
 type message struct {
 	from, tag int
 	data      any
+	seq       uint64
 }
 
 // world is the shared fabric of one Run.
@@ -84,6 +89,14 @@ type world struct {
 	inboxes  []chan message
 	barrier  *centralBarrier
 	laneBase uint32 // base of this world's trace-lane block (0 = untraced)
+
+	// Fault injection and reliable delivery (see reliable.go); all nil /
+	// false on the default path.
+	inj       *fault.Injector
+	reliable  bool
+	rel       Reliable
+	transport []chan message // lossy wire, drained by per-rank NICs
+	acks      []chan ackMsg  // indexed by the *sender* awaiting the ack
 }
 
 // Comm is one rank's communicator handle.
@@ -92,6 +105,8 @@ type Comm struct {
 	rank int
 	// pending holds messages received ahead of a matching Recv.
 	pending []message
+	// nextSeq is the per-destination sequence counter (reliable mode).
+	nextSeq []uint64
 }
 
 // lane is the rank's trace lane within the world's block.
@@ -133,6 +148,29 @@ func (c *Comm) Send(to, tag int, data any) error {
 	if tr := obs.Default(); tr != nil {
 		tr.Span(obs.PIDMPI, c.lane(), "mpi", "send").
 			Int("to", int64(to)).Int("tag", int64(tag)).Int("bytes", nb).Emit()
+	}
+	if c.w.reliable {
+		return c.sendReliable(to, tag, data)
+	}
+	if c.w.inj != nil {
+		// Without reliable delivery only delay faults are honoured: a
+		// dropped or duplicated message with no sequencing protocol
+		// would deadlock or corrupt the application rather than test
+		// its resilience.
+		c.nextSeq[to]++
+		if f, ok := c.w.inj.Hit(fault.SiteMPISend,
+			fault.Mix4(uint64(c.rank), uint64(to), c.nextSeq[to], 0)); ok && f.Kind == fault.MsgDelay {
+			d := f.Duration()
+			if tr := obs.Default(); tr != nil {
+				sp := tr.Span(obs.PIDMPI, c.lane(), "fault", "msg-delay").
+					Int("to", int64(to)).Int("tag", int64(tag))
+				time.Sleep(d)
+				sp.End()
+			} else {
+				time.Sleep(d)
+			}
+			c.w.inj.MarkRecovered(1)
+		}
 	}
 	c.w.inboxes[to] <- message{from: c.rank, tag: tag, data: data}
 	return nil
@@ -252,8 +290,10 @@ func (e *RankError) Unwrap() error { return e.Err }
 // Run launches size ranks, each executing body with its own
 // communicator, and joins them. The first failing rank's error is
 // returned (lowest rank wins); a panic on any rank is converted to an
-// error on that rank.
-func Run(size int, body func(c *Comm) error) error {
+// error on that rank. Options arm fault injection and reliable
+// delivery; with none, the fabric is the historical direct-channel
+// path.
+func Run(size int, body func(c *Comm) error, opts ...RunOption) error {
 	if size < 1 {
 		return fmt.Errorf("mpi: world size %d", size)
 	}
@@ -265,8 +305,21 @@ func Run(size int, body func(c *Comm) error) error {
 		inboxes: make([]chan message, size),
 		barrier: newCentralBarrier(size),
 	}
+	for _, opt := range opts {
+		opt(w)
+	}
 	for i := range w.inboxes {
 		w.inboxes[i] = make(chan message, 1024)
+	}
+	var nics *sync.WaitGroup
+	if w.reliable {
+		w.transport = make([]chan message, size)
+		w.acks = make([]chan ackMsg, size)
+		for i := range w.transport {
+			w.transport[i] = make(chan message, 1024)
+			w.acks[i] = make(chan ackMsg, 1024)
+		}
+		nics = w.startNICs()
 	}
 	worldsRun.Inc()
 	tr := obs.Default()
@@ -281,6 +334,9 @@ func Run(size int, body func(c *Comm) error) error {
 		go func(rank int) {
 			defer wg.Done()
 			c := &Comm{w: w, rank: rank}
+			if w.reliable || w.inj != nil {
+				c.nextSeq = make([]uint64, size)
+			}
 			rsp := tr.Span(obs.PIDMPI, c.lane(), "mpi", "rank").Int("rank", int64(rank))
 			defer rsp.End()
 			defer func() {
@@ -294,6 +350,12 @@ func Run(size int, body func(c *Comm) error) error {
 		}(r)
 	}
 	wg.Wait()
+	if nics != nil {
+		for _, t := range w.transport {
+			close(t)
+		}
+		nics.Wait()
+	}
 	worldSpan.End()
 	for _, err := range errs {
 		if err != nil {

@@ -1,6 +1,9 @@
 package omp
 
-import "pblparallel/internal/obs"
+import (
+	"pblparallel/internal/fault"
+	"pblparallel/internal/obs"
+)
 
 // ThreadContext is one team member's view of the parallel region: its
 // identity plus the work-sharing and synchronization constructs.
@@ -15,6 +18,7 @@ type ThreadContext struct {
 	singleCount   int
 	sectionsCount int
 	loopCount     int
+	barrierCount  int // fault-injection key: this thread's barrier entries
 
 	// curGroup is the current task region's child group (tasking).
 	curGroup *taskGroup
@@ -32,6 +36,8 @@ func (tc *ThreadContext) NumThreads() int { return tc.team.n }
 // skew (fast threads idling for slow ones) is visible directly; a
 // poisoned barrier marks the span outcome=broken.
 func (tc *ThreadContext) Barrier() error {
+	tc.maybeFault(fault.SiteOMPBarrier, fault.Mix2(uint64(tc.tid), uint64(tc.barrierCount)))
+	tc.barrierCount++
 	tr := obs.Default()
 	if tr == nil {
 		return tc.team.barrier.Wait()

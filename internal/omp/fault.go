@@ -1,0 +1,54 @@
+package omp
+
+import (
+	"time"
+
+	"pblparallel/internal/fault"
+	"pblparallel/internal/obs"
+)
+
+// WithFault arms the parallel region with a fault injector: team
+// members draw thread-stall and injected-panic faults at barrier
+// entries (keyed by thread and barrier count) and work-sharing chunk
+// claims (keyed by loop epoch and chunk start, so the decision is
+// independent of which thread wins the chunk). A nil injector is a
+// no-op, so call sites can pass one unconditionally.
+func WithFault(in *fault.Injector) Option {
+	return func(c *config) { c.inj = in }
+}
+
+// maybeFault draws a fault at the given site/key and applies it: a
+// stall sleeps the calling thread (and counts as recovered once slept
+// through); an injected panic unwinds the thread with an *fault.Injected
+// cause, which the region machinery converts into a transient,
+// barrier-poisoning region error. The disabled path is one nil check.
+func (tc *ThreadContext) maybeFault(site fault.Site, key uint64) {
+	in := tc.team.inj
+	if in == nil {
+		return
+	}
+	f, ok := in.Hit(site, key)
+	if !ok {
+		return
+	}
+	tr := obs.Default()
+	switch f.Kind {
+	case fault.ThreadStall:
+		d := f.Duration()
+		if tr != nil {
+			sp := tr.Span(obs.PIDOMP, tc.lane, "fault", "thread-stall").
+				Int("tid", int64(tc.tid))
+			time.Sleep(d)
+			sp.End()
+		} else {
+			time.Sleep(d)
+		}
+		in.MarkRecovered(1)
+	case fault.ThreadPanic:
+		if tr != nil {
+			tr.Span(obs.PIDOMP, tc.lane, "fault", "thread-panic").
+				Int("tid", int64(tc.tid)).Emit()
+		}
+		panic(&fault.Injected{Site: site, Kind: f.Kind, Key: key})
+	}
+}

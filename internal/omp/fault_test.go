@@ -1,0 +1,151 @@
+package omp
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pblparallel/internal/fault"
+)
+
+// TestThreadStallsAreAbsorbed arms certain stalls at every barrier
+// entry and chunk claim: the region must still compute the exact
+// result — stalls cost time, never correctness — and the ledger must
+// record them as recovered.
+func TestThreadStallsAreAbsorbed(t *testing.T) {
+	in, err := fault.New(fault.Plan{Seed: 3, Rules: []fault.Rule{
+		{Site: fault.SiteOMPBarrier, Kind: fault.ThreadStall, Prob: 1, Max: 20e-6},
+		{Site: fault.SiteOMPFor, Kind: fault.ThreadStall, Prob: 1, Max: 20e-6},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var sum atomic.Int64
+	err = Parallel(func(tc *ThreadContext) {
+		_ = tc.For(0, n, Dynamic{Chunk: 4}, func(i int) {
+			sum.Add(int64(i))
+		})
+	}, WithNumThreads(4), WithFault(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n * (n - 1) / 2); sum.Load() != want {
+		t.Fatalf("stalled loop sum %d, want %d", sum.Load(), want)
+	}
+	s := in.Stats()
+	if s.ByKind["thread-stall"] == 0 || s.Recovered == 0 {
+		t.Fatalf("certain stalls left no ledger trace: %+v", s)
+	}
+}
+
+// TestInjectedPanicDegradesGracefully injects a certain panic at
+// barrier entry: the region must return promptly (poisoned barriers
+// release every sibling instead of deadlocking) with an error that is
+// both ErrBarrierBroken and transient — the engine's cue to retry the
+// whole run.
+func TestInjectedPanicDegradesGracefully(t *testing.T) {
+	in, err := fault.New(fault.Plan{Seed: 5, Rules: []fault.Rule{
+		{Site: fault.SiteOMPBarrier, Kind: fault.ThreadPanic, Prob: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- Parallel(func(tc *ThreadContext) {
+			_ = tc.Barrier()
+		}, WithNumThreads(4), WithFault(in))
+	}()
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("region deadlocked on injected panic")
+	}
+	if err == nil {
+		t.Fatal("injected panic produced no region error")
+	}
+	if !errors.Is(err, ErrBarrierBroken) {
+		t.Fatalf("error does not report the broken barrier: %v", err)
+	}
+	if !fault.IsTransient(err) {
+		t.Fatalf("injected panic not transient: %v", err)
+	}
+	var inj *fault.Injected
+	if !errors.As(err, &inj) || inj.Site != fault.SiteOMPBarrier {
+		t.Fatalf("error lost the injection site: %v", err)
+	}
+}
+
+// TestInjectedPanicInLoopReleasesSiblings: a panic at one chunk claim
+// must not strand the other threads at the loop-end barrier, and
+// their For calls must report the broken barrier.
+func TestInjectedPanicInLoopReleasesSiblings(t *testing.T) {
+	// Seed 8 is chosen so that exactly one of the 256 chunk keys fires
+	// (injection is a pure function of seed and key, so this is stable):
+	// exactly one thread dies, and the others must observe the broken
+	// barrier rather than hang.
+	in, err := fault.New(fault.Plan{Seed: 8, Rules: []fault.Rule{
+		{Site: fault.SiteOMPFor, Kind: fault.ThreadPanic, Prob: 0.01},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var forErrs [4]error
+	done := make(chan error, 1)
+	go func() {
+		done <- Parallel(func(tc *ThreadContext) {
+			forErrs[tc.ThreadNum()] = tc.For(0, 256, Dynamic{Chunk: 1}, func(i int) {})
+		}, WithNumThreads(4), WithFault(in))
+	}()
+	var regionErr error
+	select {
+	case regionErr = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("region deadlocked on injected loop panic")
+	}
+	if got := in.Stats().ByKind["thread-panic"]; got != 1 {
+		t.Fatalf("plan fired %d panics over 256 keys, want exactly 1", got)
+	}
+	if regionErr == nil {
+		t.Fatal("fired panic produced no region error")
+	}
+	if !fault.IsTransient(regionErr) {
+		t.Fatalf("loop panic not transient: %v", regionErr)
+	}
+	broken := 0
+	for tid, e := range forErrs {
+		if e != nil && !errors.Is(e, ErrBarrierBroken) {
+			t.Fatalf("thread %d: unexpected For error %v", tid, e)
+		}
+		if errors.Is(e, ErrBarrierBroken) {
+			broken++
+		}
+	}
+	if broken == 0 {
+		t.Fatal("no surviving thread observed the broken barrier")
+	}
+}
+
+// TestRealPanicKeepsHistoricalShape: only *fault.Injected panics are
+// reported as broken-barrier transients; a genuine program bug still
+// surfaces as the bare *RegionPanicError it always was.
+func TestRealPanicKeepsHistoricalShape(t *testing.T) {
+	err := Parallel(func(tc *ThreadContext) {
+		if tc.ThreadNum() == 1 {
+			panic("genuine bug")
+		}
+		_ = tc.Barrier()
+	}, WithNumThreads(3))
+	var rp *RegionPanicError
+	if !errors.As(err, &rp) || rp.ThreadNum != 1 {
+		t.Fatalf("real panic shape changed: %v", err)
+	}
+	if fault.IsTransient(err) {
+		t.Fatalf("real panic classified transient: %v", err)
+	}
+	if errors.Is(err, ErrBarrierBroken) {
+		t.Fatalf("real panic wrapped as broken barrier: %v", err)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
 )
 
@@ -54,6 +55,7 @@ func DefaultNumThreads() int {
 // config collects the clauses of a parallel region.
 type config struct {
 	numThreads int
+	inj        *fault.Injector
 }
 
 // Option configures a parallel region, playing the role of OpenMP
@@ -78,6 +80,16 @@ func (e *RegionPanicError) Error() string {
 	return fmt.Sprintf("omp: thread %d panicked: %v", e.ThreadNum, e.Value)
 }
 
+// Unwrap exposes the panic value when it is itself an error, so
+// injected-fault panics (*fault.Injected) classify as transient through
+// the region error chain.
+func (e *RegionPanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
 // Parallel runs body on every member of a freshly forked team and joins
 // them all before returning — the fork-join patternlet. body receives the
 // thread's context (thread number, team size, and the work-sharing and
@@ -99,6 +111,7 @@ func Parallel(body func(tc *ThreadContext), opts ...Option) error {
 		n:        n,
 		barrier:  NewBarrier(n),
 		critical: make(map[string]*sync.Mutex),
+		inj:      cfg.inj,
 	}
 	regionsStarted.Inc()
 
@@ -138,6 +151,15 @@ func Parallel(body func(tc *ThreadContext), opts ...Option) error {
 	regionSpan.End()
 	for _, p := range panics {
 		if p != nil {
+			// An injected panic is a simulated hardware failure, not a
+			// program bug: the barriers it poisoned released every
+			// sibling, so the region degraded gracefully instead of
+			// deadlocking. Report it as the broken barrier wrapping the
+			// injected (transient) cause; real panics keep their
+			// historical error shape.
+			if inj, ok := p.Value.(*fault.Injected); ok && inj != nil {
+				return fmt.Errorf("%w: %w", ErrBarrierBroken, p)
+			}
 			return p
 		}
 	}
@@ -148,6 +170,7 @@ func Parallel(body func(tc *ThreadContext), opts ...Option) error {
 type team struct {
 	n       int
 	barrier *Barrier
+	inj     *fault.Injector
 
 	mu       sync.Mutex
 	critical map[string]*sync.Mutex

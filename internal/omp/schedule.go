@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
 )
 
@@ -156,7 +157,8 @@ func (tc *ThreadContext) For(lo, hi int, sched Schedule, body func(i int)) error
 	count := hi - lo
 	// The shared ticket for dynamic/guided schedules lives in team state
 	// keyed by a per-thread epoch, so that consecutive loops don't mix.
-	ticket := tc.team.loopTicket(tc.loopCount)
+	epoch := tc.loopCount
+	ticket := tc.team.loopTicket(epoch)
 	tc.loopCount++
 	next := sched.newRunner(count, tc.tid, tc.team.n, ticket)
 	// When tracing, the thread's share of the loop is one span and each
@@ -173,6 +175,11 @@ func (tc *ThreadContext) For(lo, hi int, sched Schedule, body func(i int)) error
 		if length == 0 {
 			break
 		}
+		// Chunk-claim fault site, keyed by (loop epoch, chunk start):
+		// whichever thread claims the chunk draws the same decision, so
+		// injections are scheduling-independent even under dynamic and
+		// guided schedules.
+		tc.maybeFault(fault.SiteOMPFor, fault.Mix2(uint64(epoch), uint64(lo+start)))
 		if tr != nil {
 			csp := tr.Span(obs.PIDOMP, tc.lane, "omp", "chunk").
 				Int("start", int64(lo+start)).Int("len", int64(length))

@@ -1,0 +1,51 @@
+package pisim
+
+import (
+	"pblparallel/internal/fault"
+	"pblparallel/internal/obs"
+)
+
+// WithFault returns a machine sharing this machine's configuration but
+// drawing per-core slowdown faults from the injector: a core that hits
+// a CoreSlow fault (keyed by core id, so the draw is identical on every
+// replay) executes its chunks slower by the fault's factor. The
+// slowdown is visible in the virtual-time traces — the affected core's
+// chunks stretch — but the simulation stays deterministic. A nil
+// injector returns the machine unchanged.
+func (m *Machine) WithFault(in *fault.Injector) *Machine {
+	if in == nil {
+		return m
+	}
+	cp := *m
+	cp.inj = in
+	return &cp
+}
+
+// coreSlowdowns draws each core's cost multiplier (1.0 = nominal) and
+// emits a fault span per slowed core.
+func (m *Machine) coreSlowdowns(cores int, laneOf func(int) uint32) []float64 {
+	if m.inj == nil {
+		return nil
+	}
+	var slow []float64
+	tr := obs.Default()
+	for c := 0; c < cores; c++ {
+		f, ok := m.inj.Hit(fault.SitePisimCore, uint64(c))
+		if !ok || f.Kind != fault.CoreSlow {
+			continue
+		}
+		if slow == nil {
+			slow = make([]float64, cores)
+			for i := range slow {
+				slow[i] = 1
+			}
+		}
+		slow[c] = f.Factor()
+		m.inj.MarkRecovered(1)
+		if tr != nil {
+			tr.Span(obs.PIDPisim, laneOf(c), "fault", "core-slow").
+				Int("core", int64(c)).Emit()
+		}
+	}
+	return slow
+}

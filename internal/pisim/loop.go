@@ -248,14 +248,22 @@ func (m *Machine) RunLoop(costs []Cycles, policy Policy) (LoopResult, error) {
 			Int("cycles", int64(cost)).
 			EndAt(m.Duration(cost))
 	}
+	// Injected per-core slowdowns (nil when fault injection is off): the
+	// multiplier stretches every chunk the core executes, in virtual
+	// time, without touching any other core's schedule.
+	slow := m.coreSlowdowns(cores, laneOf)
 	// Prefix sums for O(1) chunk cost.
 	prefix := make([]Cycles, len(costs)+1)
 	for i, c := range costs {
 		prefix[i+1] = prefix[i] + c
 	}
-	chunkCost := func(ch chunk) Cycles {
+	chunkCost := func(ch chunk, core int) Cycles {
 		work := prefix[ch.Start+ch.Len] - prefix[ch.Start]
-		return Cycles(float64(work)*factor) + m.cfg.DispatchOverhead
+		f := factor
+		if slow != nil {
+			f *= slow[core]
+		}
+		return Cycles(float64(work)*f) + m.cfg.DispatchOverhead
 	}
 	// Static assignments accumulate directly; dynamic ones go through
 	// the availability heap in chunk order (the order a shared ticket
@@ -267,7 +275,7 @@ func (m *Machine) RunLoop(costs []Cycles, policy Policy) (LoopResult, error) {
 	heap.Init(&h)
 	for _, ch := range chunks {
 		if ch.Core >= 0 {
-			cost := chunkCost(ch)
+			cost := chunkCost(ch, ch.Core)
 			emitChunk(ch, ch.Core, busy[ch.Core], cost)
 			busy[ch.Core] += cost
 		}
@@ -283,7 +291,7 @@ func (m *Machine) RunLoop(costs []Cycles, policy Policy) (LoopResult, error) {
 			continue
 		}
 		c := h.Peek()
-		cost := chunkCost(ch)
+		cost := chunkCost(ch, c.id)
 		emitChunk(ch, c.id, c.free, cost)
 		busy[c.id] += cost
 		c.free += cost

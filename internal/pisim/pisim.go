@@ -16,6 +16,8 @@ package pisim
 import (
 	"fmt"
 	"time"
+
+	"pblparallel/internal/fault"
 )
 
 // Cycles counts virtual clock cycles.
@@ -72,6 +74,7 @@ func (c Config) Validate() error {
 // Machine is a discrete-event simulator for the configured cores.
 type Machine struct {
 	cfg Config
+	inj *fault.Injector // optional core-slowdown faults; see WithFault
 }
 
 // NewMachine validates the config and builds a machine.
