@@ -1,10 +1,21 @@
 GO ?= go
 
-.PHONY: verify build test race vet bench golden fuzz fuzz-smoke chaos
+.PHONY: verify ci build test race vet bench bench-pr4 bench-check golden fuzz fuzz-smoke chaos chaos-serve
 
 ## verify: the tier-1 gate — vet, build, race-test everything, pin the
 ## golden run output, and smoke the fuzz targets on their seed corpora.
-verify: vet build race golden fuzz-smoke
+## The stages run as sequential sub-makes (not parallel prerequisites)
+## so `make -j verify` still stops at the first failure instead of
+## racing vet diagnostics against a doomed race run.
+verify:
+	$(MAKE) vet
+	$(MAKE) build
+	$(MAKE) race
+	$(MAKE) golden
+	$(MAKE) fuzz-smoke
+
+## ci: what the GitHub Actions verify job runs; alias of verify.
+ci: verify
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +53,14 @@ fuzz:
 chaos:
 	$(GO) run ./cmd/pblstudy chaos
 
+## chaos-serve: the same 200-seed sweep issued as /v1/run requests
+## against the HTTP service with the service-layer fault mix armed
+## (injected queue-full sheds, slow backends, cache corruption) on top
+## of the runtime mix; every response must stay byte-identical to the
+## clean server across both passes.
+chaos-serve:
+	$(GO) run ./cmd/pblstudy chaos -serve
+
 ## bench: sweep + tracer benchmarks (PR2 baseline) and the
 ## fault-injection overhead benchmarks (disabled-path must stay at
 ## 0 allocs/op), recorded via benchjson.
@@ -51,3 +70,30 @@ bench:
 	| $(GO) run ./cmd/benchjson -o BENCH_PR2.json
 	$(GO) test ./internal/fault/ -bench . -benchmem -run '^$$' \
 	| $(GO) run ./cmd/benchjson -o BENCH_PR3.json
+
+## bench-pr4: the PR4 perf surface — the disabled-path hooks that must
+## stay at 0 allocs/op (fault hits, obs spans) plus the serve cache and
+## server load benchmarks — recorded via benchjson for the CI compare
+## gate and the EXPERIMENTS.md latency numbers.
+bench-pr4:
+	{ $(GO) test ./internal/fault/ -bench . -benchmem -run '^$$' && \
+	  $(GO) test ./internal/obs/ -bench 'Span' -benchmem -run '^$$' && \
+	  $(GO) test ./internal/serve/ -bench . -benchmem -run '^$$'; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR4.json
+
+## bench-check: re-run the gated perf surface and fail if it regressed
+## against the committed BENCH_PR4.json baseline — more than 20% ns/op
+## growth, or ANY allocs/op growth (the disabled paths pin 0). Only the
+## deterministic micro benchmarks are gated: the HTTP load benchmarks
+## in BENCH_PR4.json are throughput records for EXPERIMENTS.md, far too
+## machine-sensitive for a 20%% gate (they show up as ungated "gone"
+## lines in the compare report).
+## -count=3: benchjson's compare folds repeated runs to their minimum,
+## the noise-robust statistic, so one interference spike on a shared CI
+## machine cannot fail the gate.
+bench-check:
+	{ $(GO) test ./internal/fault/ -bench . -benchmem -count 3 -run '^$$' && \
+	  $(GO) test ./internal/obs/ -bench 'Span' -benchmem -count 3 -run '^$$' && \
+	  $(GO) test ./internal/serve/ -bench 'CacheHitDo' -benchmem -count 3 -run '^$$'; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR4.new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR4.json BENCH_PR4.new.json -tolerance 0.20

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// compareDocs checks a new benchmark document against an old baseline
+// and returns the human-readable verdict lines plus whether any
+// benchmark regressed. The rules are the repo's perf contract:
+//
+//   - ns/op may not grow by more than tolerance (a fraction, e.g. 0.20
+//     for +20%) relative to the baseline AND by more than 1ns absolute —
+//     single-nanosecond benchmarks (the inlined disabled-path hooks) sit
+//     at timer granularity, where a fraction of a nanosecond of noise
+//     would read as tens of percent;
+//   - allocs/op may not grow at all — in particular, a disabled-path
+//     benchmark that was 0 allocs/op must stay at 0. Allocation counts
+//     are deterministic, so any increase is a real code change, not
+//     noise.
+//
+// Benchmarks present on only one side are reported but never fail the
+// comparison: CI machines differ in GOMAXPROCS suffixes and new
+// benchmarks have no baseline yet.
+//
+// Repeated names (a `-count=N` run) fold to their minimum — the
+// standard noise-robust benchmark statistic: interference only ever
+// slows an iteration down, so the minimum is the cleanest observation.
+func compareDocs(old, new Document, tolerance float64) (lines []string, regressed bool) {
+	oldByName := foldMin(old.Results)
+	newResults := make([]Result, 0, len(new.Results))
+	for _, r := range foldMin(new.Results) {
+		newResults = append(newResults, r)
+	}
+	sort.Slice(newResults, func(i, j int) bool { return newResults[i].Name < newResults[j].Name })
+	seen := make(map[string]bool, len(newResults))
+	for _, nr := range newResults {
+		seen[nr.Name] = true
+		or, ok := oldByName[nr.Name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("  new   %s: no baseline (%.1f ns/op)", nr.Name, nr.NsPerOp))
+			continue
+		}
+		bad := false
+		detail := fmt.Sprintf("%.1f -> %.1f ns/op", or.NsPerOp, nr.NsPerOp)
+		if or.NsPerOp > 0 {
+			ratio := nr.NsPerOp / or.NsPerOp
+			detail = fmt.Sprintf("%s (%+.1f%%)", detail, (ratio-1)*100)
+			if ratio > 1+tolerance && nr.NsPerOp-or.NsPerOp > 1.0 {
+				bad = true
+			}
+		}
+		oa, na := or.Extra["allocs/op"], nr.Extra["allocs/op"]
+		if na > oa {
+			bad = true
+			detail = fmt.Sprintf("%s, allocs/op %g -> %g", detail, oa, na)
+		}
+		verdict := "  ok    "
+		if bad {
+			verdict = "  REGRESSED "
+			regressed = true
+		}
+		lines = append(lines, verdict+nr.Name+": "+detail)
+	}
+	goneNames := make([]string, 0)
+	for name := range oldByName {
+		if !seen[name] {
+			goneNames = append(goneNames, name)
+		}
+	}
+	sort.Strings(goneNames)
+	for _, name := range goneNames {
+		lines = append(lines, fmt.Sprintf("  gone  %s: missing from new run", name))
+	}
+	return lines, regressed
+}
+
+// foldMin collapses repeated benchmark names to the run with the
+// smallest ns/op.
+func foldMin(results []Result) map[string]Result {
+	m := make(map[string]Result, len(results))
+	for _, r := range results {
+		if prev, ok := m[r.Name]; !ok || r.NsPerOp < prev.NsPerOp {
+			m[r.Name] = r
+		}
+	}
+	return m
+}
+
+// loadDoc reads one benchjson document from disk.
+func loadDoc(path string) (Document, error) {
+	var d Document
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return d, err
+	}
+	if err := json.Unmarshal(b, &d); err != nil {
+		return d, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// runCompare implements `benchjson -compare old.json new.json
+// [-tolerance F]`. Exits 1 when any shared benchmark regressed.
+func runCompare(paths []string, tolerance float64) {
+	if len(paths) != 2 {
+		fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+		os.Exit(2)
+	}
+	oldDoc, err := loadDoc(paths[0])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	newDoc, err := loadDoc(paths[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	lines, regressed := compareDocs(oldDoc, newDoc, tolerance)
+	fmt.Printf("benchjson compare: %s -> %s (tolerance %.0f%% ns/op, 0 allocs/op growth)\n",
+		paths[0], paths[1], tolerance*100)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if regressed {
+		fmt.Println("benchjson: FAIL — benchmark regression over tolerance")
+		os.Exit(1)
+	}
+	fmt.Println("benchjson: OK — no regression over tolerance")
+}

@@ -10,6 +10,14 @@
 // (name, iterations, ns/op, and any B/op / allocs/op / custom-unit
 // pairs) plus the raw lines, so results stay machine-diffable across
 // PRs without external tooling.
+//
+// Compare mode diffs two such documents and exits non-zero on
+// regression — the CI perf gate:
+//
+//	go run ./cmd/benchjson -compare old.json new.json -tolerance 0.20
+//
+// ns/op may grow by at most the tolerance fraction; allocs/op may not
+// grow at all (the disabled-path benchmarks pin 0 allocs/op).
 package main
 
 import (
@@ -74,9 +82,39 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
+// splitArgs partitions the command line into flag tokens and
+// positionals so flags may follow positionals (the documented compare
+// invocation puts -tolerance after the two files; the flag package
+// alone would stop at the first positional).
+func splitArgs(args []string) (flags, positional []string) {
+	valueFlags := map[string]bool{"-o": true, "--o": true, "-tolerance": true, "--tolerance": true}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if !strings.HasPrefix(a, "-") {
+			positional = append(positional, a)
+			continue
+		}
+		flags = append(flags, a)
+		if valueFlags[a] && i+1 < len(args) {
+			i++
+			flags = append(flags, args[i])
+		}
+	}
+	return flags, positional
+}
+
 func main() {
-	out := flag.String("o", "", "output JSON file (required)")
-	flag.Parse()
+	out := flag.String("o", "", "output JSON file (required unless -compare)")
+	compare := flag.Bool("compare", false, "compare two benchjson files: benchjson -compare old.json new.json [-tolerance F]")
+	tolerance := flag.Float64("tolerance", 0.20, "with -compare: max allowed fractional ns/op growth")
+	flagArgs, positional := splitArgs(os.Args[1:])
+	if err := flag.CommandLine.Parse(flagArgs); err != nil {
+		os.Exit(2)
+	}
+	if *compare {
+		runCompare(positional, *tolerance)
+		return
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -o output file is required")
 		os.Exit(2)

@@ -1,0 +1,30 @@
+// Command pbld is the study-as-a-service daemon: it serves the full
+// reproduction pipeline over HTTP with a content-addressed result
+// cache, singleflight coalescing, bounded-queue admission control, and
+// graceful drain on SIGTERM.
+//
+// Usage:
+//
+//	pbld [-addr HOST:PORT] [-workers N] [-queue N] [-cache N]
+//	     [-timeout D] [-drain D] [-retries N]
+//	     [-fault-qfull P] [-fault-slow P] [-fault-corrupt P]
+//	     [-trace FILE] [-metrics-out FILE] [-pprof ADDR]
+//
+// Endpoints: POST /v1/run, POST /v1/sweep, GET /v1/spring2019, plus
+// /healthz, /readyz, and the Prometheus exposition on /metrics.
+// `pblstudy serve` runs the identical server.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pblparallel/internal/serve"
+)
+
+func main() {
+	if err := serve.Command("pbld", os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pbld:", err)
+		os.Exit(1)
+	}
+}

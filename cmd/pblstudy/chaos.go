@@ -13,6 +13,7 @@ import (
 	"pblparallel/internal/engine"
 	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
+	"pblparallel/internal/serve"
 )
 
 // cmdChaos runs the same seed sweep twice — once clean, once under a
@@ -38,10 +39,43 @@ func cmdChaos(args []string) {
 	runfail := fs.Float64("runfail", 0.005, "probability an engine run fails transiently before executing")
 	retries := fs.Int("retries", 3, "engine retry budget for transient failures")
 	faultSeed := fs.Int64("fault-seed", 1, "seed of the fault-decision stream")
+	serveMode := fs.Bool("serve", false, "sweep through the HTTP service instead of the engine: responses must stay byte-identical under the service-layer fault mix")
+	qfull := fs.Float64("qfull", 0.05, "-serve: probability a request is shed at admission as if the queue were full (client retries)")
+	slowreq := fs.Float64("slowreq", 0.1, "-serve: probability a computation is delayed (latency only)")
+	corrupt := fs.Float64("corrupt", 0.2, "-serve: probability a cache read sees corrupted bytes (healed by recompute)")
 	asJSON := fs.Bool("json", false, "emit the chaos report as JSON instead of text")
 	obsCLI := obs.BindFlags(fs)
 	fs.Parse(args)
 	sess := startObs(obsCLI)
+
+	if *serveMode {
+		identical := runServeChaos(serveChaosOpts{
+			seeds:     *seeds,
+			start:     *start,
+			workers:   *workers,
+			retries:   *retries,
+			faultSeed: *faultSeed,
+			runtimeRules: []fault.Rule{
+				{Site: fault.SiteMPISend, Kind: fault.MsgDrop, Prob: *drop},
+				{Site: fault.SiteMPISend, Kind: fault.MsgDup, Prob: *dup},
+				{Site: fault.SiteMPISend, Kind: fault.MsgDelay, Prob: *delay, Max: 200e-6},
+				{Site: fault.SiteOMPBarrier, Kind: fault.ThreadPanic, Prob: *panicP},
+				{Site: fault.SiteOMPBarrier, Kind: fault.ThreadStall, Prob: *stall, Max: 200e-6},
+				{Site: fault.SiteOMPFor, Kind: fault.ThreadStall, Prob: *stall, Max: 200e-6},
+				{Site: fault.SitePisimCore, Kind: fault.CoreSlow, Prob: *slow},
+				{Site: fault.SiteEngineRun, Kind: fault.RunFail, Prob: *runfail},
+			},
+			qfull:   *qfull,
+			slowreq: *slowreq,
+			corrupt: *corrupt,
+			asJSON:  *asJSON,
+		})
+		closeObs(sess)
+		if !identical {
+			os.Exit(1)
+		}
+		return
+	}
 
 	plan := fault.Plan{Seed: *faultSeed, Rules: []fault.Rule{
 		{Site: fault.SiteMPISend, Kind: fault.MsgDrop, Prob: *drop},
@@ -77,7 +111,7 @@ func cmdChaos(args []string) {
 	}
 	baseline := make([][]byte, *seeds)
 	for _, r := range baseRes.Runs {
-		b, err := json.Marshal(outcomeSummary(r.Seed, cfg.Calibrate, r.Outcome))
+		b, err := json.Marshal(serve.Summarize(r.Seed, cfg.Calibrate, r.Outcome))
 		if err != nil {
 			sess.Close()
 			fail(err)
@@ -109,7 +143,7 @@ func cmdChaos(args []string) {
 			drifted = append(drifted, r.Seed)
 			continue
 		}
-		b, err := json.Marshal(outcomeSummary(r.Seed, cfg.Calibrate, r.Outcome))
+		b, err := json.Marshal(serve.Summarize(r.Seed, cfg.Calibrate, r.Outcome))
 		if err != nil {
 			sess.Close()
 			fail(err)

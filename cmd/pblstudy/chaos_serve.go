@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"pblparallel/internal/fault"
+	"pblparallel/internal/serve"
+)
+
+// serveChaosOpts carries the service-layer chaos sweep parameters from
+// cmdChaos's flag set.
+type serveChaosOpts struct {
+	seeds     int
+	start     int64
+	workers   int
+	retries   int
+	faultSeed int64
+	// The runtime fault mix (fires inside studies, absorbed by the
+	// engine's retry layer under the service).
+	runtimeRules []fault.Rule
+	// The service-layer probabilities.
+	qfull, slowreq, corrupt float64
+	asJSON                  bool
+}
+
+// runServeChaos asserts the service-layer chaos contract: the same
+// seed sweep, issued as /v1/run requests against a clean server and
+// against one with the full fault mix armed (service sites + runtime
+// sites), produces byte-identical response bodies — and a second pass
+// over the chaotic server (cache hits, corruption heals) stays
+// identical too. Returns whether every response matched.
+func runServeChaos(o serveChaosOpts) bool {
+	clean := startChaosServer(serve.Config{Workers: o.workers, Queue: o.seeds, Retries: o.retries})
+	baseline, err := sweepOverHTTP(clean.base, o.start, o.seeds, false)
+	clean.stop()
+	if err != nil {
+		fail(fmt.Errorf("baseline serve sweep: %w", err))
+	}
+
+	plan := serve.ServiceFaultPlan(o.faultSeed, o.qfull, o.slowreq, o.corrupt)
+	plan.Rules = append(plan.Rules, o.runtimeRules...)
+	inj, err := fault.New(plan)
+	if err != nil {
+		fail(err)
+	}
+	chaotic := startChaosServer(serve.Config{Workers: o.workers, Queue: o.seeds, Retries: o.retries, Injector: inj})
+	var drifted []int64
+	passes := [2][][]byte{}
+	for pass := 0; pass < 2; pass++ {
+		bodies, err := sweepOverHTTP(chaotic.base, o.start, o.seeds, true)
+		if err != nil {
+			chaotic.stop()
+			fail(fmt.Errorf("chaos serve sweep (pass %d): %w", pass+1, err))
+		}
+		passes[pass] = bodies
+	}
+	stats := chaotic.srv.Stats()
+	chaotic.stop()
+	for i := 0; i < o.seeds; i++ {
+		if !bytes.Equal(baseline[i], passes[0][i]) || !bytes.Equal(baseline[i], passes[1][i]) {
+			drifted = append(drifted, o.start+int64(i))
+		}
+	}
+
+	report := serveChaosJSON{
+		Seeds:     o.seeds,
+		Start:     o.start,
+		Retries:   o.retries,
+		FaultSeed: o.faultSeed,
+		Plan: map[string]float64{
+			"qfull": o.qfull, "slowreq": o.slowreq, "corrupt": o.corrupt,
+		},
+		Faults:           inj.Stats(),
+		Shed:             stats.Shed,
+		CacheHits:        stats.Cache.Hits,
+		CacheMisses:      stats.Cache.Misses,
+		CacheCoalesced:   stats.Cache.Coalesced,
+		CorruptionHealed: stats.Cache.CorruptRecovered,
+		DriftedSeeds:     drifted,
+		Identical:        len(drifted) == 0,
+	}
+	if o.asJSON {
+		emitJSON(report)
+	} else {
+		renderServeChaos(report)
+	}
+	return report.Identical
+}
+
+// serveChaosJSON is the machine-readable service-chaos report.
+type serveChaosJSON struct {
+	Seeds            int                 `json:"seeds"`
+	Start            int64               `json:"start"`
+	Retries          int                 `json:"retries"`
+	FaultSeed        int64               `json:"fault_seed"`
+	Plan             map[string]float64  `json:"service_plan"`
+	Faults           fault.StatsSnapshot `json:"faults"`
+	Shed             int64               `json:"shed_429"`
+	CacheHits        int64               `json:"cache_hits"`
+	CacheMisses      int64               `json:"cache_misses"`
+	CacheCoalesced   int64               `json:"cache_coalesced"`
+	CorruptionHealed int64               `json:"cache_corruption_healed"`
+	DriftedSeeds     []int64             `json:"drifted_seeds,omitempty"`
+	Identical        bool                `json:"identical"`
+}
+
+func renderServeChaos(r serveChaosJSON) {
+	fmt.Printf("serve chaos sweep: %d seeds from %d over /v1/run, retry budget=%d, fault seed=%d\n",
+		r.Seeds, r.Start, r.Retries, r.FaultSeed)
+	fmt.Printf("service plan: qfull=%.3g slowreq=%.3g corrupt=%.3g (+ runtime mix)\n",
+		r.Plan["qfull"], r.Plan["slowreq"], r.Plan["corrupt"])
+	fmt.Printf("faults: injected=%d", r.Faults.Injected)
+	if len(r.Faults.ByKind) > 0 {
+		b, _ := json.Marshal(r.Faults.ByKind)
+		fmt.Printf(" %s", b)
+	}
+	fmt.Printf(" recovered=%d retries=%d\n", r.Faults.Recovered, r.Faults.Retries)
+	fmt.Printf("service: shed(429)=%d cache hits=%d misses=%d coalesced=%d corruption healed=%d\n",
+		r.Shed, r.CacheHits, r.CacheMisses, r.CacheCoalesced, r.CorruptionHealed)
+	if r.Identical {
+		fmt.Println("result: OK — every response byte-identical to the clean server, both passes")
+	} else {
+		fmt.Printf("result: DRIFT — %d seed(s) diverged: %v\n", len(r.DriftedSeeds), r.DriftedSeeds)
+	}
+}
+
+// chaosServer is one ephemeral in-process daemon.
+type chaosServer struct {
+	srv  *serve.Server
+	base string
+	stop func()
+}
+
+// startChaosServer binds a server on a loopback port and returns its
+// base URL plus a blocking stopper that drains it.
+func startChaosServer(cfg serve.Config) *chaosServer {
+	srv := serve.New(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fail(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ctx, ln)
+	}()
+	return &chaosServer{
+		srv:  srv,
+		base: "http://" + ln.Addr().String(),
+		stop: func() { cancel(); <-done },
+	}
+}
+
+// sweepOverHTTP issues one /v1/run request per seed from 8 concurrent
+// client goroutines, collecting the bodies in seed order. When retry429
+// is set, a shed response is retried after a short backoff — the
+// client-side half of the queue-full recovery loop.
+func sweepOverHTTP(base string, start int64, seeds int, retry429 bool) ([][]byte, error) {
+	const clients = 8
+	bodies := make([][]byte, seeds)
+	errs := make([]error, clients)
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := 0; i < seeds; i++ {
+			next <- i
+		}
+	}()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 2 * time.Minute}
+			for i := range next {
+				body, err := runRequest(client, base, start+int64(i), retry429)
+				if err != nil {
+					if errs[c] == nil {
+						errs[c] = fmt.Errorf("seed %d: %w", start+int64(i), err)
+					}
+					continue
+				}
+				bodies[i] = body
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return bodies, nil
+}
+
+// runRequest POSTs one /v1/run, retrying shed responses when asked.
+func runRequest(client *http.Client, base string, seed int64, retry429 bool) ([]byte, error) {
+	payload := fmt.Sprintf(`{"seed": %d}`, seed)
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(base+"/v1/run", "application/json", bytes.NewReader([]byte(payload)))
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode == http.StatusOK {
+			return body, nil
+		}
+		if retry429 && resp.StatusCode == http.StatusTooManyRequests && attempt < 100 {
+			// The advertised Retry-After is sized for real load; the
+			// chaos sweep's sheds are injected, so a token backoff is
+			// enough to land on a fresh admission decision.
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+	}
+}

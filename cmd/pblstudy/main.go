@@ -4,6 +4,7 @@
 //
 //	pblstudy [run] [-seed N] [-students N] [-uncalibrated] [-json]
 //	pblstudy sensitivity [-seeds N] [-start S] [-workers N] [-json] [-metrics]
+//	pblstudy serve [-addr HOST:PORT] [-workers N] [-queue N]
 //	pblstudy instrument
 //	pblstudy spring2019 [-n N] [-seed S]
 //
@@ -26,6 +27,7 @@ import (
 	"pblparallel/internal/obs"
 	"pblparallel/internal/pbl"
 	"pblparallel/internal/sensitivity"
+	"pblparallel/internal/serve"
 	"pblparallel/internal/survey"
 	"pblparallel/internal/whatif"
 )
@@ -61,6 +63,10 @@ func main() {
 		cmdSensitivity(args[1:])
 	case "chaos":
 		cmdChaos(args[1:])
+	case "serve":
+		if err := serve.Command("pblstudy serve", args[1:]); err != nil {
+			fail(err)
+		}
 	case "instrument":
 		cmdInstrument(args[1:])
 	case "spring2019":
@@ -83,7 +89,10 @@ subcommands:
   sensitivity  re-run the study across many seeds on the parallel
                engine and report statistic distributions
   chaos        re-run a seed sweep under deterministic fault injection
-               and assert the statistics are byte-identical
+               and assert the statistics are byte-identical (-serve runs
+               the sweep through the HTTP service instead)
+  serve        run the study-as-a-service HTTP daemon (same server as
+               cmd/pbld: /v1/run, /v1/sweep, /v1/spring2019, /metrics)
   instrument   print the full survey instrument (Fig. 2 for every element)
   spring2019   the planned Spring 2019 revision and its projected effect
 
@@ -130,50 +139,11 @@ func cmdRun(args []string) {
 	closeObs(sess)
 }
 
-// runJSON is the machine-readable study summary.
-type runJSON struct {
-	Seed       int64   `json:"seed"`
-	Students   int     `json:"students"`
-	Teams      int     `json:"teams"`
-	Calibrated bool    `json:"calibrated"`
-	EmphasisT  float64 `json:"emphasis_t"`
-	EmphasisP  float64 `json:"emphasis_p"`
-	GrowthT    float64 `json:"growth_t"`
-	GrowthP    float64 `json:"growth_p"`
-	EmphasisD  float64 `json:"emphasis_d"`
-	GrowthD    float64 `json:"growth_d"`
-	ShapeHeld  int     `json:"shape_checks_held"`
-	ShapeTotal int     `json:"shape_checks_total"`
-}
-
-func runSummary(study *core.Study, o *core.Outcome) runJSON {
+// runSummary builds the machine-readable study summary (the shape
+// shared with /v1/run and pinned by testdata/golden).
+func runSummary(study *core.Study, o *core.Outcome) serve.RunSummary {
 	cfg := study.Config()
-	return outcomeSummary(cfg.Seed, cfg.Calibrate, o)
-}
-
-// outcomeSummary builds the machine-readable summary from an outcome
-// alone — the form the chaos sweep byte-compares across fault plans.
-func outcomeSummary(seed int64, calibrated bool, o *core.Outcome) runJSON {
-	held := 0
-	for _, s := range o.Comparison.Shape {
-		if s.Holds {
-			held++
-		}
-	}
-	return runJSON{
-		Seed:       seed,
-		Students:   len(o.Cohort.Students),
-		Teams:      len(o.Formation.Teams),
-		Calibrated: calibrated,
-		EmphasisT:  o.Report.Table1.ClassEmphasis.T,
-		EmphasisP:  o.Report.Table1.ClassEmphasis.P,
-		GrowthT:    o.Report.Table1.PersonalGrowth.T,
-		GrowthP:    o.Report.Table1.PersonalGrowth.P,
-		EmphasisD:  o.Report.Table2.D,
-		GrowthD:    o.Report.Table3.D,
-		ShapeHeld:  held,
-		ShapeTotal: len(o.Comparison.Shape),
-	}
+	return serve.Summarize(cfg.Seed, cfg.Calibrate, o)
 }
 
 // cmdSensitivity sweeps the study across seeds on the engine.

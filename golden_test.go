@@ -9,10 +9,12 @@ package pblparallel
 import (
 	"bytes"
 	"flag"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -39,6 +41,12 @@ func TestGoldenRunJSON(t *testing.T) {
 		t.Fatalf("pblstudy run -json: %v\n%s", err, stderr.String())
 	}
 	if *update {
+		// A CI job that regenerates the baseline would turn the pin into
+		// a tautology: whatever drifted becomes the new truth and the
+		// gate passes green. Regeneration is a local, reviewed act.
+		if os.Getenv("CI") != "" {
+			t.Fatal("-update refused: CI must never regenerate the golden baseline (run locally and commit the diff)")
+		}
 		if err := os.MkdirAll(filepath.Dir(goldenRunPath), 0o755); err != nil {
 			t.Fatal(err)
 		}
@@ -53,7 +61,56 @@ func TestGoldenRunJSON(t *testing.T) {
 		t.Fatalf("missing golden file (regenerate with `go test -run TestGoldenRunJSON -update .`): %v", err)
 	}
 	if !bytes.Equal(got, want) {
-		t.Errorf("pblstudy run -json drifted from %s\n--- got ---\n%s\n--- want ---\n%s\n(if the change is intended, regenerate with `go test -run TestGoldenRunJSON -update .`)",
-			goldenRunPath, got, want)
+		t.Errorf("pblstudy run -json drifted from %s\n%s(if the change is intended, regenerate with `go test -run TestGoldenRunJSON -update .`)",
+			goldenRunPath, diffExcerpt(got, want))
 	}
+}
+
+// diffExcerpt renders the first divergent region of two byte bodies as
+// a line-oriented excerpt with context, so a CI failure log shows what
+// moved instead of two full JSON documents.
+func diffExcerpt(got, want []byte) string {
+	const context = 3
+	gotLines := strings.Split(string(got), "\n")
+	wantLines := strings.Split(string(want), "\n")
+	first := -1
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return "(bodies differ only in trailing bytes)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "first divergence at line %d:\n", first+1)
+	lo := first - context
+	if lo < 0 {
+		lo = 0
+	}
+	excerpt := func(label string, lines []string) {
+		fmt.Fprintf(&b, "--- %s ---\n", label)
+		hi := first + context + 1
+		if hi > len(lines) {
+			hi = len(lines)
+		}
+		for i := lo; i < hi; i++ {
+			marker := "  "
+			if i == first {
+				marker = "> "
+			}
+			fmt.Fprintf(&b, "%s%4d: %s\n", marker, i+1, lines[i])
+		}
+	}
+	excerpt("got", gotLines)
+	excerpt("want", wantLines)
+	return b.String()
 }

@@ -1,0 +1,130 @@
+package engine
+
+// Pool is the engine's long-lived admission layer: where Sweep and Map
+// spin up workers per call, a daemon needs one persistent worker pool
+// with a bounded queue in front of it, so that load beyond capacity is
+// shed at admission time (a 429 at the HTTP layer) instead of piling up
+// goroutines until the process falls over. The serve package feeds
+// every study request through a Pool.
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Submit when every worker is busy and the
+// admission queue is at capacity — the caller should shed the request
+// (HTTP 429) and invite a retry.
+var ErrQueueFull = errors.New("engine: admission queue full")
+
+// ErrPoolClosed is returned by Submit after Close has begun draining.
+var ErrPoolClosed = errors.New("engine: pool closed")
+
+// Pool executes submitted jobs on a fixed set of workers with a
+// bounded wait queue. The zero value is not usable; construct with
+// NewPool. All methods are safe for concurrent use.
+type Pool struct {
+	jobs     chan func()
+	workers  int
+	queueCap int
+
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+
+	inFlight  atomic.Int64
+	submitted atomic.Int64
+	shed      atomic.Int64
+}
+
+// NewPool starts workers goroutines (n <= 0 selects runtime.NumCPU())
+// pulling from a queue of at most queue waiting jobs (negative is
+// clamped to zero — every job must find an idle worker immediately or
+// be shed).
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &Pool{jobs: make(chan func(), queue), workers: workers, queueCap: queue}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				p.inFlight.Add(1)
+				job()
+				p.inFlight.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// Submit enqueues job without blocking. It returns ErrQueueFull when
+// the queue is at capacity (admission control: the caller sheds) and
+// ErrPoolClosed once draining has begun. A nil job is rejected.
+func (p *Pool) Submit(job func()) error {
+	if job == nil {
+		return errors.New("engine: nil job")
+	}
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.jobs <- job:
+		p.submitted.Add(1)
+		return nil
+	default:
+		p.shed.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Close stops admission, runs every already-queued job to completion,
+// and waits for in-flight jobs to finish — the graceful-drain half of
+// a SIGTERM shutdown. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// PoolStats is a point-in-time admission snapshot.
+type PoolStats struct {
+	// Workers and QueueCap are the pool's fixed bounds.
+	Workers  int
+	QueueCap int
+	// Queued is the number of jobs waiting for a worker right now;
+	// InFlight the number currently executing.
+	Queued   int
+	InFlight int
+	// Submitted and Shed count admission outcomes since construction.
+	Submitted int64
+	Shed      int64
+}
+
+// Stats snapshots the pool's admission state.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:   p.workers,
+		QueueCap:  p.queueCap,
+		Queued:    len(p.jobs),
+		InFlight:  int(p.inFlight.Load()),
+		Submitted: p.submitted.Load(),
+		Shed:      p.shed.Load(),
+	}
+}

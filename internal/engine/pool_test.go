@@ -1,0 +1,98 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEveryJob(t *testing.T) {
+	p := NewPool(4, 16)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		for {
+			err := p.Submit(func() { n.Add(1); wg.Done() })
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, ErrQueueFull) {
+				t.Fatalf("Submit: %v", err)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	wg.Wait()
+	p.Close()
+	if got := n.Load(); got != 32 {
+		t.Fatalf("ran %d jobs, want 32", got)
+	}
+	s := p.Stats()
+	if s.Submitted != 32 || s.InFlight != 0 || s.Queued != 0 {
+		t.Fatalf("stats after drain: %+v", s)
+	}
+}
+
+func TestPoolShedsWhenFull(t *testing.T) {
+	p := NewPool(1, 0)
+	defer p.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	// With queue capacity 0 a submit only lands when the worker is
+	// already blocked in receive, so the first job may need a beat.
+	for {
+		err := p.Submit(func() { close(started); <-release })
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("first Submit: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-started // the only worker is now busy; queue capacity is 0
+	pre := p.Stats().Shed
+	err := p.Submit(func() {})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("Submit with full queue = %v, want ErrQueueFull", err)
+	}
+	if s := p.Stats(); s.Shed != pre+1 || s.InFlight != 1 {
+		t.Fatalf("stats: %+v (shed before: %d)", s, pre)
+	}
+	close(release)
+}
+
+func TestPoolCloseDrainsQueuedJobs(t *testing.T) {
+	p := NewPool(1, 8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if err := p.Submit(func() { close(started); <-release }); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-started
+	var n atomic.Int64
+	for i := 0; i < 8; i++ {
+		if err := p.Submit(func() { n.Add(1) }); err != nil {
+			t.Fatalf("queued Submit %d: %v", i, err)
+		}
+	}
+	done := make(chan struct{})
+	go func() { p.Close(); close(done) }()
+	// Close must wait for the in-flight job and then run the queue dry.
+	select {
+	case <-done:
+		t.Fatal("Close returned while a job was still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	<-done
+	if got := n.Load(); got != 8 {
+		t.Fatalf("drained %d queued jobs, want 8", got)
+	}
+	if err := p.Submit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+}

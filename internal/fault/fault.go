@@ -54,6 +54,17 @@ const (
 	// RunFail fails an engine run with a transient error before the
 	// study executes — the cheapest way to exercise the retry path.
 	RunFail
+	// QueueFull sheds a request at the service admission queue as if
+	// the queue were at capacity; the client recovers by retrying after
+	// the advertised Retry-After.
+	QueueFull
+	// BackendSlow delays a request's study computation inside the
+	// service worker — latency only, never bytes.
+	BackendSlow
+	// CacheCorrupt flips bytes in a cached response body before the
+	// integrity check; the cache detects the bad digest, evicts the
+	// entry, and recomputes.
+	CacheCorrupt
 
 	nKinds
 )
@@ -63,6 +74,8 @@ var kindNames = [nKinds]string{
 	MsgDrop: "msg-drop", MsgDelay: "msg-delay", MsgDup: "msg-dup",
 	ThreadStall: "thread-stall", ThreadPanic: "thread-panic",
 	CoreSlow: "core-slow", RunFail: "run-fail",
+	QueueFull: "queue-full", BackendSlow: "backend-slow",
+	CacheCorrupt: "cache-corrupt",
 }
 
 // String names the kind.
@@ -94,6 +107,16 @@ const (
 	SiteEngineRun Site = "engine.run"
 	// SitePisimCore is a simulated core (keyed by core id).
 	SitePisimCore Site = "pisim.core"
+	// SiteServeQueue is the study service's admission decision (keyed
+	// by request content hash and per-key admission attempt, so the
+	// decision is independent of how concurrent requests interleave).
+	SiteServeQueue Site = "serve.queue"
+	// SiteServeBackend is the service worker about to compute a study
+	// (keyed by request content hash).
+	SiteServeBackend Site = "serve.backend"
+	// SiteServeCache is a result-cache read (keyed by request content
+	// hash and per-key hit count).
+	SiteServeCache Site = "serve.cache"
 )
 
 // Rule arms one fault kind at one site with a firing probability and an

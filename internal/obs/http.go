@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// httpBounds are the latency bucket upper bounds (seconds) shared by
+// every route histogram: 1ms to 10s, roughly ×2.5 per step — wide
+// enough for a cache hit (µs–ms) and a cold 124-student study run.
+var httpBounds = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// routeStats is one route's accumulated request data.
+type routeStats struct {
+	byCode map[int]uint64
+	counts []uint64 // httpBounds buckets + overflow
+	sum    float64
+	n      uint64
+}
+
+// HTTPMetrics instruments HTTP handlers: per-route latency histograms,
+// per-route/status request counters, and a process-wide in-flight
+// gauge, all surfaced through a Registry as labeled families
+// (http_request_duration_seconds, http_requests_total,
+// http_in_flight_requests). Construct with NewHTTPMetrics, which also
+// registers it as a Gatherer.
+type HTTPMetrics struct {
+	mu       sync.Mutex
+	routes   map[string]*routeStats
+	inFlight atomic.Int64
+}
+
+// NewHTTPMetrics builds an HTTPMetrics and registers it on reg (the
+// process registry when nil).
+func NewHTTPMetrics(reg *Registry) *HTTPMetrics {
+	if reg == nil {
+		reg = Metrics()
+	}
+	m := &HTTPMetrics{routes: make(map[string]*routeStats)}
+	reg.RegisterGatherer(m)
+	return m
+}
+
+// statusRecorder captures the status code a handler writes.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+// WriteHeader records the status before delegating.
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Write defaults the status to 200 like net/http does.
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.code == 0 {
+		r.code = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// Middleware wraps next, attributing its requests to route. Nil-safe:
+// a nil receiver returns next unwrapped, so wiring is unconditional.
+func (m *HTTPMetrics) Middleware(route string, next http.Handler) http.Handler {
+	if m == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m.inFlight.Add(1)
+		rec := &statusRecorder{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start).Seconds()
+		m.inFlight.Add(-1)
+		code := rec.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		m.observe(route, code, elapsed)
+	})
+}
+
+// observe records one completed request.
+func (m *HTTPMetrics) observe(route string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[route]
+	if !ok {
+		rs = &routeStats{byCode: make(map[int]uint64), counts: make([]uint64, len(httpBounds)+1)}
+		m.routes[route] = rs
+	}
+	rs.byCode[code]++
+	rs.counts[sort.SearchFloat64s(httpBounds, seconds)]++
+	rs.sum += seconds
+	rs.n++
+}
+
+// InFlight reports the requests currently inside instrumented handlers.
+func (m *HTTPMetrics) InFlight() int64 { return m.inFlight.Load() }
+
+// GatherMetrics implements Gatherer. Routes and codes are emitted in
+// sorted order so the exposition is deterministic.
+func (m *HTTPMetrics) GatherMetrics() []Family {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	routes := make([]string, 0, len(m.routes))
+	for r := range m.routes {
+		routes = append(routes, r)
+	}
+	sort.Strings(routes)
+
+	reqs := Family{Name: "http_requests_total", Help: "HTTP requests served, by route and status code.", Type: "counter"}
+	durs := Family{Name: "http_request_duration_seconds", Help: "HTTP request latency, by route.", Type: "histogram"}
+	for _, route := range routes {
+		rs := m.routes[route]
+		codes := make([]int, 0, len(rs.byCode))
+		for c := range rs.byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			reqs.Points = append(reqs.Points, Point{
+				Labels: []Label{{Key: "route", Value: route}, {Key: "code", Value: strconv.Itoa(c)}},
+				Value:  float64(rs.byCode[c]),
+			})
+		}
+		p := Point{Labels: []Label{{Key: "route", Value: route}}, Sum: rs.sum, Count: rs.n}
+		var cum uint64
+		for i, b := range httpBounds {
+			cum += rs.counts[i]
+			p.Buckets = append(p.Buckets, Bucket{UpperBound: b, CumulativeCount: cum})
+		}
+		cum += rs.counts[len(httpBounds)]
+		p.Buckets = append(p.Buckets, Bucket{UpperBound: math.Inf(1), CumulativeCount: cum})
+		durs.Points = append(durs.Points, p)
+	}
+	return []Family{
+		{Name: "http_in_flight_requests", Help: "Requests currently being served.", Type: "gauge",
+			Points: []Point{{Value: float64(m.inFlight.Load())}}},
+		reqs,
+		durs,
+	}
+}
+
+// Quantile interpolates the q-quantile (0..1) of a route's latency
+// histogram in seconds, for load reports; zero when the route has no
+// observations.
+func (m *HTTPMetrics) Quantile(route string, q float64) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs, ok := m.routes[route]
+	if !ok || rs.n == 0 {
+		return 0
+	}
+	rank := q * float64(rs.n)
+	var cum float64
+	for i, c := range rs.counts {
+		cum += float64(c)
+		if cum >= rank {
+			if i >= len(httpBounds) {
+				return httpBounds[len(httpBounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = httpBounds[i-1]
+			}
+			frac := 1 - (cum-rank)/float64(c)
+			return lo + frac*(httpBounds[i]-lo)
+		}
+	}
+	return httpBounds[len(httpBounds)-1]
+}

@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"pblparallel/internal/core"
 	"pblparallel/internal/engine"
@@ -63,6 +64,11 @@ type Options struct {
 	// Metrics, when non-nil, collects per-stage wall-time histograms
 	// and run counters across the sweep.
 	Metrics *engine.Metrics
+	// Retries arms the engine's transient-failure retry layer with
+	// Backoff between attempts; 0 disables it. The study service sets
+	// this so sweeps stay byte-identical under injected faults.
+	Retries int
+	Backoff time.Duration
 }
 
 // Run executes the study under `seeds` consecutive seeds starting at
@@ -82,7 +88,11 @@ func RunSweep(ctx context.Context, start int64, seeds int, opts Options) (*Resul
 		return nil, fmt.Errorf("sensitivity: need at least 3 seeds, got %d", seeds)
 	}
 	cfg := core.PaperStudy()
-	eng := engine.New(engine.WithWorkers(opts.Workers), engine.WithMetrics(opts.Metrics))
+	engOpts := []engine.Option{engine.WithWorkers(opts.Workers), engine.WithMetrics(opts.Metrics)}
+	if opts.Retries > 0 {
+		engOpts = append(engOpts, engine.WithRetry(opts.Retries, opts.Backoff))
+	}
+	eng := engine.New(engOpts...)
 	sweep, err := eng.Sweep(ctx, cfg, engine.SequentialSeeds(start), seeds)
 	if err != nil {
 		return nil, fmt.Errorf("sensitivity: %w", err)

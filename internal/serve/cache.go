@@ -1,0 +1,203 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"pblparallel/internal/fault"
+)
+
+// Key is the content address of a study request: the SHA-256 of its
+// canonical normalized form. Execution knobs that cannot change the
+// response bytes (worker count, queue depth, deadlines) are excluded by
+// construction — determinism means they never reach the hash input.
+type Key struct {
+	sum [sha256.Size]byte
+	hex string
+}
+
+// NewKey hashes a canonical request representation. Callers build the
+// canonical bytes with normalized (defaulted) parameters so that, e.g.,
+// an omitted seed and the paper's seed address the same entry.
+func NewKey(canonical []byte) Key {
+	sum := sha256.Sum256(canonical)
+	return Key{sum: sum, hex: hex.EncodeToString(sum[:])}
+}
+
+// Hex is the key's lowercase hex form, served as X-Study-Key.
+func (k Key) Hex() string { return k.hex }
+
+// word folds the hash into the 64-bit key the fault injector draws on.
+func (k Key) word() uint64 {
+	var w uint64
+	for i := 0; i < 8; i++ {
+		w = w<<8 | uint64(k.sum[i])
+	}
+	return w
+}
+
+// CacheStatus reports how a response was produced, served as X-Cache.
+type CacheStatus string
+
+// The cache outcomes.
+const (
+	// CacheHit served stored bytes.
+	CacheHit CacheStatus = "hit"
+	// CacheMiss computed (and stored) the response.
+	CacheMiss CacheStatus = "miss"
+	// CacheCoalesced waited on an identical in-flight computation —
+	// singleflight: N concurrent identical requests compute once.
+	CacheCoalesced CacheStatus = "coalesced"
+)
+
+// entry is one cached response with its integrity digest.
+type entry struct {
+	key  string
+	body []byte
+	sum  [sha256.Size]byte
+}
+
+// flightCall is one in-progress computation that identical concurrent
+// requests coalesce onto.
+type flightCall struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// CacheStats is a point-in-time cache ledger.
+type CacheStats struct {
+	Entries   int
+	Hits      int64
+	Misses    int64
+	Coalesced int64
+	// Computes counts actual compute executions — the singleflight
+	// assertion target: identical concurrent requests bump it once.
+	Computes int64
+	// CorruptRecovered counts integrity failures healed by recompute.
+	CorruptRecovered int64
+	Evicted          int64
+}
+
+// Cache is the content-addressed result cache: bounded, LRU-evicting,
+// integrity-checked, with singleflight coalescing of concurrent
+// identical requests. All methods are safe for concurrent use.
+type Cache struct {
+	cap int
+	inj *fault.Injector
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	ll      *list.List // front = most recent
+	flight  map[string]*flightCall
+	hitSeq  map[string]uint64 // per-key read count, fault-decision keying (armed only)
+	stats   CacheStats
+}
+
+// NewCache builds a cache bounded to capacity entries (minimum 1). inj
+// arms the cache-corruption injection site; nil disables it.
+func NewCache(capacity int, inj *fault.Injector) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	c := &Cache{
+		cap:     capacity,
+		inj:     inj,
+		entries: make(map[string]*list.Element),
+		ll:      list.New(),
+		flight:  make(map[string]*flightCall),
+	}
+	if inj != nil {
+		c.hitSeq = make(map[string]uint64)
+	}
+	return c
+}
+
+// Do returns the cached response for k, coalescing onto an identical
+// in-flight computation when one exists, and otherwise computing (and
+// storing) it. ctx bounds only this caller's wait: a coalesced waiter
+// whose deadline expires returns ctx.Err() while the leader's
+// computation continues and still populates the cache. Errors are never
+// cached — a failed compute leaves the key empty for the next request.
+func (c *Cache) Do(ctx context.Context, k Key, compute func() ([]byte, error)) ([]byte, CacheStatus, error) {
+	healing := false
+	c.mu.Lock()
+	if el, ok := c.entries[k.hex]; ok {
+		e := el.Value.(*entry)
+		if c.inj != nil {
+			seq := c.hitSeq[k.hex]
+			c.hitSeq[k.hex] = seq + 1
+			if f, hit := c.inj.Hit(fault.SiteServeCache, fault.Mix2(k.word(), seq)); hit && f.Kind == fault.CacheCorrupt {
+				// Simulated bit rot: corrupt a copy so responses already
+				// handed out keep their bytes, then let the digest check
+				// below find the damage.
+				e.body = append([]byte(nil), e.body...)
+				e.body[0] ^= 0xFF
+			}
+		}
+		if sha256.Sum256(e.body) == e.sum {
+			c.ll.MoveToFront(el)
+			c.stats.Hits++
+			body := e.body
+			c.mu.Unlock()
+			return body, CacheHit, nil
+		}
+		// Integrity failure: drop the entry and recompute. Determinism
+		// makes the heal exact — the recomputed bytes equal the originals.
+		c.ll.Remove(el)
+		delete(c.entries, k.hex)
+		c.stats.CorruptRecovered++
+		c.inj.MarkRetry()
+		healing = true
+	}
+	if call, ok := c.flight[k.hex]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.body, CacheCoalesced, call.err
+		case <-ctx.Done():
+			return nil, CacheCoalesced, ctx.Err()
+		}
+	}
+	call := &flightCall{done: make(chan struct{})}
+	c.flight[k.hex] = call
+	c.stats.Computes++
+	c.mu.Unlock()
+
+	body, err := compute()
+
+	c.mu.Lock()
+	delete(c.flight, k.hex)
+	if err == nil {
+		sum := sha256.Sum256(body)
+		c.entries[k.hex] = c.ll.PushFront(&entry{key: k.hex, body: body, sum: sum})
+		for c.ll.Len() > c.cap {
+			old := c.ll.Remove(c.ll.Back()).(*entry)
+			delete(c.entries, old.key)
+			c.stats.Evicted++
+		}
+		c.stats.Misses++
+	}
+	call.body, call.err = body, err
+	close(call.done)
+	c.mu.Unlock()
+	if healing && err == nil {
+		// The corruption detected above is now fully absorbed: the
+		// recomputed bytes are byte-identical to the originals.
+		c.inj.MarkRecovered(1)
+	}
+	return body, CacheMiss, err
+}
+
+// Stats snapshots the cache ledger.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.ll.Len()
+	return s
+}

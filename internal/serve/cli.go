@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pblparallel/internal/fault"
+	"pblparallel/internal/obs"
+)
+
+// Command is the daemon entry point shared by cmd/pbld and the
+// `pblstudy serve` subcommand: it parses the serving flags, arms the
+// optional service-layer fault plan, binds the listener, and serves
+// until SIGINT/SIGTERM triggers the graceful drain.
+func Command(name string, args []string) error {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	workers := fs.Int("workers", 0, "pool workers (0 = all CPUs)")
+	queue := fs.Int("queue", 32, "admission queue depth; waiting requests beyond it are shed with 429")
+	cacheEntries := fs.Int("cache", 1024, "result cache capacity (entries)")
+	timeout := fs.Duration("timeout", 120*time.Second, "default per-request deadline (Request-Timeout header may shorten it)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-drain bound on SIGTERM")
+	maxSeeds := fs.Int("max-seeds", 1000, "largest accepted /v1/sweep width")
+	retries := fs.Int("retries", 3, "engine retry budget for transient faults")
+	// The service-layer chaos flags, off by default; arming any
+	// probability installs a deterministic injector across the
+	// admission, backend, and cache sites.
+	faultSeed := fs.Int64("fault-seed", 1, "seed of the fault-decision stream")
+	qfull := fs.Float64("fault-qfull", 0, "probability a request is shed at admission as if the queue were full")
+	slow := fs.Float64("fault-slow", 0, "probability a computation is delayed (latency only)")
+	corrupt := fs.Float64("fault-corrupt", 0, "probability a cache read sees corrupted bytes (healed by recompute)")
+	obsCLI := obs.BindFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sess, err := obsCLI.Start()
+	if err != nil {
+		return err
+	}
+
+	var inj *fault.Injector
+	if *qfull > 0 || *slow > 0 || *corrupt > 0 {
+		inj, err = fault.New(ServiceFaultPlan(*faultSeed, *qfull, *slow, *corrupt))
+		if err != nil {
+			sess.Close()
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s: service fault plan armed (seed=%d qfull=%g slow=%g corrupt=%g)\n",
+			name, *faultSeed, *qfull, *slow, *corrupt)
+	}
+
+	srv := New(Config{
+		Workers:        *workers,
+		Queue:          *queue,
+		CacheEntries:   *cacheEntries,
+		DefaultTimeout: *timeout,
+		DrainTimeout:   *drain,
+		MaxSweepSeeds:  *maxSeeds,
+		Retries:        *retries,
+		Injector:       inj,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		sess.Close()
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: serving on http://%s (/v1/run /v1/sweep /v1/spring2019 /healthz /readyz /metrics)\n",
+		name, ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err = srv.Serve(ctx, ln)
+	fmt.Fprintf(os.Stderr, "%s: drained\n", name)
+	if cerr := sess.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ServiceFaultPlan builds the service-layer fault plan the daemon's
+// chaos flags and `pblstudy chaos -serve` share: injected admission
+// sheds, backend slowdowns (2ms max), and cache corruption.
+func ServiceFaultPlan(seed int64, qfull, slow, corrupt float64) fault.Plan {
+	return fault.Plan{Seed: seed, Rules: []fault.Rule{
+		{Site: fault.SiteServeQueue, Kind: fault.QueueFull, Prob: qfull},
+		{Site: fault.SiteServeBackend, Kind: fault.BackendSlow, Prob: slow, Max: 2e-3},
+		{Site: fault.SiteServeCache, Kind: fault.CacheCorrupt, Prob: corrupt},
+	}}
+}

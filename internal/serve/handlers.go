@@ -1,0 +1,248 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"pblparallel/internal/core"
+	"pblparallel/internal/engine"
+	"pblparallel/internal/sensitivity"
+	"pblparallel/internal/whatif"
+)
+
+// retryBackoff is the deterministic engine backoff between transient
+// retry attempts under the service.
+const retryBackoff = 100 * time.Microsecond
+
+// decodeParams fills dst from the request: a JSON body on POST, query
+// parameters on GET (the query names match the JSON field tags via
+// queryGet below). Unknown JSON fields are rejected so typos cannot
+// silently select defaults — a mistyped "students" must not hash to the
+// paper's cohort.
+func decodeParams(r *http.Request, dst any) error {
+	switch r.Method {
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			return fmt.Errorf("reading body: %w", err)
+		}
+		if len(body) == 0 {
+			return nil
+		}
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(dst); err != nil {
+			return fmt.Errorf("parsing body: %w", err)
+		}
+		return nil
+	case http.MethodGet:
+		return nil // callers overlay query params themselves
+	default:
+		return fmt.Errorf("method %s not allowed", r.Method)
+	}
+}
+
+// queryInt64 reads an integer query parameter, keeping def when absent.
+func queryInt64(r *http.Request, name string, def int64) (int64, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid %s %q", name, v)
+	}
+	return n, nil
+}
+
+// runParams is the /v1/run request body.
+type runParams struct {
+	// Seed overrides the study seed; 0 keeps the paper's.
+	Seed int64 `json:"seed"`
+	// Students overrides the cohort size; 0 keeps the paper's 124.
+	// Must be even and >= 10 (the derived female counts stay positive).
+	Students int `json:"students"`
+	// Uncalibrated selects the ablation response model.
+	Uncalibrated bool `json:"uncalibrated"`
+}
+
+// normalizeRun resolves defaults into the paper's values and validates,
+// returning the resolved study config alongside the normalized params.
+// Normalization happens before hashing so that an omitted seed and the
+// paper's explicit seed are the same content address.
+func normalizeRun(p runParams) (runParams, core.StudyConfig, error) {
+	cfg := core.PaperStudy()
+	if p.Seed == 0 {
+		p.Seed = cfg.Seed
+	}
+	cfg.Seed = p.Seed
+	if p.Students == 0 {
+		p.Students = cfg.Cohort.NStudents
+	}
+	if p.Students%2 != 0 || p.Students < 10 {
+		return p, cfg, fmt.Errorf("students %d: must be even and >= 10", p.Students)
+	}
+	// The same derivation core.WithCohortSize applies: n/5 females
+	// overall, n/10 of them in section 1.
+	cfg.Cohort.NStudents = p.Students
+	cfg.Cohort.NFemale = p.Students / 5
+	cfg.Cohort.Section1Females = p.Students / 10
+	cfg.Calibrate = !p.Uncalibrated
+	return p, cfg, nil
+}
+
+// handleRun serves one study.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var p runParams
+	if err := decodeParams(r, &p); err != nil {
+		writeError(w, statusForDecode(r), "%v", err)
+		return
+	}
+	if r.Method == http.MethodGet {
+		seed, err := queryInt64(r, "seed", 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		students, err := queryInt64(r, "students", 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		p.Seed, p.Students = seed, int(students)
+		p.Uncalibrated = r.URL.Query().Get("uncalibrated") == "true"
+	}
+	p, cfg, err := normalizeRun(p)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	k := NewKey([]byte(fmt.Sprintf("run|seed=%d|students=%d|calibrated=%t",
+		p.Seed, p.Students, cfg.Calibrate)))
+	s.respond(w, r, k, func(ctx context.Context) (any, error) {
+		// One-run sweep on a fresh single-worker engine: the admission
+		// pool already bounds cross-request parallelism, and the
+		// engine's retry layer absorbs transient faults (injected run
+		// failures, poisoned barriers) so chaos never changes bytes.
+		eng := engine.New(engine.WithWorkers(1), engine.WithRetry(s.cfg.Retries, retryBackoff))
+		res, err := eng.Sweep(ctx, cfg, engine.SequentialSeeds(p.Seed), 1)
+		if err != nil {
+			return nil, err
+		}
+		if err := res.FirstErr(); err != nil {
+			return nil, err
+		}
+		return Summarize(p.Seed, cfg.Calibrate, res.Runs[0].Outcome), nil
+	})
+}
+
+// sweepParams is the /v1/sweep request body.
+type sweepParams struct {
+	// Start is the first seed; 0 keeps the historical 20180800.
+	Start int64 `json:"start"`
+	// Seeds is the sweep width; 0 keeps 40. Bounded by MaxSweepSeeds.
+	Seeds int `json:"seeds"`
+	// Workers tunes this sweep's engine pool only. Deliberately
+	// excluded from the content address: determinism guarantees it
+	// cannot change a single response byte.
+	Workers int `json:"workers"`
+}
+
+// handleSweep serves a sensitivity sweep.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var p sweepParams
+	if err := decodeParams(r, &p); err != nil {
+		writeError(w, statusForDecode(r), "%v", err)
+		return
+	}
+	if r.Method == http.MethodGet {
+		start, err := queryInt64(r, "start", 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		seeds, err := queryInt64(r, "seeds", 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		p.Start, p.Seeds = start, int(seeds)
+	}
+	if p.Start == 0 {
+		p.Start = 20180800
+	}
+	if p.Seeds == 0 {
+		p.Seeds = 40
+	}
+	if p.Seeds < 3 || p.Seeds > s.cfg.MaxSweepSeeds {
+		writeError(w, http.StatusBadRequest, "seeds %d outside [3, %d]", p.Seeds, s.cfg.MaxSweepSeeds)
+		return
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	k := NewKey([]byte(fmt.Sprintf("sweep|start=%d|seeds=%d", p.Start, p.Seeds)))
+	s.respond(w, r, k, func(ctx context.Context) (any, error) {
+		return sensitivity.RunSweep(ctx, p.Start, p.Seeds, sensitivity.Options{
+			Workers: workers,
+			Retries: s.cfg.Retries,
+			Backoff: retryBackoff,
+		})
+	})
+}
+
+// spring2019Response frames the projection with its inputs.
+type spring2019Response struct {
+	N                   int                `json:"n"`
+	Seed                int64              `json:"seed"`
+	CorrelationImproved bool               `json:"correlation_improved"`
+	Projection          *whatif.Projection `json:"projection"`
+}
+
+// handleSpring2019 serves the planned-revision projection.
+func (s *Server) handleSpring2019(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	n, err := queryInt64(r, "n", 3000)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	seed, err := queryInt64(r, "seed", 42)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if n < 10 || n > 1_000_000 {
+		writeError(w, http.StatusBadRequest, "n %d outside [10, 1000000]", n)
+		return
+	}
+	k := NewKey([]byte(fmt.Sprintf("spring2019|n=%d|seed=%d", n, seed)))
+	s.respond(w, r, k, func(ctx context.Context) (any, error) {
+		proj, err := whatif.ProjectOn(ctx, engine.New(engine.WithWorkers(2)), whatif.TeamworkReinforcement(), int(n), seed)
+		if err != nil {
+			return nil, err
+		}
+		return spring2019Response{N: int(n), Seed: seed, CorrelationImproved: proj.CorrelationImproved(), Projection: proj}, nil
+	})
+}
+
+// statusForDecode maps a decode failure to 405 for bad methods and 400
+// otherwise.
+func statusForDecode(r *http.Request) int {
+	switch r.Method {
+	case http.MethodGet, http.MethodPost:
+		return http.StatusBadRequest
+	default:
+		return http.StatusMethodNotAllowed
+	}
+}

@@ -1,0 +1,423 @@
+// Package serve exposes the study engine as an HTTP service — the
+// study-as-a-service daemon behind cmd/pbld and `pblstudy serve`.
+//
+// Endpoints:
+//
+//	POST /v1/run        one study         {seed, students, uncalibrated}
+//	POST /v1/sweep      a seed sweep      {start, seeds, workers}
+//	GET  /v1/spring2019 the planned revision's projection  ?n=&seed=
+//	GET  /healthz       liveness
+//	GET  /readyz        readiness (503 while draining)
+//	GET  /metrics       Prometheus text exposition (obs registry)
+//
+// Two scaling layers sit between the handlers and the engine. A
+// content-addressed result cache keys every response by the SHA-256 of
+// its normalized request (execution knobs like worker count excluded —
+// determinism means they cannot change bytes), with singleflight
+// coalescing so N concurrent identical requests compute once. An
+// admission layer feeds computations through a bounded engine.Pool,
+// sheds overload with 429 + Retry-After, bounds each request's wait by
+// its Request-Timeout header, and drains gracefully on SIGTERM.
+//
+// The fault-injection subsystem extends through the service: the
+// admission decision, the backend compute, and the cache read are
+// injectable sites (queue-full, slow-backend, cache-corruption), and
+// the engine's retry layer absorbs the runtime fault mix below them, so
+// `pblstudy chaos -serve` can assert that every response stays
+// byte-identical under the full mix.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pblparallel/internal/engine"
+	"pblparallel/internal/fault"
+	"pblparallel/internal/obs"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// serving default.
+type Config struct {
+	// Workers bounds the admission pool and each run's engine; 0
+	// selects runtime.NumCPU(). Never part of a cache key.
+	Workers int
+	// Queue is the admission queue depth in front of the pool; waiting
+	// requests beyond it are shed with 429. Defaults to 32.
+	Queue int
+	// CacheEntries bounds the result cache; defaults to 1024.
+	CacheEntries int
+	// DefaultTimeout bounds each request's wait (and each computation);
+	// the Request-Timeout header may shorten but never extend it.
+	// Defaults to 120s.
+	DefaultTimeout time.Duration
+	// DrainTimeout bounds the SIGTERM graceful drain. Defaults to 30s.
+	DrainTimeout time.Duration
+	// MaxSweepSeeds rejects larger /v1/sweep requests. Defaults to 1000.
+	MaxSweepSeeds int
+	// Retries is the engine retry budget for transient faults under
+	// each request. Defaults to 3.
+	Retries int
+	// Injector arms the service-layer fault sites and is forwarded to
+	// every computation's context so the runtime fault mix fires too.
+	// Nil disables injection.
+	Injector *fault.Injector
+	// Registry receives the server's metrics; nil selects the process
+	// registry (obs.Metrics()).
+	Registry *obs.Registry
+}
+
+// withDefaults resolves the zero values.
+func (c Config) withDefaults() Config {
+	if c.Queue <= 0 {
+		c.Queue = 32
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 120 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.MaxSweepSeeds <= 0 {
+		c.MaxSweepSeeds = 1000
+	}
+	if c.Retries <= 0 {
+		c.Retries = 3
+	}
+	if c.Registry == nil {
+		c.Registry = obs.Metrics()
+	}
+	return c
+}
+
+// Server is the study-as-a-service daemon. Construct with New; the
+// handler is available immediately, Serve runs the accept loop with
+// graceful drain, Close drains without a listener (tests).
+type Server struct {
+	cfg   Config
+	pool  *engine.Pool
+	cache *Cache
+	httpm *obs.HTTPMetrics
+	mux   *http.ServeMux
+
+	ready    atomic.Bool
+	draining atomic.Bool
+	ewmaNs   atomic.Int64 // smoothed compute time, Retry-After's basis
+
+	admitMu  sync.Mutex
+	admitSeq map[string]uint64 // per-key admission attempts (fault keying, armed only)
+
+	closeOnce sync.Once
+
+	cacheHits, cacheMisses, cacheCoalesced, shed, corruptHealed *obs.Counter
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		pool:  engine.NewPool(cfg.Workers, cfg.Queue),
+		cache: NewCache(cfg.CacheEntries, cfg.Injector),
+		httpm: obs.NewHTTPMetrics(cfg.Registry),
+		mux:   http.NewServeMux(),
+	}
+	if cfg.Injector != nil {
+		s.admitSeq = make(map[string]uint64)
+	}
+	reg := cfg.Registry
+	s.cacheHits = reg.Counter("serve_cache_hits_total", "Responses served from the result cache.")
+	s.cacheMisses = reg.Counter("serve_cache_misses_total", "Responses computed and stored.")
+	s.cacheCoalesced = reg.Counter("serve_cache_coalesced_total", "Requests coalesced onto an identical in-flight computation.")
+	s.shed = reg.Counter("serve_shed_total", "Requests shed with 429 at admission.")
+	s.corruptHealed = reg.Counter("serve_cache_corruption_healed_total", "Cache integrity failures healed by recompute.")
+	reg.RegisterGatherer(obs.GathererFunc(s.gatherPool))
+
+	route := func(path string, h http.HandlerFunc) {
+		s.mux.Handle(path, s.httpm.Middleware(path, h))
+	}
+	route("/v1/run", s.handleRun)
+	route("/v1/sweep", s.handleSweep)
+	route("/v1/spring2019", s.handleSpring2019)
+	route("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	route("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.ready.Load() && !s.draining.Load() {
+			fmt.Fprintln(w, "ready")
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+	})
+	route("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = reg.WritePrometheus(w)
+	})
+	s.ready.Store(true)
+	return s
+}
+
+// gatherPool surfaces admission state in the metrics exposition.
+func (s *Server) gatherPool() []obs.Family {
+	ps := s.pool.Stats()
+	gauge := func(name, help string, v float64) obs.Family {
+		return obs.Family{Name: name, Help: help, Type: "gauge",
+			Points: []obs.Point{{Value: v}}}
+	}
+	return []obs.Family{
+		gauge("serve_queue_depth", "Jobs waiting for a pool worker.", float64(ps.Queued)),
+		gauge("serve_in_flight_jobs", "Jobs executing on pool workers.", float64(ps.InFlight)),
+		gauge("serve_queue_capacity", "Admission queue bound.", float64(ps.QueueCap)),
+	}
+}
+
+// Handler returns the routed, instrumented handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats bundles the server's ledgers for tests and the chaos report.
+type Stats struct {
+	Pool  engine.PoolStats
+	Cache CacheStats
+	Shed  int64
+}
+
+// Stats snapshots the server.
+func (s *Server) Stats() Stats {
+	return Stats{Pool: s.pool.Stats(), Cache: s.cache.Stats(), Shed: s.shed.Value()}
+}
+
+// Serve accepts on ln until ctx is canceled, then drains: readiness
+// flips to 503, in-flight and queued requests finish (bounded by
+// DrainTimeout), and the pool shuts down. The caller owns ln's address
+// choice; Serve closes it.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	err := srv.Shutdown(dctx)
+	s.Close()
+	return err
+}
+
+// Close drains the admission pool. Idempotent; used directly by tests
+// and by Serve during shutdown.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.draining.Store(true)
+		s.pool.Close()
+	})
+}
+
+// httpError is a JSON error response.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// writeError emits a JSON error body with the given status.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, _ := json.MarshalIndent(httpError{Error: fmt.Sprintf(format, args...)}, "", "  ")
+	w.Write(append(b, '\n'))
+}
+
+// requestDeadline resolves the request's wait bound: the
+// Request-Timeout header in (fractional) seconds, clamped to the
+// server's DefaultTimeout.
+func (s *Server) requestDeadline(r *http.Request) (time.Duration, error) {
+	d := s.cfg.DefaultTimeout
+	if h := r.Header.Get("Request-Timeout"); h != "" {
+		secs, err := strconv.ParseFloat(h, 64)
+		if err != nil || secs <= 0 || math.IsNaN(secs) {
+			return 0, fmt.Errorf("invalid Request-Timeout %q", h)
+		}
+		if hd := time.Duration(secs * float64(time.Second)); hd < d {
+			d = hd
+		}
+	}
+	return d, nil
+}
+
+// retryAfter estimates how long a shed client should back off: the
+// smoothed compute time scaled by the backlog per worker, clamped to
+// [1s, 60s].
+func (s *Server) retryAfter() int {
+	est := time.Duration(s.ewmaNs.Load())
+	if est <= 0 {
+		est = time.Second
+	}
+	ps := s.pool.Stats()
+	backlog := float64(ps.Queued+ps.InFlight+1) / float64(ps.Workers)
+	secs := int(math.Ceil(est.Seconds() * backlog))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// observeCompute folds one computation's wall time into the EWMA.
+func (s *Server) observeCompute(d time.Duration) {
+	const alpha = 0.2
+	for {
+		old := s.ewmaNs.Load()
+		next := int64(float64(old)*(1-alpha) + float64(d)*alpha)
+		if old == 0 {
+			next = int64(d)
+		}
+		if s.ewmaNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// admissionAttempt counts admissions per key for fault keying; only
+// tracked while an injector is armed, so the map cannot grow in
+// production.
+func (s *Server) admissionAttempt(k Key) uint64 {
+	if s.admitSeq == nil {
+		return 0
+	}
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	n := s.admitSeq[k.Hex()]
+	s.admitSeq[k.Hex()] = n + 1
+	return n
+}
+
+// errShed marks an admission rejection (real or injected).
+var errShed = errors.New("serve: admission queue full")
+
+// respond executes the cached/coalesced/computed request lifecycle for
+// one response body and writes it. build runs on a pool worker under
+// the server's compute deadline and must be a pure function of the
+// request's normalized parameters.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, k Key, build func(ctx context.Context) (any, error)) {
+	wait, err := s.requestDeadline(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+
+	body, status, err := s.cache.Do(ctx, k, func() ([]byte, error) {
+		return s.compute(ctx, k, build)
+	})
+	switch status {
+	case CacheHit:
+		s.cacheHits.Inc()
+	case CacheMiss:
+		s.cacheMisses.Inc()
+	case CacheCoalesced:
+		s.cacheCoalesced.Inc()
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, errShed):
+			s.shed.Inc()
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+			writeError(w, http.StatusTooManyRequests, "admission queue full; retry after the advertised backoff")
+		case errors.Is(err, engine.ErrPoolClosed):
+			writeError(w, http.StatusServiceUnavailable, "draining")
+		case errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		case errors.Is(err, context.Canceled):
+			writeError(w, http.StatusServiceUnavailable, "request canceled")
+		default:
+			writeError(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", string(status))
+	w.Header().Set("X-Study-Key", k.Hex())
+	w.Write(body)
+}
+
+// compute runs build on a pool worker: the admission step of every
+// cache miss. The waiting is bounded by the request ctx; the
+// computation itself gets a fresh deadline from DefaultTimeout so a
+// canceled waiter cannot poison coalesced followers.
+func (s *Server) compute(ctx context.Context, k Key, build func(ctx context.Context) (any, error)) ([]byte, error) {
+	inj := s.cfg.Injector
+	if f, ok := inj.Hit(fault.SiteServeQueue, fault.Mix2(k.word(), s.admissionAttempt(k))); ok && f.Kind == fault.QueueFull {
+		// Injected shed: the client's retry lands on a fresh admission
+		// attempt and a fresh decision, so recovery is the client's
+		// backoff — deterministically keyed, like every fault.
+		inj.MarkRetry()
+		return nil, errShed
+	}
+	type result struct {
+		body []byte
+		err  error
+	}
+	done := make(chan result, 1)
+	job := func() {
+		jctx, cancel := context.WithTimeout(context.Background(), s.cfg.DefaultTimeout)
+		defer cancel()
+		if inj != nil {
+			jctx = fault.NewContext(jctx, inj)
+		}
+		if f, ok := inj.Hit(fault.SiteServeBackend, k.word()); ok && f.Kind == fault.BackendSlow {
+			// Latency only — the fault mix may slow a response, never
+			// change its bytes.
+			time.Sleep(f.Duration())
+			inj.MarkRecovered(1)
+		}
+		start := time.Now()
+		v, err := build(jctx)
+		if err != nil {
+			done <- result{nil, err}
+			return
+		}
+		s.observeCompute(time.Since(start))
+		b, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			done <- result{nil, err}
+			return
+		}
+		done <- result{append(b, '\n'), nil}
+	}
+	if err := s.pool.Submit(job); err != nil {
+		if errors.Is(err, engine.ErrQueueFull) {
+			return nil, errShed
+		}
+		return nil, err
+	}
+	select {
+	case res := <-done:
+		return res.body, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

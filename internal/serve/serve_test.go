@@ -1,0 +1,455 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pblparallel/internal/fault"
+	"pblparallel/internal/obs"
+)
+
+// newTestServer builds a Server on its own registry (so per-server
+// counter assertions stay isolated) and tears it down with the test.
+func newTestServer(t testing.TB, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func post(t testing.TB, ts *httptest.Server, path, body string, header map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, ts.URL+path, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range header {
+		req.Header.Set(k, v)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// TestRunMatchesGoldenFile pins /v1/run to the exact bytes of the
+// golden `pblstudy run -json` baseline: the service and the CLI are two
+// doors into one deterministic pipeline.
+func TestRunMatchesGoldenFile(t *testing.T) {
+	want, err := os.ReadFile("../../testdata/golden/run_paper_seed.json")
+	if err != nil {
+		t.Fatalf("golden baseline missing: %v", err)
+	}
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, got := post(t, ts, "/v1/run", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("/v1/run drifted from the golden baseline\ngot:  %q\nwant: %q", got, want)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if resp.Header.Get("X-Study-Key") == "" {
+		t.Error("missing X-Study-Key")
+	}
+}
+
+// TestRunHitMissAndNormalizationShareBytes asserts the content-address
+// contract on one server: a miss and the following hit serve identical
+// bytes, and a request spelling out the defaults addresses the same
+// entry as one omitting them.
+func TestRunHitMissAndNormalizationShareBytes(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+
+	respMiss, bodyMiss := post(t, ts, "/v1/run", `{"seed": 123}`, nil)
+	if respMiss.StatusCode != http.StatusOK || respMiss.Header.Get("X-Cache") != string(CacheMiss) {
+		t.Fatalf("first request: status %d, X-Cache %q", respMiss.StatusCode, respMiss.Header.Get("X-Cache"))
+	}
+	respHit, bodyHit := post(t, ts, "/v1/run", `{"seed": 123}`, nil)
+	if respHit.StatusCode != http.StatusOK || respHit.Header.Get("X-Cache") != string(CacheHit) {
+		t.Fatalf("second request: status %d, X-Cache %q", respHit.StatusCode, respHit.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(bodyMiss, bodyHit) {
+		t.Error("hit bytes differ from miss bytes")
+	}
+	if respMiss.Header.Get("X-Study-Key") != respHit.Header.Get("X-Study-Key") {
+		t.Error("hit and miss disagree on the content address")
+	}
+
+	// Explicit defaults hash to the same address as omitted ones.
+	respExplicit, _ := post(t, ts, "/v1/run", `{"seed": 123, "students": 124}`, nil)
+	if respExplicit.Header.Get("X-Cache") != string(CacheHit) {
+		t.Errorf("explicit-defaults request missed the cache (X-Cache %q)", respExplicit.Header.Get("X-Cache"))
+	}
+	if st := s.Stats(); st.Cache.Computes != 1 {
+		t.Errorf("computes = %d, want 1", st.Cache.Computes)
+	}
+}
+
+// TestSweepWorkerCountNeverChangesBytes is the determinism half of the
+// cache design: worker count is an execution knob, so it is excluded
+// from the content address — and byte-identical responses prove the
+// exclusion sound. Exercises servers with different pools AND request
+// bodies with different per-sweep workers.
+func TestSweepWorkerCountNeverChangesBytes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-server sweep comparison")
+	}
+	var bodies [][]byte
+	var keys []string
+	for _, tc := range []struct {
+		cfgWorkers int
+		body       string
+	}{
+		{1, `{"start": 500, "seeds": 4}`},
+		{4, `{"start": 500, "seeds": 4}`},
+		{2, `{"start": 500, "seeds": 4, "workers": 3}`},
+	} {
+		_, ts := newTestServer(t, Config{Workers: tc.cfgWorkers})
+		resp, body := post(t, ts, "/v1/sweep", tc.body, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("workers=%d: status %d: %s", tc.cfgWorkers, resp.StatusCode, body)
+		}
+		bodies = append(bodies, body)
+		keys = append(keys, resp.Header.Get("X-Study-Key"))
+	}
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Errorf("sweep bytes differ between worker configurations 0 and %d", i)
+		}
+		if keys[0] != keys[i] {
+			t.Errorf("content address differs between worker configurations: %s vs %s", keys[0], keys[i])
+		}
+	}
+}
+
+// TestConcurrentDuplicatesComputeOnce fires 8 identical requests at
+// once; whether each lands as the miss leader, a coalesced follower, or
+// a late hit, the compute ledger must read exactly 1.
+func TestConcurrentDuplicatesComputeOnce(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4})
+	const n = 8
+	bodies := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, body := post(t, ts, "/v1/run", `{"seed": 777}`, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", i, resp.StatusCode, body)
+				return
+			}
+			bodies[i] = body
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs from response 0", i)
+		}
+	}
+	if st := s.Stats(); st.Cache.Computes != 1 {
+		t.Fatalf("computes = %d, want exactly 1 for %d concurrent duplicates", st.Cache.Computes, n)
+	}
+}
+
+// TestLoadShedReturns429WithRetryAfter saturates a 1-worker, 1-slot
+// queue with distinct (uncacheable against each other) sweeps: the
+// overflow must shed as 429 with a Retry-After hint, and shed requests
+// appear in the ledger.
+func TestLoadShedReturns429WithRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, Queue: 1})
+	const n = 12
+	codes := make([]int, n)
+	retryAfter := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"start": %d, "seeds": 3}`, 1000+i*100)
+			resp, _ := post(t, ts, "/v1/sweep", body, nil)
+			codes[i] = resp.StatusCode
+			retryAfter[i] = resp.Header.Get("Retry-After")
+		}(i)
+	}
+	wg.Wait()
+	shed := 0
+	for i, code := range codes {
+		switch code {
+		case http.StatusOK:
+		case http.StatusTooManyRequests:
+			shed++
+			if retryAfter[i] == "" {
+				t.Errorf("429 response %d missing Retry-After", i)
+			}
+		default:
+			t.Errorf("request %d: unexpected status %d", i, code)
+		}
+	}
+	if shed == 0 {
+		t.Fatalf("no request shed: %d concurrent sweeps all fit a 1-worker/1-slot server", n)
+	}
+	if st := s.Stats(); st.Shed < int64(shed) {
+		t.Errorf("shed ledger %d < observed 429s %d", st.Shed, shed)
+	}
+}
+
+// TestInjectedQueueFullSheds arms the admission fault site at
+// probability 1: every request sheds deterministically, exercising the
+// same 429 path real overload takes.
+func TestInjectedQueueFullSheds(t *testing.T) {
+	inj, err := fault.New(fault.Plan{Seed: 3, Rules: []fault.Rule{
+		{Site: fault.SiteServeQueue, Kind: fault.QueueFull, Prob: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Workers: 2, Injector: inj})
+	resp, body := post(t, ts, "/v1/run", "", nil)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d: %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("missing Retry-After")
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Errorf("shed body %q is not a JSON error", body)
+	}
+	if st := s.Stats(); st.Shed != 1 {
+		t.Errorf("shed = %d, want 1", st.Shed)
+	}
+}
+
+// TestRequestTimeoutHeaderBoundsWait sends a sweep too slow for its
+// 1ms Request-Timeout: the waiter must come back 504 while the header
+// can only shorten, never extend, the server bound.
+func TestRequestTimeoutHeaderBoundsWait(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, body := post(t, ts, "/v1/sweep", `{"start": 42, "seeds": 40}`,
+		map[string]string{"Request-Timeout": "0.001"})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d: %s, want 504", resp.StatusCode, body)
+	}
+
+	resp, body = post(t, ts, "/v1/run", "", map[string]string{"Request-Timeout": "bogus"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus Request-Timeout: status %d: %s, want 400", resp.StatusCode, body)
+	}
+}
+
+// TestServerCorruptionHealServesOriginalBytes end-to-end: with the
+// cache-corruption site always firing, a re-request detects the damage,
+// recomputes, and still serves the original bytes.
+func TestServerCorruptionHealServesOriginalBytes(t *testing.T) {
+	inj, err := fault.New(fault.Plan{Seed: 11, Rules: []fault.Rule{
+		{Site: fault.SiteServeCache, Kind: fault.CacheCorrupt, Prob: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Workers: 2, Injector: inj})
+	_, first := post(t, ts, "/v1/run", `{"seed": 9}`, nil)
+	resp, second := post(t, ts, "/v1/run", `{"seed": 9}`, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, second)
+	}
+	if !bytes.Equal(first, second) {
+		t.Error("healed response differs from the original bytes")
+	}
+	if st := s.Stats(); st.Cache.CorruptRecovered != 1 {
+		t.Errorf("corruption recovered = %d, want 1", st.Cache.CorruptRecovered)
+	}
+}
+
+// TestGracefulDrainFinishesInFlightWork cancels Serve's context while a
+// sweep is executing: the in-flight request must complete with its full
+// 200 body before the listener dies, and the server must report
+// not-ready afterwards.
+func TestGracefulDrainFinishesInFlightWork(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Config{Workers: 1, Registry: reg, DrainTimeout: 30 * time.Second})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve(ctx, ln) }()
+	base := "http://" + ln.Addr().String()
+
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	reqDone := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/sweep", "application/json",
+			strings.NewReader(`{"start": 60, "seeds": 6}`))
+		if err != nil {
+			reqDone <- result{err: err}
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		reqDone <- result{status: resp.StatusCode, body: body, err: err}
+	}()
+
+	// Cancel only once the sweep is provably on a worker.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Pool.InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweep never reached a pool worker")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+
+	r := <-reqDone
+	if r.err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", r.err)
+	}
+	if r.status != http.StatusOK || len(r.body) == 0 {
+		t.Fatalf("in-flight request: status %d, %d body bytes; want a full 200", r.status, len(r.body))
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve returned %v after drain", err)
+	}
+
+	// Drained: readiness reports 503 and new work is refused.
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz after drain = %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/run", strings.NewReader(`{"seed": 1}`)))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("new work after drain = %d, want 503", rec.Code)
+	}
+}
+
+func TestHealthReadyAndMetrics(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	for path, want := range map[string]int{"/healthz": 200, "/readyz": 200} {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s = %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+	// One real request, then the exposition must carry the server's
+	// families with it counted.
+	post(t, ts, "/v1/run", "", nil)
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{
+		"serve_cache_misses_total 1",
+		"serve_queue_capacity",
+		`http_requests_total{route="/v1/run",code="200"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	cases := []struct {
+		path, body string
+		want       int
+	}{
+		{"/v1/run", `{"sed": 1}`, http.StatusBadRequest},        // unknown field (typo must not hash to defaults)
+		{"/v1/run", `{"students": 13}`, http.StatusBadRequest},  // odd cohort
+		{"/v1/sweep", `{"seeds": 2}`, http.StatusBadRequest},    // below minimum
+		{"/v1/sweep", `{"seeds": 5000}`, http.StatusBadRequest}, // above MaxSweepSeeds
+	}
+	for _, tc := range cases {
+		resp, body := post(t, ts, tc.path, tc.body, nil)
+		if resp.StatusCode != tc.want {
+			t.Errorf("POST %s %s = %d (%s), want %d", tc.path, tc.body, resp.StatusCode, body, tc.want)
+		}
+	}
+	resp, err := ts.Client().Get(ts.URL + "/v1/spring2019?n=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("spring2019 n=3 = %d, want 400", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/run", nil)
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /v1/run = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSpring2019Endpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	resp, err := ts.Client().Get(ts.URL + "/v1/spring2019?n=200&seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var out struct {
+		N          int             `json:"n"`
+		Seed       int64           `json:"seed"`
+		Projection json.RawMessage `json:"projection"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if out.N != 200 || out.Seed != 7 || len(out.Projection) == 0 {
+		t.Errorf("response = n=%d seed=%d projection %d bytes", out.N, out.Seed, len(out.Projection))
+	}
+}

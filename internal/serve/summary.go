@@ -1,0 +1,49 @@
+package serve
+
+import "pblparallel/internal/core"
+
+// RunSummary is the machine-readable study summary: the exact shape
+// `pblstudy run -json` emits, `/v1/run` serves, the chaos sweeps
+// byte-compare, and testdata/golden pins. Field order is load-bearing —
+// encoding/json preserves it, and the golden file and every
+// byte-invariance check depend on it.
+type RunSummary struct {
+	Seed       int64   `json:"seed"`
+	Students   int     `json:"students"`
+	Teams      int     `json:"teams"`
+	Calibrated bool    `json:"calibrated"`
+	EmphasisT  float64 `json:"emphasis_t"`
+	EmphasisP  float64 `json:"emphasis_p"`
+	GrowthT    float64 `json:"growth_t"`
+	GrowthP    float64 `json:"growth_p"`
+	EmphasisD  float64 `json:"emphasis_d"`
+	GrowthD    float64 `json:"growth_d"`
+	ShapeHeld  int     `json:"shape_checks_held"`
+	ShapeTotal int     `json:"shape_checks_total"`
+}
+
+// Summarize builds the machine-readable summary from an outcome alone —
+// the form every byte-invariance check compares across fault plans,
+// worker counts, and cache hits.
+func Summarize(seed int64, calibrated bool, o *core.Outcome) RunSummary {
+	held := 0
+	for _, s := range o.Comparison.Shape {
+		if s.Holds {
+			held++
+		}
+	}
+	return RunSummary{
+		Seed:       seed,
+		Students:   len(o.Cohort.Students),
+		Teams:      len(o.Formation.Teams),
+		Calibrated: calibrated,
+		EmphasisT:  o.Report.Table1.ClassEmphasis.T,
+		EmphasisP:  o.Report.Table1.ClassEmphasis.P,
+		GrowthT:    o.Report.Table1.PersonalGrowth.T,
+		GrowthP:    o.Report.Table1.PersonalGrowth.P,
+		EmphasisD:  o.Report.Table2.D,
+		GrowthD:    o.Report.Table3.D,
+		ShapeHeld:  held,
+		ShapeTotal: len(o.Comparison.Shape),
+	}
+}
