@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify ci build test race vet bench bench-pr4 bench-check golden fuzz fuzz-smoke chaos chaos-serve
+.PHONY: verify ci build test race vet bench bench-pr4 bench-pr5 bench-check golden fuzz fuzz-smoke chaos chaos-serve
 
 ## verify: the tier-1 gate — vet, build, race-test everything, pin the
 ## golden run output, and smoke the fuzz targets on their seed corpora.
@@ -81,6 +81,14 @@ bench-pr4:
 	  $(GO) test ./internal/serve/ -bench . -benchmem -run '^$$'; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_PR4.json
 
+## bench-pr5: the PR5 perf surface — the flight recorder's incident
+## hook, disabled (must stay 0 allocs/op — every shed/retry/fault site
+## pays it) and enabled (one ring write under a sharded lock) — the
+## numbers EXPERIMENTS.md quotes for recorder overhead.
+bench-pr5:
+	$(GO) test ./internal/obs/flightrec/ -bench Event -benchmem -run '^$$' \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR5.json
+
 ## bench-check: re-run the gated perf surface and fail if it regressed
 ## against the committed BENCH_PR4.json baseline — more than 20% ns/op
 ## growth, or ANY allocs/op growth (the disabled paths pin 0). Only the
@@ -97,3 +105,6 @@ bench-check:
 	  $(GO) test ./internal/serve/ -bench 'CacheHitDo' -benchmem -count 3 -run '^$$'; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_PR4.new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_PR4.json BENCH_PR4.new.json -tolerance 0.20
+	$(GO) test ./internal/obs/flightrec/ -bench Event -benchmem -count 3 -run '^$$' \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR5.new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR5.new.json -tolerance 0.20

@@ -43,6 +43,8 @@ func cmdChaos(args []string) {
 	qfull := fs.Float64("qfull", 0.05, "-serve: probability a request is shed at admission as if the queue were full (client retries)")
 	slowreq := fs.Float64("slowreq", 0.1, "-serve: probability a computation is delayed (latency only)")
 	corrupt := fs.Float64("corrupt", 0.2, "-serve: probability a cache read sees corrupted bytes (healed by recompute)")
+	frec := fs.Bool("flightrec", true, "-serve: run tracing + the flight recorder through the sweep, asserting recording never changes response bytes")
+	frecDir := fs.String("flightrec-dir", "", "-serve: write triggered postmortem bundles to this directory (CI uploads them when the sweep fails)")
 	asJSON := fs.Bool("json", false, "emit the chaos report as JSON instead of text")
 	obsCLI := obs.BindFlags(fs)
 	fs.Parse(args)
@@ -65,10 +67,12 @@ func cmdChaos(args []string) {
 				{Site: fault.SitePisimCore, Kind: fault.CoreSlow, Prob: *slow},
 				{Site: fault.SiteEngineRun, Kind: fault.RunFail, Prob: *runfail},
 			},
-			qfull:   *qfull,
-			slowreq: *slowreq,
-			corrupt: *corrupt,
-			asJSON:  *asJSON,
+			qfull:        *qfull,
+			slowreq:      *slowreq,
+			corrupt:      *corrupt,
+			flightrec:    *frec,
+			flightrecDir: *frecDir,
+			asJSON:       *asJSON,
 		})
 		closeObs(sess)
 		if !identical {

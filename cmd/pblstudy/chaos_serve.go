@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"pblparallel/internal/fault"
+	"pblparallel/internal/obs"
+	"pblparallel/internal/obs/flightrec"
 	"pblparallel/internal/serve"
 )
 
@@ -28,7 +30,13 @@ type serveChaosOpts struct {
 	runtimeRules []fault.Rule
 	// The service-layer probabilities.
 	qfull, slowreq, corrupt float64
-	asJSON                  bool
+	// flightrec runs tracing + the flight recorder across the whole
+	// sweep: the byte-invariance assertion then also proves recording
+	// never changes response bytes. flightrecDir receives triggered
+	// postmortem bundles (CI uploads them when the sweep fails).
+	flightrec    bool
+	flightrecDir string
+	asJSON       bool
 }
 
 // runServeChaos asserts the service-layer chaos contract: the same
@@ -38,6 +46,19 @@ type serveChaosOpts struct {
 // over the chaotic server (cache hits, corruption heals) stays
 // identical too. Returns whether every response matched.
 func runServeChaos(o serveChaosOpts) bool {
+	if o.flightrec {
+		if obs.Default() == nil {
+			obs.Install(obs.NewTracer(obs.DefaultCapacity))
+			defer obs.Install(nil)
+		}
+		rec := flightrec.New(flightrec.Config{Dir: o.flightrecDir, Window: 5 * time.Minute})
+		rec.Start()
+		flightrec.Install(rec)
+		defer func() {
+			flightrec.Install(nil)
+			rec.Stop()
+		}()
+	}
 	clean := startChaosServer(serve.Config{Workers: o.workers, Queue: o.seeds, Retries: o.retries})
 	baseline, err := sweepOverHTTP(clean.base, o.start, o.seeds, false)
 	clean.stop()
@@ -86,6 +107,14 @@ func runServeChaos(o serveChaosOpts) bool {
 		CorruptionHealed: stats.Cache.CorruptRecovered,
 		DriftedSeeds:     drifted,
 		Identical:        len(drifted) == 0,
+	}
+	if !report.Identical {
+		// The black box earns its keep: capture the sweep's last window
+		// so CI can attach exactly what the service saw at drift time.
+		if path := flightrec.Active().Trigger("chaos-serve-drift", obs.TraceID{}); path != "" {
+			obs.Log().With("pblstudy chaos").Error(context.Background(),
+				"sweep drifted; flight recorder postmortem written", "path", path)
+		}
 	}
 	if o.asJSON {
 		emitJSON(report)

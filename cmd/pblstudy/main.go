@@ -74,7 +74,9 @@ func main() {
 	case "help", "-h", "-help", "--help":
 		usage(os.Stdout)
 	default:
-		fmt.Fprintf(os.Stderr, "pblstudy: unknown subcommand %q (the old -sensitivity/-instrument/-spring2019 flags are now subcommands)\n\n", args[0])
+		obs.Log().With("pblstudy").Error(context.Background(),
+			"unknown subcommand (the old -sensitivity/-instrument/-spring2019 flags are now subcommands)",
+			"subcommand", args[0])
 		usage(os.Stderr)
 		os.Exit(2)
 	}
@@ -237,7 +239,10 @@ func emitJSON(v any) {
 	}
 }
 
+// fail logs the fatal error through the structured logger (one
+// machine-splittable key=value line, trace-stamped when a request
+// context carried one) and exits.
 func fail(err error) {
-	fmt.Fprintln(os.Stderr, "pblstudy:", err)
+	obs.Log().With("pblstudy").Error(context.Background(), "fatal", "err", err)
 	os.Exit(1)
 }

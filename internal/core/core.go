@@ -66,10 +66,10 @@ type Outcome struct {
 	ActivityByTeam map[int]*teamwork.Log
 	// Practicum is the parallel-computing practicum run on the study's
 	// own data (MPI reduction + simulated-Pi scheduling comparison).
-	Practicum *PracticumResult
-	Dataset   analysis.Dataset
-	Report         *analysis.Report
-	Comparison     analysis.Comparison
+	Practicum  *PracticumResult
+	Dataset    analysis.Dataset
+	Report     *analysis.Report
+	Comparison analysis.Comparison
 	// Robustness holds the normality and CI checks behind the t-tests.
 	Robustness analysis.Robustness
 	// Sections verifies the two-section design introduced no confound.

@@ -3,6 +3,7 @@ package core
 import (
 	"pblparallel/internal/fault"
 	"pblparallel/internal/mpi"
+	"pblparallel/internal/obs"
 	"pblparallel/internal/pisim"
 	"pblparallel/internal/teams"
 	"pblparallel/internal/teamwork"
@@ -41,7 +42,7 @@ type PracticumResult struct {
 // mode (drops, delays, and duplicates are absorbed by the seq/ack
 // layer) and the simulated Pi draws per-core slowdowns — the results
 // are identical either way, which is what the chaos sweep asserts.
-func runPracticum(formation *teams.Formation, activity map[int]*teamwork.Log, inj *fault.Injector) (*PracticumResult, error) {
+func runPracticum(formation *teams.Formation, activity map[int]*teamwork.Log, inj *fault.Injector, tc obs.TraceContext) (*PracticumResult, error) {
 	counts := make([]int, len(formation.Teams))
 	for i, tm := range formation.Teams {
 		counts[i] = len(activity[tm.ID].Events)
@@ -52,7 +53,7 @@ func runPracticum(formation *teams.Formation, activity map[int]*teamwork.Log, in
 	for len(padded)%piCores != 0 {
 		padded = append(padded, 0)
 	}
-	var mpiOpts []mpi.RunOption
+	mpiOpts := []mpi.RunOption{mpi.WithTrace(tc)}
 	if inj != nil {
 		mpiOpts = append(mpiOpts, mpi.WithFault(inj), mpi.WithReliable(mpi.Reliable{}))
 	}
@@ -83,7 +84,7 @@ func runPracticum(formation *teams.Formation, activity map[int]*teamwork.Log, in
 	if err != nil {
 		return nil, err
 	}
-	m = m.WithFault(inj)
+	m = m.WithFault(inj).WithTrace(tc)
 	costs := make([]pisim.Cycles, len(counts))
 	for i, c := range counts {
 		costs[i] = pisim.Cycles(1+c) * practicumCyclesPerEvent

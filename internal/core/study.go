@@ -162,11 +162,14 @@ func (s *Study) Run(ctx context.Context) (*Outcome, error) {
 	if tr != nil {
 		lane = traceLane.Add(1)
 	}
-	runSpan := tr.Span(obs.PIDCore, lane, "core", "study").
-		Int("seed", cfg.Seed).Int("students", int64(cfg.Cohort.NStudents))
+	runSpan, ctx := tr.StartSpan(ctx, obs.PIDCore, lane, "core", "study")
+	runSpan = runSpan.Int("seed", cfg.Seed).Int("students", int64(cfg.Cohort.NStudents))
 	defer runSpan.End()
+	// Stage spans parent under the run span so /debug/trace shows the
+	// pipeline as one subtree of the request.
+	runTC := runSpan.TraceCtx()
 	stageBegin := func(name string) (time.Time, obs.Span) {
-		return time.Now(), tr.Span(obs.PIDCore, lane, "core", name)
+		return time.Now(), tr.Span(obs.PIDCore, lane, "core", name).Trace(runTC)
 	}
 	stageEnd := func(name string, start time.Time, sp obs.Span) {
 		sp.End()
@@ -235,7 +238,7 @@ func (s *Study) Run(ctx context.Context) (*Outcome, error) {
 		_ = tc.For(0, nTeams, omp.Dynamic{Chunk: 1}, func(i int) {
 			logs[i], logErrs[i] = teamwork.SimulateTeamActivity(formation.Teams[i], module.SemesterWeeks, cfg.Seed+2)
 		})
-	}, omp.WithNumThreads(nThreads), omp.WithFault(inj)); err != nil {
+	}, omp.WithNumThreads(nThreads), omp.WithFault(inj), omp.WithTrace(sp.TraceCtx())); err != nil {
 		return nil, fmt.Errorf("core: activity: %w", err)
 	}
 	activity := make(map[int]*teamwork.Log, nTeams)
@@ -251,7 +254,7 @@ func (s *Study) Run(ctx context.Context) (*Outcome, error) {
 		return nil, err
 	}
 	start, sp = stageBegin(StagePracticum)
-	practicum, err := runPracticum(formation, activity, inj)
+	practicum, err := runPracticum(formation, activity, inj, sp.TraceCtx())
 	if err != nil {
 		return nil, fmt.Errorf("core: practicum: %w", err)
 	}

@@ -27,6 +27,7 @@ import (
 	"pblparallel/internal/core"
 	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
+	"pblparallel/internal/obs/flightrec"
 )
 
 // ErrCanceled is the sentinel wrapped by Sweep and Map when the caller's
@@ -190,8 +191,8 @@ func (e *Engine) Sweep(ctx context.Context, cfg core.StudyConfig, seeds SeedStre
 	results := make([]RunResult, n)
 	done := make([]bool, n)
 
-	sweepSpan := obs.Default().Span(obs.PIDEngine, 0, "engine", "sweep").
-		Int("runs", int64(n)).Int("workers", int64(e.workers))
+	sweepSpan, ctx := obs.Default().StartSpan(ctx, obs.PIDEngine, 0, "engine", "sweep")
+	sweepSpan = sweepSpan.Int("runs", int64(n)).Int("workers", int64(e.workers))
 	// The fault base is resolved once: each attempt below forks it with a
 	// (run index, attempt) salt, so every attempt draws a fresh — but
 	// fully deterministic — fault schedule. Nil when injection is off.
@@ -204,8 +205,8 @@ func (e *Engine) Sweep(ctx context.Context, cfg core.StudyConfig, seeds SeedStre
 		}
 		// One span per run on the worker's lane: the trace shows pool
 		// utilization directly (gaps = idle workers).
-		sp := obs.Default().Span(obs.PIDEngine, uint32(worker)+1, "engine", "run").
-			Int("index", int64(i)).Int("seed", seed)
+		sp, runCtx := obs.Default().StartSpan(runCtx, obs.PIDEngine, uint32(worker)+1, "engine", "run")
+		sp = sp.Int("index", int64(i)).Int("seed", seed)
 		e.metrics.runStarted()
 		start := time.Now()
 		out, err, attempts := e.runWithRetry(runCtx, faultBase, i, opts)
@@ -243,7 +244,8 @@ func (e *Engine) runWithRetry(ctx context.Context, faultBase *fault.Injector, i 
 	for attempt := 0; ; attempt++ {
 		attemptCtx := ctx
 		if faultBase != nil {
-			inj := faultBase.Fork(fault.Mix2(uint64(i), uint64(attempt)))
+			inj := faultBase.Fork(fault.Mix2(uint64(i), uint64(attempt))).
+				WithTrace(obs.TraceIDFromContext(ctx))
 			attemptCtx = fault.NewContext(ctx, inj)
 			// The engine's own injection site: fail the attempt with a
 			// transient error before the study executes.
@@ -287,6 +289,7 @@ func (e *Engine) nextAttempt(ctx context.Context, faultBase *fault.Injector, att
 	}
 	e.metrics.runRetried()
 	faultBase.MarkRetry()
+	flightrec.Active().Event(flightrec.KindRetry, "engine.run", uint64(attempt), obs.TraceIDFromContext(ctx))
 	if e.backoff > 0 {
 		time.Sleep(e.backoff << uint(attempt))
 	}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"pblparallel/internal/obs"
+	"pblparallel/internal/obs/flightrec"
 )
 
 // Kind enumerates the injectable fault kinds.
@@ -283,6 +284,7 @@ type Injector struct {
 	seed  uint64
 	rules map[Site][]compiledRule
 	stats *Stats
+	trace obs.TraceID // stamps flight-recorder events; never feeds decisions
 }
 
 // New compiles a plan into an injector.
@@ -314,7 +316,17 @@ func (in *Injector) Fork(salt uint64) *Injector {
 	if in == nil {
 		return nil
 	}
-	return &Injector{seed: splitmix64(in.seed ^ splitmix64(salt)), rules: in.rules, stats: in.stats}
+	return &Injector{seed: splitmix64(in.seed ^ splitmix64(salt)), rules: in.rules, stats: in.stats, trace: in.trace}
+}
+
+// WithTrace derives an injector whose fired faults are stamped with the
+// request trace ID in flight-recorder events. The decision stream is
+// untouched — correlation must never change which faults fire. Nil-safe.
+func (in *Injector) WithTrace(id obs.TraceID) *Injector {
+	if in == nil || id.IsZero() {
+		return in
+	}
+	return &Injector{seed: in.seed, rules: in.rules, stats: in.stats, trace: id}
 }
 
 // Hit reports the fault firing at site for the given deterministic key,
@@ -334,6 +346,7 @@ func (in *Injector) Hit(site Site, key uint64) (Fault, bool) {
 		if unit(u) < r.prob {
 			in.stats.injected[r.kind].v.Add(1)
 			injectedTotal.Inc()
+			flightrec.Active().Event(flightrec.KindFaultInjected, string(site), key, in.trace)
 			return Fault{Kind: r.kind, Max: r.max, r: splitmix64(u)}, true
 		}
 	}

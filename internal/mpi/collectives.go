@@ -9,7 +9,7 @@ import (
 // collectiveSpan opens a per-rank span for one collective operation;
 // inert (zero Span) when tracing is disabled.
 func collectiveSpan(c *Comm, name string, root int) obs.Span {
-	return obs.Default().Span(obs.PIDMPI, c.lane(), "mpi", name).Int("root", int64(root))
+	return obs.Default().Span(obs.PIDMPI, c.lane(), "mpi", name).Trace(c.tc).Int("root", int64(root))
 }
 
 // Bcast distributes root's value to every rank and returns it; on

@@ -88,7 +88,8 @@ type world struct {
 	size     int
 	inboxes  []chan message
 	barrier  *centralBarrier
-	laneBase uint32 // base of this world's trace-lane block (0 = untraced)
+	laneBase uint32           // base of this world's trace-lane block (0 = untraced)
+	tc       obs.TraceContext // request correlation handed in by WithTrace
 
 	// Fault injection and reliable delivery (see reliable.go); all nil /
 	// false on the default path.
@@ -103,6 +104,7 @@ type world struct {
 type Comm struct {
 	w    *world
 	rank int
+	tc   obs.TraceContext // rank-span trace context; stamps per-rank spans
 	// pending holds messages received ahead of a matching Recv.
 	pending []message
 	// nextSeq is the per-destination sequence counter (reliable mode).
@@ -146,7 +148,7 @@ func (c *Comm) Send(to, tag int, data any) error {
 	messagesSent.Inc()
 	bytesSent.Add(nb)
 	if tr := obs.Default(); tr != nil {
-		tr.Span(obs.PIDMPI, c.lane(), "mpi", "send").
+		tr.Span(obs.PIDMPI, c.lane(), "mpi", "send").Trace(c.tc).
 			Int("to", int64(to)).Int("tag", int64(tag)).Int("bytes", nb).Emit()
 	}
 	if c.w.reliable {
@@ -162,7 +164,7 @@ func (c *Comm) Send(to, tag int, data any) error {
 			fault.Mix4(uint64(c.rank), uint64(to), c.nextSeq[to], 0)); ok && f.Kind == fault.MsgDelay {
 			d := f.Duration()
 			if tr := obs.Default(); tr != nil {
-				sp := tr.Span(obs.PIDMPI, c.lane(), "fault", "msg-delay").
+				sp := tr.Span(obs.PIDMPI, c.lane(), "fault", "msg-delay").Trace(c.tc).
 					Int("to", int64(to)).Int("tag", int64(tag))
 				time.Sleep(d)
 				sp.End()
@@ -193,7 +195,7 @@ func (c *Comm) Recv(from, tag int) (data any, source int, err error) {
 	// The whole receive — including any blocking wait — is one span on
 	// the rank's lane, so the trace shows which ranks idle on messages.
 	tr := obs.Default()
-	sp := tr.Span(obs.PIDMPI, c.lane(), "mpi", "recv").
+	sp := tr.Span(obs.PIDMPI, c.lane(), "mpi", "recv").Trace(c.tc).
 		Int("from", int64(from)).Int("tag", int64(tag))
 	deliver := func(m message) (any, int, error) {
 		if tr != nil {
@@ -239,7 +241,7 @@ func (c *Comm) Barrier() {
 		c.w.barrier.wait()
 		return
 	}
-	sp := tr.Span(obs.PIDMPI, c.lane(), "mpi", "barrier")
+	sp := tr.Span(obs.PIDMPI, c.lane(), "mpi", "barrier").Trace(c.tc)
 	c.w.barrier.wait()
 	sp.End()
 }
@@ -326,7 +328,8 @@ func Run(size int, body func(c *Comm) error, opts ...RunOption) error {
 	if tr != nil {
 		w.laneBase = worldSeq.Add(uint32(size)+1) - uint32(size)
 	}
-	worldSpan := tr.Span(obs.PIDMPI, w.laneBase, "mpi", "world").Int("size", int64(size))
+	worldSpan := tr.Span(obs.PIDMPI, w.laneBase, "mpi", "world").Trace(w.tc).Int("size", int64(size))
+	worldTC := worldSpan.TraceCtx()
 	errs := make([]error, size)
 	var wg sync.WaitGroup
 	for r := 0; r < size; r++ {
@@ -337,8 +340,9 @@ func Run(size int, body func(c *Comm) error, opts ...RunOption) error {
 			if w.reliable || w.inj != nil {
 				c.nextSeq = make([]uint64, size)
 			}
-			rsp := tr.Span(obs.PIDMPI, c.lane(), "mpi", "rank").Int("rank", int64(rank))
+			rsp := tr.Span(obs.PIDMPI, c.lane(), "mpi", "rank").Trace(worldTC).Int("rank", int64(rank))
 			defer rsp.End()
+			c.tc = rsp.TraceCtx()
 			defer func() {
 				if p := recover(); p != nil {
 					errs[rank] = &RankError{Rank: rank, Err: fmt.Errorf("panic: %v", p)}

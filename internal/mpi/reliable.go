@@ -66,6 +66,12 @@ func WithFault(in *fault.Injector) RunOption {
 	return func(w *world) { w.inj = in }
 }
 
+// WithTrace joins the world's spans (world, ranks, sends, receives,
+// collectives, injected wire faults) to a request trace.
+func WithTrace(tc obs.TraceContext) RunOption {
+	return func(w *world) { w.tc = tc }
+}
+
 // WithReliable turns on reliable delivery with the given configuration
 // (zero values select defaults). Drop and duplication faults are only
 // meaningful under this mode; without it they are ignored rather than
@@ -137,13 +143,13 @@ func (c *Comm) sendReliable(to, tag int, data any) error {
 				delivered = false
 				dropped++
 				if tr != nil {
-					tr.Span(obs.PIDMPI, c.lane(), "fault", "msg-drop").
+					tr.Span(obs.PIDMPI, c.lane(), "fault", "msg-drop").Trace(c.tc).
 						Int("to", int64(to)).Int("seq", int64(seq)).Int("attempt", int64(attempt)).Emit()
 				}
 			case fault.MsgDelay:
 				d := f.Duration()
 				if tr != nil {
-					sp := tr.Span(obs.PIDMPI, c.lane(), "fault", "msg-delay").
+					sp := tr.Span(obs.PIDMPI, c.lane(), "fault", "msg-delay").Trace(c.tc).
 						Int("to", int64(to)).Int("seq", int64(seq))
 					time.Sleep(d)
 					sp.End()
@@ -153,7 +159,7 @@ func (c *Comm) sendReliable(to, tag int, data any) error {
 				c.w.inj.MarkRecovered(1)
 			case fault.MsgDup:
 				if tr != nil {
-					tr.Span(obs.PIDMPI, c.lane(), "fault", "msg-dup").
+					tr.Span(obs.PIDMPI, c.lane(), "fault", "msg-dup").Trace(c.tc).
 						Int("to", int64(to)).Int("seq", int64(seq)).Emit()
 				}
 				c.w.transport[to] <- m

@@ -66,24 +66,70 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// onServerError is the process-wide 5xx hook (set by the serve layer to
+// trigger flight-recorder dumps). A hook, not an import: obs must stay
+// dependency-free so every subsystem can instrument through it.
+var onServerError atomic.Pointer[func(route string, code int, tc TraceContext)]
+
+// OnServerError installs f to be called after any instrumented handler
+// responds with a 5xx status; nil uninstalls. f runs on the request
+// goroutine and must be fast and non-blocking.
+func OnServerError(f func(route string, code int, tc TraceContext)) {
+	if f == nil {
+		onServerError.Store(nil)
+		return
+	}
+	onServerError.Store(&f)
+}
+
 // Middleware wraps next, attributing its requests to route. Nil-safe:
 // a nil receiver returns next unwrapped, so wiring is unconditional.
+//
+// Beyond metrics, the middleware is the trace ingress: it adopts the
+// caller's W3C traceparent (or mints a fresh trace ID), exposes the ID
+// on every response as X-Trace-Id — cache hits included, so a client
+// holding an X-Study-Key can still fetch its span tree — stamps the
+// request context, opens the root "request" span when a tracer is
+// installed, and echoes a traceparent response header for downstream
+// correlation.
 func (m *HTTPMetrics) Middleware(route string, next http.Handler) http.Handler {
 	if m == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tc, ok := ParseTraceparent(r.Header.Get("traceparent"))
+		if !ok {
+			tc = TraceContext{Trace: NewTraceID()}
+		}
+		ctx := ContextWithTrace(r.Context(), tc)
+
+		sp, ctx := Default().StartSpan(ctx, PIDServe, LaneFor(tc.Trace), "serve", "request")
+		if sp.ID() != 0 {
+			sp = sp.Str("route", route).Str("method", r.Method)
+			// Children should parent under the request span, and the
+			// response should advertise it as the remote parent.
+			tc = sp.TraceCtx()
+		}
+		w.Header().Set("X-Trace-Id", tc.Trace.String())
+		w.Header().Set("traceparent", tc.Traceparent())
+
 		m.inFlight.Add(1)
 		rec := &statusRecorder{ResponseWriter: w}
 		start := time.Now()
-		next.ServeHTTP(rec, r)
+		next.ServeHTTP(rec, r.WithContext(ctx))
 		elapsed := time.Since(start).Seconds()
 		m.inFlight.Add(-1)
 		code := rec.code
 		if code == 0 {
 			code = http.StatusOK
 		}
+		sp.Int("code", int64(code)).End()
 		m.observe(route, code, elapsed)
+		if code >= 500 {
+			if f := onServerError.Load(); f != nil {
+				(*f)(route, code, tc)
+			}
+		}
 	})
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -24,6 +25,56 @@ type Bucket struct {
 	CumulativeCount uint64
 }
 
+// bucketJSON is Bucket's wire form. Every histogram's last bucket has a
+// +Inf upper bound, which JSON numbers cannot represent, so non-finite
+// bounds cross as the exposition-format strings ("+Inf"/"-Inf"/"NaN").
+type bucketJSON struct {
+	UpperBound      any    `json:"upper_bound"`
+	CumulativeCount uint64 `json:"cumulative_count"`
+}
+
+// MarshalJSON keeps gathered families JSON-encodable (the flight
+// recorder embeds them in postmortem bundles).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	ub := any(b.UpperBound)
+	switch {
+	case math.IsInf(b.UpperBound, 1):
+		ub = "+Inf"
+	case math.IsInf(b.UpperBound, -1):
+		ub = "-Inf"
+	case math.IsNaN(b.UpperBound):
+		ub = "NaN"
+	}
+	return json.Marshal(bucketJSON{UpperBound: ub, CumulativeCount: b.CumulativeCount})
+}
+
+// UnmarshalJSON reverses MarshalJSON for bundle round trips.
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var w bucketJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	b.CumulativeCount = w.CumulativeCount
+	switch v := w.UpperBound.(type) {
+	case float64:
+		b.UpperBound = v
+	case string:
+		switch v {
+		case "+Inf":
+			b.UpperBound = math.Inf(1)
+		case "-Inf":
+			b.UpperBound = math.Inf(-1)
+		case "NaN":
+			b.UpperBound = math.NaN()
+		default:
+			return fmt.Errorf("obs: bucket upper_bound %q is not a number", v)
+		}
+	default:
+		return fmt.Errorf("obs: bucket upper_bound %v (%T) is not a number", v, v)
+	}
+	return nil
+}
+
 // Point is one sample of a metric family: a scalar for counters and
 // gauges, buckets/sum/count for histograms.
 type Point struct {
@@ -38,9 +89,9 @@ type Point struct {
 // between sources (the registry's own instruments, external Gatherers
 // like engine.Metrics) and the renderers.
 type Family struct {
-	Name string
-	Help string
-	Type string // "counter", "gauge", or "histogram"
+	Name   string
+	Help   string
+	Type   string // "counter", "gauge", or "histogram"
 	Points []Point
 }
 

@@ -27,6 +27,7 @@ const (
 	PIDOMP    = 3 // omp shared-memory runtime
 	PIDMPI    = 4 // mpi message-passing runtime
 	PIDPisim  = 5 // pisim virtual-time Pi simulation
+	PIDServe  = 6 // serve HTTP front end (request lifecycle, cache, admission)
 )
 
 // pidNames labels the subsystems in the exported trace.
@@ -36,7 +37,13 @@ var pidNames = map[uint32]string{
 	PIDOMP:    "omp runtime",
 	PIDMPI:    "mpi runtime",
 	PIDPisim:  "pisim Pi 3 B+ (virtual time)",
+	PIDServe:  "serve http",
 }
+
+// PIDName returns the display name of a subsystem trace PID ("" when
+// unknown) — exported for tools that render records outside this
+// package (the flight recorder's bundle writer).
+func PIDName(pid uint32) string { return pidNames[pid] }
 
 // defaultTracer is the process-wide tracer; nil means disabled.
 var defaultTracer atomic.Pointer[Tracer]

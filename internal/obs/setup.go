@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"flag"
 	"fmt"
@@ -70,7 +71,8 @@ func (c *CLI) Start() (*Session, error) {
 		s.ln = ln
 		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 		go func() { _ = srv.Serve(ln) }()
-		fmt.Fprintf(os.Stderr, "obs: pprof/metrics server on http://%s (/debug/pprof, /metrics, /debug/vars)\n", ln.Addr())
+		Log().With("obs").Info(context.Background(), "pprof/metrics server listening",
+			"addr", fmt.Sprintf("http://%s", ln.Addr()), "paths", "/debug/pprof /metrics /debug/vars")
 	}
 	return s, nil
 }
@@ -97,7 +99,7 @@ func (s *Session) Close() error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "obs: trace written to %s (open in ui.perfetto.dev)\n", s.cli.TracePath)
+		Log().With("obs").Info(context.Background(), "trace written (open in ui.perfetto.dev)", "path", s.cli.TracePath)
 	}
 	if s.cli.MetricsPath != "" {
 		f, err := os.Create(s.cli.MetricsPath)
@@ -111,7 +113,7 @@ func (s *Session) Close() error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "obs: metrics written to %s\n", s.cli.MetricsPath)
+		Log().With("obs").Info(context.Background(), "metrics written", "path", s.cli.MetricsPath)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -29,6 +30,9 @@ type record struct {
 	ts, dur  int64 // nanoseconds since the tracer epoch
 	cat      string
 	name     string
+	trace    TraceID // request correlation; zero = uncorrelated
+	span     SpanID  // this record's own span ID (0 when untraced)
+	parent   SpanID  // parent span within the trace (0 = root)
 	args     [maxArgs]kv
 	nargs    uint8
 }
@@ -110,6 +114,9 @@ type Span struct {
 	vdur     int64 // explicit duration for virtual-time spans; -1 = real time
 	cat      string
 	name     string
+	trace    TraceID
+	id       SpanID
+	parent   SpanID
 	args     [maxArgs]kv
 	nargs    uint8
 }
@@ -154,6 +161,52 @@ func (s Span) Str(key, v string) Span {
 	return s
 }
 
+// Trace joins the span to a request trace: it records under tc.Trace
+// with tc.Parent as its parent and allocates its own span ID (so
+// TraceCtx can hand children a deeper parent). No-op on an inert span
+// or a zero trace.
+func (s Span) Trace(tc TraceContext) Span {
+	if s.t == nil || tc.Trace.IsZero() {
+		return s
+	}
+	s.trace = tc.Trace
+	s.parent = tc.Parent
+	s.id = newSpanID()
+	return s
+}
+
+// TraceCtx returns the correlation state children of this span should
+// adopt: same trace, this span as parent. Zero when the span is
+// untraced.
+func (s Span) TraceCtx() TraceContext {
+	if s.trace.IsZero() {
+		return TraceContext{}
+	}
+	return TraceContext{Trace: s.trace, Parent: s.id}
+}
+
+// ID returns the span's own ID within its trace (0 when untraced).
+func (s Span) ID() SpanID { return s.id }
+
+// StartSpan opens a span correlated with the context's trace (if any)
+// and returns a derived context in which this span is the parent —
+// the one-liner each layer uses to both record itself and hand its
+// children the right lineage. With a nil tracer or an uncorrelated
+// context it degrades gracefully: the span is inert or plain, and the
+// context comes back unchanged.
+func (t *Tracer) StartSpan(ctx context.Context, pid, tid uint32, cat, name string) (Span, context.Context) {
+	sp := t.Span(pid, tid, cat, name)
+	if t == nil {
+		return sp, ctx
+	}
+	tc, ok := TraceFromContext(ctx)
+	if !ok || tc.Trace.IsZero() {
+		return sp, ctx
+	}
+	sp = sp.Trace(tc)
+	return sp, ContextWithTrace(ctx, sp.TraceCtx())
+}
+
 // End records the span with its real elapsed time. No-op on an inert
 // span.
 func (s Span) End() {
@@ -161,7 +214,8 @@ func (s Span) End() {
 		return
 	}
 	s.t.push(record{ph: 'X', pid: s.pid, tid: s.tid, ts: s.start, dur: s.t.now() - s.start,
-		cat: s.cat, name: s.name, args: s.args, nargs: s.nargs})
+		cat: s.cat, name: s.name, trace: s.trace, span: s.id, parent: s.parent,
+		args: s.args, nargs: s.nargs})
 }
 
 // EndAt records the span with an explicit duration on its virtual
@@ -171,7 +225,8 @@ func (s Span) EndAt(dur time.Duration) {
 		return
 	}
 	s.t.push(record{ph: 'X', pid: s.pid, tid: s.tid, ts: s.start, dur: int64(dur),
-		cat: s.cat, name: s.name, args: s.args, nargs: s.nargs})
+		cat: s.cat, name: s.name, trace: s.trace, span: s.id, parent: s.parent,
+		args: s.args, nargs: s.nargs})
 }
 
 // Emit records the span's start point as an instant event instead of a
@@ -182,7 +237,8 @@ func (s Span) Emit() {
 		return
 	}
 	s.t.push(record{ph: 'i', pid: s.pid, tid: s.tid, ts: s.start,
-		cat: s.cat, name: s.name, args: s.args, nargs: s.nargs})
+		cat: s.cat, name: s.name, trace: s.trace, span: s.id, parent: s.parent,
+		args: s.args, nargs: s.nargs})
 }
 
 // Record is one exported trace entry (the test- and tool-facing view of
@@ -194,6 +250,9 @@ type Record struct {
 	Dur      time.Duration
 	Cat      string
 	Name     string
+	Trace    TraceID // zero when the record is uncorrelated
+	SpanID   SpanID
+	Parent   SpanID
 	Args     map[string]any
 }
 
@@ -217,6 +276,7 @@ func (t *Tracer) Records() []Record {
 				Phase: r.ph, PID: r.pid, TID: r.tid,
 				Start: time.Duration(r.ts), Dur: time.Duration(r.dur),
 				Cat: r.cat, Name: r.name,
+				Trace: r.trace, SpanID: r.span, Parent: r.parent,
 			}
 			if r.nargs > 0 {
 				rec.Args = make(map[string]any, r.nargs)
@@ -242,6 +302,32 @@ func (t *Tracer) Records() []Record {
 		return out[i].TID < out[j].TID
 	})
 	return out
+}
+
+// TraceRecords returns the records correlated with one trace ID, in
+// the same deterministic order as Records — the raw material for the
+// /debug/trace/{id} span tree.
+func (t *Tracer) TraceRecords(id TraceID) []Record {
+	if t == nil || id.IsZero() {
+		return nil
+	}
+	all := t.Records()
+	out := all[:0:0]
+	for _, r := range all {
+		if r.Trace == id {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Epoch returns the wall-clock instant span timestamps are relative to
+// (the flight recorder uses it to window "the last N seconds").
+func (t *Tracer) Epoch() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.epoch
 }
 
 // Evicted reports how many records were overwritten because a shard's
@@ -306,6 +392,18 @@ func (t *Tracer) Export(w io.Writer) error {
 			Ts:  float64(r.Start) / 1e3,
 			PID: r.PID, TID: r.TID,
 			Args: r.Args,
+		}
+		if !r.Trace.IsZero() {
+			args := make(map[string]any, len(r.Args)+3)
+			for k, v := range r.Args {
+				args[k] = v
+			}
+			args["trace"] = r.Trace.String()
+			args["span"] = r.SpanID.String()
+			if r.Parent != 0 {
+				args["parent"] = r.Parent.String()
+			}
+			ev.Args = args
 		}
 		switch r.Phase {
 		case 'X':

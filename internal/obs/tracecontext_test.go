@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceIDUniqueNonZero(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewTraceID()
+		if id.IsZero() {
+			t.Fatal("NewTraceID returned the zero ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s after %d draws", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceIDStringRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	s := id.String()
+	if len(s) != 32 || strings.ToLower(s) != s {
+		t.Fatalf("String() = %q, want 32 lowercase hex chars", s)
+	}
+	back, ok := ParseTraceID(s)
+	if !ok || back != id {
+		t.Fatalf("ParseTraceID(%q) = %v, %v", s, back, ok)
+	}
+	if (TraceID{}).String() != "" {
+		t.Error("zero ID should render empty")
+	}
+	for _, bad := range []string{"", "abc", strings.Repeat("0", 32), strings.Repeat("g", 32), strings.Repeat("a", 33)} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tc := TraceContext{Trace: NewTraceID(), Parent: newSpanID()}
+	h := tc.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("Traceparent() = %q", h)
+	}
+	back, ok := ParseTraceparent(h)
+	if !ok || back != tc {
+		t.Fatalf("ParseTraceparent(%q) = %+v, %v; want %+v", h, back, ok, tc)
+	}
+	if (TraceContext{}).Traceparent() != "" {
+		t.Error("zero context should render empty")
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	valid := TraceContext{Trace: NewTraceID(), Parent: 7}.Traceparent()
+	for name, h := range map[string]string{
+		"empty":      "",
+		"short":      "00-abc",
+		"bad dashes": strings.ReplaceAll(valid, "-", "_"),
+		"version ff": "ff" + valid[2:],
+		"zero trace": "00-" + strings.Repeat("0", 32) + "-" + strings.Repeat("a", 16) + "-01",
+		"bad hex":    "00-" + strings.Repeat("z", 32) + "-" + strings.Repeat("a", 16) + "-01",
+		"bad parent": valid[:36] + strings.Repeat("z", 16) + valid[52:],
+	} {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: ParseTraceparent(%q) accepted", name, h)
+		}
+	}
+	// Unknown-but-legal versions parse as long as the 00 layout holds.
+	if _, ok := ParseTraceparent("cc" + valid[2:]); !ok {
+		t.Error("version cc should be accepted per spec")
+	}
+}
+
+func TestTraceContextPropagation(t *testing.T) {
+	if _, ok := TraceFromContext(context.Background()); ok {
+		t.Fatal("background context should carry no trace")
+	}
+	if id := TraceIDFromContext(nil); !id.IsZero() {
+		t.Fatal("nil context should yield the zero ID")
+	}
+	tc := TraceContext{Trace: NewTraceID(), Parent: 42}
+	ctx := ContextWithTrace(context.Background(), tc)
+	got, ok := TraceFromContext(ctx)
+	if !ok || got != tc {
+		t.Fatalf("TraceFromContext = %+v, %v", got, ok)
+	}
+	if TraceIDFromContext(ctx) != tc.Trace {
+		t.Fatal("TraceIDFromContext mismatch")
+	}
+}
+
+func TestLaneForStable(t *testing.T) {
+	id := NewTraceID()
+	if LaneFor(id) != LaneFor(id) {
+		t.Fatal("LaneFor must be deterministic")
+	}
+	if LaneFor(id) > 0xFF {
+		t.Fatalf("LaneFor(%s) = %d, want <= 255", id, LaneFor(id))
+	}
+}

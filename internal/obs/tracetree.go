@@ -1,0 +1,113 @@
+package obs
+
+import "time"
+
+// SpanNode is one span (or instant event) in a request's span tree, the
+// JSON shape GET /debug/trace/{id} serves.
+type SpanNode struct {
+	Span    SpanID         `json:"span"`
+	Parent  SpanID         `json:"parent,omitempty"`
+	Subsys  string         `json:"subsys"`
+	Lane    uint32         `json:"lane"`
+	Cat     string         `json:"cat"`
+	Name    string         `json:"name"`
+	StartNS int64          `json:"start_ns"`
+	DurNS   int64          `json:"dur_ns,omitempty"`
+	Instant bool           `json:"instant,omitempty"`
+	Args    map[string]any `json:"args,omitempty"`
+	Links   []string       `json:"links,omitempty"` // other trace IDs this span points at (coalescing)
+	Child   []*SpanNode    `json:"children,omitempty"`
+}
+
+// TraceTree is the whole tree plus the summary a human reads first.
+type TraceTree struct {
+	Trace   string      `json:"trace"`
+	Spans   int         `json:"spans"`
+	StartNS int64       `json:"start_ns"`
+	DurNS   int64       `json:"dur_ns"`
+	Subsys  []string    `json:"subsystems"`
+	Roots   []*SpanNode `json:"roots"`
+}
+
+// BuildTraceTree assembles the span tree for one trace from exported
+// records (typically Tracer.TraceRecords(id)). Spans whose parent is
+// missing — evicted from the ring, or linked from another trace —
+// surface as extra roots rather than vanishing. Returns nil when recs
+// is empty.
+func BuildTraceTree(id TraceID, recs []Record) *TraceTree {
+	if len(recs) == 0 {
+		return nil
+	}
+	nodes := make(map[SpanID]*SpanNode, len(recs))
+	order := make([]*SpanNode, 0, len(recs))
+	var startNS, endNS int64
+	startNS = int64(recs[0].Start)
+	subsys := map[string]bool{}
+	for _, r := range recs {
+		n := &SpanNode{
+			Span:    r.SpanID,
+			Parent:  r.Parent,
+			Subsys:  pidNames[r.PID],
+			Lane:    r.TID,
+			Cat:     r.Cat,
+			Name:    r.Name,
+			StartNS: int64(r.Start),
+			DurNS:   int64(r.Dur),
+			Instant: r.Phase == 'i',
+			Args:    r.Args,
+		}
+		if lt, ok := r.Args["linked_trace"].(string); ok {
+			n.Links = append(n.Links, lt)
+		}
+		subsys[n.Subsys] = true
+		if n.StartNS < startNS {
+			startNS = n.StartNS
+		}
+		if end := n.StartNS + n.DurNS; end > endNS {
+			endNS = end
+		}
+		if r.SpanID != 0 {
+			nodes[r.SpanID] = n
+		}
+		order = append(order, n)
+	}
+	tree := &TraceTree{Trace: id.String(), Spans: len(order), StartNS: startNS, DurNS: endNS - startNS}
+	for name := range subsys {
+		tree.Subsys = append(tree.Subsys, name)
+	}
+	sortStrings(tree.Subsys)
+	for _, n := range order {
+		if p, ok := nodes[n.Parent]; ok && n.Parent != 0 && p != n {
+			p.Child = append(p.Child, n)
+		} else {
+			tree.Roots = append(tree.Roots, n)
+		}
+	}
+	return tree
+}
+
+// sortStrings is a tiny insertion sort; subsystem lists have ≤6 entries.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// WindowRecords filters records to those starting within the trailing
+// window ending at now (both relative to the tracer epoch) — the flight
+// recorder's "last N seconds of spans" cut.
+func WindowRecords(recs []Record, now, window time.Duration) []Record {
+	if window <= 0 {
+		return recs
+	}
+	cut := now - window
+	out := recs[:0:0]
+	for _, r := range recs {
+		if r.Start+r.Dur >= cut {
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"pblparallel/internal/obs"
+	"pblparallel/internal/obs/flightrec"
 )
 
 // barrierBreaks counts barrier poisonings process-wide.
@@ -25,6 +26,7 @@ type Barrier struct {
 	waiting int
 	phase   uint64
 	broken  bool
+	tc      obs.TraceContext // set by Parallel so Break events correlate
 }
 
 // NewBarrier creates a barrier for n parties. It panics for n < 1; a
@@ -78,8 +80,9 @@ func (b *Barrier) Break() {
 	b.mu.Unlock()
 	if first {
 		barrierBreaks.Inc()
+		flightrec.Active().Event(flightrec.KindBarrierPoisoned, "omp.barrier", uint64(b.parties), b.tc.Trace)
 		if tr := obs.Default(); tr != nil {
-			tr.Span(obs.PIDOMP, 0, "omp", "barrier.broken").
+			tr.Span(obs.PIDOMP, 0, "omp", "barrier.broken").Trace(b.tc).
 				Int("parties", int64(b.parties)).Emit()
 		}
 	}

@@ -8,9 +8,10 @@ import (
 // ThreadContext is one team member's view of the parallel region: its
 // identity plus the work-sharing and synchronization constructs.
 type ThreadContext struct {
-	tid  int
-	team *team
-	lane uint32 // trace lane (base+1+tid of the region's lane block)
+	tid   int
+	team  *team
+	lane  uint32           // trace lane (base+1+tid of the region's lane block)
+	trace obs.TraceContext // request correlation; spans parent under the thread span
 
 	// Per-thread epochs for the work-sharing constructs that must be
 	// reached by every team member in the same order (OpenMP's rule for
@@ -42,7 +43,7 @@ func (tc *ThreadContext) Barrier() error {
 	if tr == nil {
 		return tc.team.barrier.Wait()
 	}
-	sp := tr.Span(obs.PIDOMP, tc.lane, "omp", "barrier.wait")
+	sp := tr.Span(obs.PIDOMP, tc.lane, "omp", "barrier.wait").Trace(tc.trace)
 	err := tc.team.barrier.Wait()
 	if err != nil {
 		sp = sp.Str("outcome", "broken")
@@ -88,7 +89,7 @@ func (tc *ThreadContext) Single(f func()) error {
 	tm.singleMu.Unlock()
 	if !claimed {
 		if tr := obs.Default(); tr != nil {
-			sp := tr.Span(obs.PIDOMP, tc.lane, "omp", "single")
+			sp := tr.Span(obs.PIDOMP, tc.lane, "omp", "single").Trace(tc.trace)
 			f()
 			sp.End()
 		} else {
@@ -126,7 +127,7 @@ func (tc *ThreadContext) Sections(blocks ...func()) error {
 			break
 		}
 		if tr := obs.Default(); tr != nil {
-			sp := tr.Span(obs.PIDOMP, tc.lane, "omp", "section").Int("block", int64(i))
+			sp := tr.Span(obs.PIDOMP, tc.lane, "omp", "section").Trace(tc.trace).Int("block", int64(i))
 			blocks[i]()
 			sp.End()
 		} else {

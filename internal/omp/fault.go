@@ -37,7 +37,7 @@ func (tc *ThreadContext) maybeFault(site fault.Site, key uint64) {
 		d := f.Duration()
 		if tr != nil {
 			sp := tr.Span(obs.PIDOMP, tc.lane, "fault", "thread-stall").
-				Int("tid", int64(tc.tid))
+				Trace(tc.trace).Int("tid", int64(tc.tid))
 			time.Sleep(d)
 			sp.End()
 		} else {
@@ -47,7 +47,7 @@ func (tc *ThreadContext) maybeFault(site fault.Site, key uint64) {
 	case fault.ThreadPanic:
 		if tr != nil {
 			tr.Span(obs.PIDOMP, tc.lane, "fault", "thread-panic").
-				Int("tid", int64(tc.tid)).Emit()
+				Trace(tc.trace).Int("tid", int64(tc.tid)).Emit()
 		}
 		panic(&fault.Injected{Site: site, Kind: f.Kind, Key: key})
 	}

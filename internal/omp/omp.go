@@ -56,6 +56,7 @@ func DefaultNumThreads() int {
 type config struct {
 	numThreads int
 	inj        *fault.Injector
+	tc         obs.TraceContext
 }
 
 // Option configures a parallel region, playing the role of OpenMP
@@ -66,6 +67,13 @@ type Option func(*config)
 // OMP_NUM_THREADS. Values below 1 are rejected at region entry.
 func WithNumThreads(n int) Option {
 	return func(c *config) { c.numThreads = n }
+}
+
+// WithTrace joins the region's spans (region, threads, barriers,
+// work-sharing chunks) to a request trace, so an HTTP request's span
+// tree reaches into the fork-join runtime.
+func WithTrace(tc obs.TraceContext) Option {
+	return func(c *config) { c.tc = tc }
 }
 
 // RegionPanicError wraps a panic raised inside a team member so the
@@ -123,7 +131,9 @@ func Parallel(body func(tc *ThreadContext), opts ...Option) error {
 	if tr != nil {
 		base = laneSeq.Add(uint32(n)+1) - uint32(n)
 	}
-	regionSpan := tr.Span(obs.PIDOMP, base, "omp", "parallel").Int("threads", int64(n))
+	regionSpan := tr.Span(obs.PIDOMP, base, "omp", "parallel").Trace(cfg.tc).Int("threads", int64(n))
+	regionTC := regionSpan.TraceCtx()
+	tm.barrier.tc = regionTC
 
 	panics := make([]*RegionPanicError, n)
 	var wg sync.WaitGroup
@@ -132,19 +142,19 @@ func Parallel(body func(tc *ThreadContext), opts ...Option) error {
 		go func(tid int) {
 			defer wg.Done()
 			lane := base + 1 + uint32(tid)
-			tsp := tr.Span(obs.PIDOMP, lane, "omp", "thread").Int("tid", int64(tid))
+			tsp := tr.Span(obs.PIDOMP, lane, "omp", "thread").Trace(regionTC).Int("tid", int64(tid))
 			defer tsp.End()
 			defer func() {
 				if r := recover(); r != nil {
 					panics[tid] = &RegionPanicError{ThreadNum: tid, Value: r}
 					threadPanics.Inc()
-					tr.Span(obs.PIDOMP, lane, "omp", "panic").Int("tid", int64(tid)).Emit()
+					tr.Span(obs.PIDOMP, lane, "omp", "panic").Trace(regionTC).Int("tid", int64(tid)).Emit()
 					// A panicked member can no longer reach barriers;
 					// poison them so siblings don't deadlock.
 					tm.barrier.Break()
 				}
 			}()
-			body(&ThreadContext{tid: tid, team: tm, lane: lane})
+			body(&ThreadContext{tid: tid, team: tm, lane: lane, trace: tsp.TraceCtx()})
 		}(tid)
 	}
 	wg.Wait()

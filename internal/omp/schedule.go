@@ -168,7 +168,7 @@ func (tc *ThreadContext) For(lo, hi int, sched Schedule, body func(i int)) error
 	var lsp obs.Span
 	if tr != nil {
 		lsp = tr.Span(obs.PIDOMP, tc.lane, "omp", "for."+sched.name()).
-			Int("count", int64(count))
+			Trace(tc.trace).Int("count", int64(count))
 	}
 	for {
 		start, length := next()
@@ -182,7 +182,7 @@ func (tc *ThreadContext) For(lo, hi int, sched Schedule, body func(i int)) error
 		tc.maybeFault(fault.SiteOMPFor, fault.Mix2(uint64(epoch), uint64(lo+start)))
 		if tr != nil {
 			csp := tr.Span(obs.PIDOMP, tc.lane, "omp", "chunk").
-				Int("start", int64(lo+start)).Int("len", int64(length))
+				Trace(tc.trace).Int("start", int64(lo+start)).Int("len", int64(length))
 			for i := start; i < start+length; i++ {
 				body(lo + i)
 			}

@@ -44,7 +44,7 @@ func (m *Machine) coreSlowdowns(cores int, laneOf func(int) uint32) []float64 {
 		m.inj.MarkRecovered(1)
 		if tr != nil {
 			tr.Span(obs.PIDPisim, laneOf(c), "fault", "core-slow").
-				Int("core", int64(c)).Emit()
+				Trace(m.tc).Int("core", int64(c)).Emit()
 		}
 	}
 	return slow

@@ -244,6 +244,7 @@ func (m *Machine) RunLoop(costs []Cycles, policy Policy) (LoopResult, error) {
 			return
 		}
 		tr.SpanAt(obs.PIDPisim, laneOf(core), "pisim", "chunk", m.Duration(start)).
+			Trace(m.tc).
 			Int("iter_start", int64(ch.Start)).Int("iter_len", int64(ch.Len)).
 			Int("cycles", int64(cost)).
 			EndAt(m.Duration(cost))
@@ -308,12 +309,13 @@ func (m *Machine) RunLoop(costs []Cycles, policy Policy) (LoopResult, error) {
 		for id, b := range busy {
 			if b < maxBusy {
 				tr.SpanAt(obs.PIDPisim, laneOf(id), "pisim", "idle", m.Duration(b)).
-					EndAt(m.Duration(maxBusy - b))
+					Trace(m.tc).EndAt(m.Duration(maxBusy - b))
 			}
 			tr.SpanAt(obs.PIDPisim, laneOf(id), "pisim", "barrier", m.Duration(maxBusy)).
-				EndAt(m.Duration(m.cfg.BarrierCost))
+				Trace(m.tc).EndAt(m.Duration(m.cfg.BarrierCost))
 		}
 		tr.SpanAt(obs.PIDPisim, base, "pisim", "loop."+policy.Name(), 0).
+			Trace(m.tc).
 			Int("cores", int64(cores)).Int("chunks", int64(len(chunks))).
 			Int("makespan_cycles", int64(makespan)).
 			EndAt(m.Duration(makespan))
@@ -343,6 +345,7 @@ func (m *Machine) RunSequential(costs []Cycles) (LoopResult, error) {
 	if tr := obs.Default(); tr != nil {
 		lane := loopSeq.Add(1)
 		tr.SpanAt(obs.PIDPisim, lane, "pisim", "loop.sequential", 0).
+			Trace(m.tc).
 			Int("iters", int64(len(costs))).Int("makespan_cycles", int64(total)).
 			EndAt(m.Duration(total))
 	}

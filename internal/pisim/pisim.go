@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"pblparallel/internal/fault"
+	"pblparallel/internal/obs"
 )
 
 // Cycles counts virtual clock cycles.
@@ -74,7 +75,19 @@ func (c Config) Validate() error {
 // Machine is a discrete-event simulator for the configured cores.
 type Machine struct {
 	cfg Config
-	inj *fault.Injector // optional core-slowdown faults; see WithFault
+	inj *fault.Injector  // optional core-slowdown faults; see WithFault
+	tc  obs.TraceContext // request correlation; see WithTrace
+}
+
+// WithTrace returns a machine whose virtual-time spans join the given
+// request trace; a zero context returns the machine unchanged.
+func (m *Machine) WithTrace(tc obs.TraceContext) *Machine {
+	if tc.Trace.IsZero() {
+		return m
+	}
+	cp := *m
+	cp.tc = tc
+	return &cp
 }
 
 // NewMachine validates the config and builds a machine.

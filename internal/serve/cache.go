@@ -8,6 +8,8 @@ import (
 	"sync"
 
 	"pblparallel/internal/fault"
+	"pblparallel/internal/obs"
+	"pblparallel/internal/obs/flightrec"
 )
 
 // Key is the content address of a study request: the SHA-256 of its
@@ -66,6 +68,10 @@ type flightCall struct {
 	done chan struct{}
 	body []byte
 	err  error
+	// trace is the leader's trace ID: followers link their own trace to
+	// it, so the span tree of a coalesced request points at the trace
+	// that actually holds the engine spans.
+	trace obs.TraceID
 }
 
 // CacheStats is a point-in-time cache ledger.
@@ -151,11 +157,20 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() ([]byte, error)) (
 		delete(c.entries, k.hex)
 		c.stats.CorruptRecovered++
 		c.inj.MarkRetry()
+		flightrec.Active().Event(flightrec.KindCorruptionHealed, "serve.cache", k.word(),
+			obs.TraceIDFromContext(ctx))
 		healing = true
 	}
 	if call, ok := c.flight[k.hex]; ok {
 		c.stats.Coalesced++
 		c.mu.Unlock()
+		// The follower's trace has no engine spans of its own — they live
+		// in the leader's trace. Record the link so both the span-tree
+		// endpoint and the exported trace can stitch the two together.
+		if tc, ok := obs.TraceFromContext(ctx); ok && !call.trace.IsZero() {
+			obs.Default().Span(obs.PIDServe, obs.LaneFor(tc.Trace), "serve", "coalesced.link").
+				Trace(tc).Str("linked_trace", call.trace.String()).Emit()
+		}
 		select {
 		case <-call.done:
 			return call.body, CacheCoalesced, call.err
@@ -163,7 +178,7 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() ([]byte, error)) (
 			return nil, CacheCoalesced, ctx.Err()
 		}
 	}
-	call := &flightCall{done: make(chan struct{})}
+	call := &flightCall{done: make(chan struct{}), trace: obs.TraceIDFromContext(ctx)}
 	c.flight[k.hex] = call
 	c.stats.Computes++
 	c.mu.Unlock()

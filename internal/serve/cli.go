@@ -12,6 +12,7 @@ import (
 
 	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
+	"pblparallel/internal/obs/flightrec"
 )
 
 // Command is the daemon entry point shared by cmd/pbld and the
@@ -35,6 +36,9 @@ func Command(name string, args []string) error {
 	qfull := fs.Float64("fault-qfull", 0, "probability a request is shed at admission as if the queue were full")
 	slow := fs.Float64("fault-slow", 0, "probability a computation is delayed (latency only)")
 	corrupt := fs.Float64("fault-corrupt", 0, "probability a cache read sees corrupted bytes (healed by recompute)")
+	frec := fs.Bool("flightrec", true, "run the black-box flight recorder (/debug/flightrec, postmortems on 5xx/shed-burst/SIGQUIT)")
+	frecDir := fs.String("flightrec-dir", "", "also write triggered postmortem bundles to this directory (empty = in-memory only)")
+	frecWindow := fs.Duration("flightrec-window", 30*time.Second, "how far back the flight recorder's window reaches")
 	obsCLI := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -42,6 +46,14 @@ func Command(name string, args []string) error {
 	sess, err := obsCLI.Start()
 	if err != nil {
 		return err
+	}
+	log := obs.Log().With(name)
+	// The daemon always keeps an in-memory tracer so /debug/trace/{id}
+	// answers; -trace additionally writes the Chrome export on exit.
+	if obs.Default() == nil {
+		tr := obs.NewTracer(obs.DefaultCapacity)
+		obs.Metrics().RegisterGatherer(tr)
+		obs.Install(tr)
 	}
 
 	var inj *fault.Injector
@@ -51,8 +63,33 @@ func Command(name string, args []string) error {
 			sess.Close()
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "%s: service fault plan armed (seed=%d qfull=%g slow=%g corrupt=%g)\n",
-			name, *faultSeed, *qfull, *slow, *corrupt)
+		log.Info(context.Background(), "service fault plan armed",
+			"seed", *faultSeed, "qfull", *qfull, "slow", *slow, "corrupt", *corrupt)
+	}
+
+	if *frec {
+		rec := flightrec.New(flightrec.Config{Window: *frecWindow, Dir: *frecDir})
+		rec.Start()
+		flightrec.Install(rec)
+		defer func() {
+			flightrec.Install(nil)
+			rec.Stop()
+		}()
+		// SIGQUIT dumps a postmortem and keeps serving — the operator's
+		// "what just happened" button. (Catching it replaces Go's
+		// stack-dump-and-exit default while the daemon runs.)
+		quitc := make(chan os.Signal, 1)
+		signal.Notify(quitc, syscall.SIGQUIT)
+		defer signal.Stop(quitc)
+		go func() {
+			for range quitc {
+				if path := rec.Trigger("sigquit", obs.TraceID{}); path != "" {
+					log.Info(context.Background(), "flight recorder postmortem written", "path", path)
+				} else {
+					log.Info(context.Background(), "flight recorder postmortem captured", "fetch", "/debug/flightrec?last=1")
+				}
+			}
+		}()
 	}
 
 	srv := New(Config{
@@ -70,13 +107,14 @@ func Command(name string, args []string) error {
 		sess.Close()
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "%s: serving on http://%s (/v1/run /v1/sweep /v1/spring2019 /healthz /readyz /metrics)\n",
-		name, ln.Addr())
+	log.Info(context.Background(), "serving",
+		"addr", fmt.Sprintf("http://%s", ln.Addr()),
+		"endpoints", "/v1/run /v1/sweep /v1/spring2019 /healthz /readyz /metrics /debug/trace/{id} /debug/flightrec")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	err = srv.Serve(ctx, ln)
-	fmt.Fprintf(os.Stderr, "%s: drained\n", name)
+	log.Info(context.Background(), "drained")
 	if cerr := sess.Close(); err == nil {
 		err = cerr
 	}

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"pblparallel/internal/obs"
+	"pblparallel/internal/obs/flightrec"
+)
+
+// shedBurstN is the per-second shed count that triggers a flight
+// recorder postmortem: one shed is normal backpressure, a burst is an
+// incident.
+const shedBurstN = 10
+
+// noteShed records one admission shed in the flight recorder and, on a
+// burst (shedBurstN sheds landing in the same wall-clock second),
+// triggers a postmortem dump. The window tracking is intentionally
+// approximate — two racing goroutines may both reset the window at a
+// second boundary and undercount, which only delays the trigger.
+func (s *Server) noteShed(trace obs.TraceID) {
+	flightrec.Active().Event(flightrec.KindShed, "serve.queue", 0, trace)
+	now := time.Now().Unix()
+	if s.shedWinSec.Load() != now {
+		s.shedWinSec.Store(now)
+		s.shedWinCount.Store(0)
+	}
+	if s.shedWinCount.Add(1) == shedBurstN {
+		flightrec.Active().Trigger("shed-burst", trace)
+	}
+}
+
+// handleDebugTrace serves GET /debug/trace/{id}: the complete span tree
+// of one request's trace as JSON, assembled from the installed tracer's
+// ring. 503 while no tracer is installed, 400 on a malformed ID, 404
+// when the ring holds no spans for it (never recorded, or evicted).
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	tr := obs.Default()
+	if tr == nil {
+		writeError(w, http.StatusServiceUnavailable, "tracing disabled; start the server with -trace")
+		return
+	}
+	id, ok := obs.ParseTraceID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusBadRequest, "malformed trace id %q (want 32 hex digits)", r.PathValue("id"))
+		return
+	}
+	tree := obs.BuildTraceTree(id, tr.TraceRecords(id))
+	if tree == nil {
+		writeError(w, http.StatusNotFound, "no spans recorded for trace %s", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(tree, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+// handleDebugFlightrec serves GET /debug/flightrec: an on-demand flight
+// recorder bundle (never rate-limited — an operator asking gets an
+// answer). ?last=1 returns the most recent triggered postmortem
+// instead, for fetching the bundle a 5xx or shed burst produced.
+func (s *Server) handleDebugFlightrec(w http.ResponseWriter, r *http.Request) {
+	rec := flightrec.Active()
+	if rec == nil {
+		writeError(w, http.StatusServiceUnavailable, "flight recorder disabled; start the server with -flightrec")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("last") != "" {
+		b := rec.LastBundle()
+		if b == nil {
+			writeError(w, http.StatusNotFound, "no postmortem has been triggered yet")
+			return
+		}
+		w.Write(b)
+		return
+	}
+	if err := rec.WriteBundle(w, "on-demand", obs.TraceIDFromContext(r.Context())); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}

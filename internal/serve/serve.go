@@ -43,7 +43,18 @@ import (
 	"pblparallel/internal/engine"
 	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
+	"pblparallel/internal/obs/flightrec"
 )
+
+// init wires the obs middleware's 5xx hook to the flight recorder: any
+// instrumented handler answering 5xx triggers a postmortem bundle
+// stamped with the offending trace ID (no-op while no recorder is
+// installed; rate-limited by the recorder's MinGap).
+func init() {
+	obs.OnServerError(func(route string, code int, tc obs.TraceContext) {
+		flightrec.Active().Trigger(fmt.Sprintf("http-%d-%s", code, route), tc.Trace)
+	})
+}
 
 // Config tunes a Server. The zero value is usable: every field has a
 // serving default.
@@ -116,6 +127,12 @@ type Server struct {
 	draining atomic.Bool
 	ewmaNs   atomic.Int64 // smoothed compute time, Retry-After's basis
 
+	// Shed-burst detection: sheds within the current one-second window.
+	// A burst (>= shedBurstN in one window) triggers a flight-recorder
+	// postmortem — the moment an operator most wants the black box.
+	shedWinSec   atomic.Int64
+	shedWinCount atomic.Int64
+
 	admitMu  sync.Mutex
 	admitSeq map[string]uint64 // per-key admission attempts (fault keying, armed only)
 
@@ -168,6 +185,8 @@ func New(cfg Config) *Server {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = reg.WritePrometheus(w)
 	})
+	route("/debug/trace/{id}", s.handleDebugTrace)
+	route("/debug/flightrec", s.handleDebugFlightrec)
 	s.ready.Store(true)
 	return s
 }
@@ -330,9 +349,12 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, k Key, build fu
 	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	defer cancel()
 
+	csp, ctx := obs.Default().StartSpan(ctx, obs.PIDServe,
+		obs.LaneFor(obs.TraceIDFromContext(ctx)), "serve", "cache")
 	body, status, err := s.cache.Do(ctx, k, func() ([]byte, error) {
 		return s.compute(ctx, k, build)
 	})
+	csp.Str("status", string(status)).Str("key", k.Hex()[:8]).End()
 	switch status {
 	case CacheHit:
 		s.cacheHits.Inc()
@@ -345,6 +367,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, k Key, build fu
 		switch {
 		case errors.Is(err, errShed):
 			s.shed.Inc()
+			s.noteShed(obs.TraceIDFromContext(ctx))
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 			writeError(w, http.StatusTooManyRequests, "admission queue full; retry after the advertised backoff")
 		case errors.Is(err, engine.ErrPoolClosed):
@@ -370,6 +393,8 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, k Key, build fu
 // canceled waiter cannot poison coalesced followers.
 func (s *Server) compute(ctx context.Context, k Key, build func(ctx context.Context) (any, error)) ([]byte, error) {
 	inj := s.cfg.Injector
+	trace := obs.TraceIDFromContext(ctx)
+	inj = inj.WithTrace(trace)
 	if f, ok := inj.Hit(fault.SiteServeQueue, fault.Mix2(k.word(), s.admissionAttempt(k))); ok && f.Kind == fault.QueueFull {
 		// Injected shed: the client's retry lands on a fresh admission
 		// attempt and a fresh decision, so recovery is the client's
@@ -381,10 +406,21 @@ func (s *Server) compute(ctx context.Context, k Key, build func(ctx context.Cont
 		body []byte
 		err  error
 	}
+	// The admit span covers the queue wait: opened before Submit, ended
+	// the moment a pool worker picks the job up.
+	asp, ctx := obs.Default().StartSpan(ctx, obs.PIDServe, obs.LaneFor(trace), "serve", "admit")
+	tc, hasTC := obs.TraceFromContext(ctx)
 	done := make(chan result, 1)
 	job := func() {
+		asp.End()
 		jctx, cancel := context.WithTimeout(context.Background(), s.cfg.DefaultTimeout)
 		defer cancel()
+		if hasTC {
+			// The computation outlives the waiter's ctx (a canceled waiter
+			// must not poison coalesced followers), so the correlation is
+			// copied onto the fresh context rather than inherited.
+			jctx = obs.ContextWithTrace(jctx, tc)
+		}
 		if inj != nil {
 			jctx = fault.NewContext(jctx, inj)
 		}
@@ -410,8 +446,10 @@ func (s *Server) compute(ctx context.Context, k Key, build func(ctx context.Cont
 	}
 	if err := s.pool.Submit(job); err != nil {
 		if errors.Is(err, engine.ErrQueueFull) {
+			asp.Str("outcome", "shed").End()
 			return nil, errShed
 		}
+		asp.Str("outcome", "closed").End()
 		return nil, err
 	}
 	select {

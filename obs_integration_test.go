@@ -113,6 +113,12 @@ func TestPrometheusExpositionParses(t *testing.T) {
 		"# TYPE omp_parallel_regions_total counter",
 		"# TYPE mpi_messages_sent_total counter",
 		"# TYPE pisim_loops_total counter",
+		// The identity block: every exposition ties its numbers to a
+		// binary and a process start.
+		"# TYPE build_info gauge",
+		`build_info{version=`,
+		"# TYPE process_start_time_seconds gauge",
+		"process_start_time_seconds ",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q", want)
