@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify ci build test race vet bench bench-pr4 bench-pr5 bench-check golden fuzz fuzz-smoke chaos chaos-serve
+.PHONY: verify ci build test race vet bench bench-pr4 bench-pr5 bench-pr6 bench-check golden fuzz fuzz-smoke chaos chaos-serve
 
 ## verify: the tier-1 gate — vet, build, race-test everything, pin the
 ## golden run output, and smoke the fuzz targets on their seed corpora.
@@ -48,18 +48,19 @@ fuzz:
 	$(GO) test ./internal/armsim -run '^$$' -fuzz FuzzAsmParse -fuzztime 30s
 	$(GO) test ./internal/survey -run '^$$' -fuzz FuzzSurveyScores -fuzztime 30s
 
-## chaos: the 200-seed fault-injection sweep; exits non-zero if any
-## statistic drifts under recoverable faults.
+## chaos: the 200-seed fault-injection sweep, run at worker counts 1,
+## 2, and 8 on dedicated work-stealing runtimes; exits non-zero if any
+## statistic drifts under recoverable faults at any count.
 chaos:
-	$(GO) run ./cmd/pblstudy chaos
+	$(GO) run ./cmd/pblstudy chaos -workerset 1,2,8
 
 ## chaos-serve: the same 200-seed sweep issued as /v1/run requests
 ## against the HTTP service with the service-layer fault mix armed
 ## (injected queue-full sheds, slow backends, cache corruption) on top
 ## of the runtime mix; every response must stay byte-identical to the
-## clean server across both passes.
+## clean server across both passes, at each worker count.
 chaos-serve:
-	$(GO) run ./cmd/pblstudy chaos -serve
+	$(GO) run ./cmd/pblstudy chaos -serve -workerset 1,2,8
 
 ## bench: sweep + tracer benchmarks (PR2 baseline) and the
 ## fault-injection overhead benchmarks (disabled-path must stay at
@@ -89,6 +90,18 @@ bench-pr5:
 	$(GO) test ./internal/obs/flightrec/ -bench Event -benchmem -run '^$$' \
 	| $(GO) run ./cmd/benchjson -o BENCH_PR5.json
 
+## bench-pr6: the PR6 perf surface — the scheduler runtime's hot paths
+## (deque push/pop, index-pool claims, spawn-or-inline at 0 allocs,
+## steal overhead on imbalanced regions, padded-vs-shared counters)
+## plus the serve cache hit and cached-run load benchmarks and the
+## flight-recorder Event hook, so BENCH_PR6.json is a superset of the
+## PR5 baseline and compares cleanly against it.
+bench-pr6:
+	{ $(GO) test ./internal/sched/ -bench . -benchmem -run '^$$' && \
+	  $(GO) test ./internal/obs/flightrec/ -bench Event -benchmem -run '^$$' && \
+	  $(GO) test ./internal/serve/ -bench 'CacheHitDo|ServeCachedRun' -benchmem -run '^$$'; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR6.json
+
 ## bench-check: re-run the gated perf surface and fail if it regressed
 ## against the committed BENCH_PR4.json baseline — more than 20% ns/op
 ## growth, or ANY allocs/op growth (the disabled paths pin 0). Only the
@@ -108,3 +121,8 @@ bench-check:
 	$(GO) test ./internal/obs/flightrec/ -bench Event -benchmem -count 3 -run '^$$' \
 	| $(GO) run ./cmd/benchjson -o BENCH_PR5.new.json
 	$(GO) run ./cmd/benchjson -compare BENCH_PR5.json BENCH_PR5.new.json -tolerance 0.20
+	{ $(GO) test ./internal/sched/ -bench 'DequeOwner|IndexPoolNext|SpawnInline|StealOverhead' -benchmem -count 3 -run '^$$' && \
+	  $(GO) test ./internal/obs/flightrec/ -bench Event -benchmem -count 3 -run '^$$' && \
+	  $(GO) test ./internal/serve/ -bench 'CacheHitDo' -benchmem -count 3 -run '^$$'; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_PR6.new.json
+	$(GO) run ./cmd/benchjson -compare BENCH_PR6.json BENCH_PR6.new.json -tolerance 0.20

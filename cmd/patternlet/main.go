@@ -1,5 +1,7 @@
 // Command patternlet runs the course's shared-memory patternlets —
-// the programs of Assignments 2–4 — on the omp runtime.
+// the programs of Assignments 2–4 on the omp runtime, plus the
+// follow-on divide-and-conquer program (assignment 5) on the
+// work-stealing task runtime.
 //
 // Usage:
 //

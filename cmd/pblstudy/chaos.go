@@ -7,12 +7,15 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"pblparallel/internal/core"
 	"pblparallel/internal/engine"
 	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
+	"pblparallel/internal/sched"
 	"pblparallel/internal/serve"
 )
 
@@ -30,6 +33,7 @@ func cmdChaos(args []string) {
 	seeds := fs.Int("seeds", 200, "number of study seeds to sweep")
 	start := fs.Int64("start", 20180800, "first seed of the sweep")
 	workers := fs.Int("workers", 0, "engine worker pool size (0 = all CPUs)")
+	workerset := fs.String("workerset", "", "comma-separated worker counts (e.g. 1,2,8): run the chaos pass once per count, each on a dedicated work-stealing runtime, all against one baseline; empty = a single pass at -workers")
 	drop := fs.Float64("drop", 0.2, "probability an MPI message is dropped on the wire (recovered by reliable delivery)")
 	dup := fs.Float64("dup", 0.05, "probability an MPI message is duplicated (deduplicated by sequence numbers)")
 	delay := fs.Float64("delay", 0.05, "probability an MPI message is delayed before delivery")
@@ -50,30 +54,39 @@ func cmdChaos(args []string) {
 	fs.Parse(args)
 	sess := startObs(obsCLI)
 
+	workerCounts, err := parseWorkerSet(*workerset)
+	if err != nil {
+		sess.Close()
+		fail(err)
+	}
+
 	if *serveMode {
-		identical := runServeChaos(serveChaosOpts{
-			seeds:     *seeds,
-			start:     *start,
-			workers:   *workers,
-			retries:   *retries,
-			faultSeed: *faultSeed,
-			runtimeRules: []fault.Rule{
-				{Site: fault.SiteMPISend, Kind: fault.MsgDrop, Prob: *drop},
-				{Site: fault.SiteMPISend, Kind: fault.MsgDup, Prob: *dup},
-				{Site: fault.SiteMPISend, Kind: fault.MsgDelay, Prob: *delay, Max: 200e-6},
-				{Site: fault.SiteOMPBarrier, Kind: fault.ThreadPanic, Prob: *panicP},
-				{Site: fault.SiteOMPBarrier, Kind: fault.ThreadStall, Prob: *stall, Max: 200e-6},
-				{Site: fault.SiteOMPFor, Kind: fault.ThreadStall, Prob: *stall, Max: 200e-6},
-				{Site: fault.SitePisimCore, Kind: fault.CoreSlow, Prob: *slow},
-				{Site: fault.SiteEngineRun, Kind: fault.RunFail, Prob: *runfail},
-			},
-			qfull:        *qfull,
-			slowreq:      *slowreq,
-			corrupt:      *corrupt,
-			flightrec:    *frec,
-			flightrecDir: *frecDir,
-			asJSON:       *asJSON,
-		})
+		identical := true
+		for _, w := range workerCountsOr(workerCounts, *workers) {
+			identical = runServeChaos(serveChaosOpts{
+				seeds:     *seeds,
+				start:     *start,
+				workers:   w,
+				retries:   *retries,
+				faultSeed: *faultSeed,
+				runtimeRules: []fault.Rule{
+					{Site: fault.SiteMPISend, Kind: fault.MsgDrop, Prob: *drop},
+					{Site: fault.SiteMPISend, Kind: fault.MsgDup, Prob: *dup},
+					{Site: fault.SiteMPISend, Kind: fault.MsgDelay, Prob: *delay, Max: 200e-6},
+					{Site: fault.SiteOMPBarrier, Kind: fault.ThreadPanic, Prob: *panicP},
+					{Site: fault.SiteOMPBarrier, Kind: fault.ThreadStall, Prob: *stall, Max: 200e-6},
+					{Site: fault.SiteOMPFor, Kind: fault.ThreadStall, Prob: *stall, Max: 200e-6},
+					{Site: fault.SitePisimCore, Kind: fault.CoreSlow, Prob: *slow},
+					{Site: fault.SiteEngineRun, Kind: fault.RunFail, Prob: *runfail},
+				},
+				qfull:        *qfull,
+				slowreq:      *slowreq,
+				corrupt:      *corrupt,
+				flightrec:    *frec,
+				flightrecDir: *frecDir,
+				asJSON:       *asJSON,
+			}) && identical
+		}
 		closeObs(sess)
 		if !identical {
 			os.Exit(1)
@@ -91,12 +104,6 @@ func cmdChaos(args []string) {
 		{Site: fault.SitePisimCore, Kind: fault.CoreSlow, Prob: *slow},
 		{Site: fault.SiteEngineRun, Kind: fault.RunFail, Prob: *runfail},
 	}}
-	inj, err := fault.New(plan)
-	if err != nil {
-		sess.Close()
-		fail(err)
-	}
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	cfg := core.PaperStudy()
@@ -123,68 +130,124 @@ func cmdChaos(args []string) {
 		baseline[r.Index] = b
 	}
 
-	// Chaos pass: same seeds, faults armed, transient failures retried.
-	metrics := engine.NewMetrics()
-	obs.Metrics().RegisterGatherer(metrics)
-	chaotic := engine.New(
-		engine.WithWorkers(*workers),
-		engine.WithMetrics(metrics),
-		engine.WithRetry(*retries, 100*time.Microsecond),
-	)
-	chaosRes, err := chaotic.Sweep(fault.NewContext(ctx, inj), cfg, stream, *seeds)
-	if err != nil {
-		sess.Close()
-		fail(fmt.Errorf("chaos sweep: %w", err))
-	}
-
-	var drifted []int64
-	failed := 0
-	attempts := 0
-	for _, r := range chaosRes.Runs {
-		attempts += r.Attempts
-		if r.Err != nil {
-			failed++
-			drifted = append(drifted, r.Seed)
-			continue
-		}
-		b, err := json.Marshal(serve.Summarize(r.Seed, cfg.Calibrate, r.Outcome))
+	// Chaos passes: same seeds, faults armed, transient failures
+	// retried — once per worker count, each checked against the one
+	// baseline. With -workerset every pass runs on its own dedicated
+	// work-stealing runtime, so divergent steal interleavings are part
+	// of what the byte-invariance assertion covers.
+	allIdentical := true
+	for pi, w := range workerCountsOr(workerCounts, *workers) {
+		// A fresh injector per pass: fault decisions are a pure
+		// function of (plan seed, site, key), so every pass sees the
+		// same injections, and the per-pass ledger stays readable.
+		inj, err := fault.New(plan)
 		if err != nil {
 			sess.Close()
 			fail(err)
 		}
-		if string(b) != string(baseline[r.Index]) {
-			drifted = append(drifted, r.Seed)
+		metrics := engine.NewMetrics()
+		if pi == 0 {
+			obs.Metrics().RegisterGatherer(metrics)
 		}
-	}
-	stats := inj.Stats()
-	snap := metrics.Snapshot()
+		engOpts := []engine.Option{
+			engine.WithWorkers(w),
+			engine.WithMetrics(metrics),
+			engine.WithRetry(*retries, 100*time.Microsecond),
+		}
+		var rt *sched.Runtime
+		if len(workerCounts) > 0 {
+			rt = sched.New(sched.WithWorkers(w))
+			engOpts = append(engOpts, engine.WithRuntime(rt))
+		}
+		chaotic := engine.New(engOpts...)
+		chaosRes, err := chaotic.Sweep(fault.NewContext(ctx, inj), cfg, stream, *seeds)
+		if rt != nil {
+			rt.Close()
+		}
+		if err != nil {
+			sess.Close()
+			fail(fmt.Errorf("chaos sweep (workers=%d): %w", w, err))
+		}
 
-	report := chaosJSON{
-		Seeds:     *seeds,
-		Start:     *start,
-		Workers:   chaosRes.Workers,
-		Retries:   *retries,
-		FaultSeed: *faultSeed,
-		Plan: map[string]float64{
-			"drop": *drop, "dup": *dup, "delay": *delay, "stall": *stall,
-			"panic": *panicP, "slow": *slow, "runfail": *runfail,
-		},
-		Faults:        stats,
-		RunsRetried:   snap.Retried,
-		AttemptsTotal: attempts,
-		FailedRuns:    failed,
-		DriftedSeeds:  drifted,
-		Identical:     len(drifted) == 0,
-	}
-	if *asJSON {
-		emitJSON(report)
-	} else {
-		renderChaos(report)
+		var drifted []int64
+		failed := 0
+		attempts := 0
+		for _, r := range chaosRes.Runs {
+			attempts += r.Attempts
+			if r.Err != nil {
+				failed++
+				drifted = append(drifted, r.Seed)
+				continue
+			}
+			b, err := json.Marshal(serve.Summarize(r.Seed, cfg.Calibrate, r.Outcome))
+			if err != nil {
+				sess.Close()
+				fail(err)
+			}
+			if string(b) != string(baseline[r.Index]) {
+				drifted = append(drifted, r.Seed)
+			}
+		}
+		stats := inj.Stats()
+		snap := metrics.Snapshot()
+
+		report := chaosJSON{
+			Seeds:     *seeds,
+			Start:     *start,
+			Workers:   chaosRes.Workers,
+			Retries:   *retries,
+			FaultSeed: *faultSeed,
+			Plan: map[string]float64{
+				"drop": *drop, "dup": *dup, "delay": *delay, "stall": *stall,
+				"panic": *panicP, "slow": *slow, "runfail": *runfail,
+			},
+			Faults:        stats,
+			RunsRetried:   snap.Retried,
+			AttemptsTotal: attempts,
+			FailedRuns:    failed,
+			DriftedSeeds:  drifted,
+			Identical:     len(drifted) == 0,
+		}
+		if *asJSON {
+			emitJSON(report)
+		} else {
+			if pi > 0 {
+				fmt.Println()
+			}
+			renderChaos(report)
+		}
+		allIdentical = allIdentical && report.Identical
 	}
 	closeObs(sess)
-	if !report.Identical {
+	if !allIdentical {
 		os.Exit(1)
 	}
+}
+
+// parseWorkerSet parses the -workerset flag: a comma-separated list of
+// positive worker counts, or nil when empty.
+func parseWorkerSet(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("pblstudy chaos: bad -workerset entry %q (want positive integers)", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
+
+// workerCountsOr returns the parsed worker set, or the single fallback
+// count when none was given.
+func workerCountsOr(counts []int, fallback int) []int {
+	if len(counts) == 0 {
+		return []int{fallback}
+	}
+	return counts
 }
 
 // chaosJSON is the machine-readable chaos report.

@@ -1,0 +1,49 @@
+package pblparallel
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoDeprecatedPoolConstructor walks every non-test Go source file
+// and fails if anything outside the compatibility shim still calls the
+// deprecated NewPoolSized. The shim exists so external callers keep
+// compiling across the scheduler redesign; first-party code must use
+// the options form (NewPool(WithPoolWorkers(n), WithQueueDepth(q))) so
+// the shim can eventually be dropped.
+func TestNoDeprecatedPoolConstructor(t *testing.T) {
+	allowed := map[string]bool{
+		// The shim's own definition.
+		filepath.Join("internal", "engine", "pool.go"): true,
+	}
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == "testdata" || name == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		if allowed[path] {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		if strings.Contains(string(src), "NewPoolSized(") {
+			t.Errorf("%s calls deprecated NewPoolSized; use NewPool(WithPoolWorkers(n), WithQueueDepth(q))", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

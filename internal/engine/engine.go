@@ -21,13 +21,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"pblparallel/internal/core"
 	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
 	"pblparallel/internal/obs/flightrec"
+	"pblparallel/internal/sched"
 )
 
 // ErrCanceled is the sentinel wrapped by Sweep and Map when the caller's
@@ -70,6 +70,7 @@ type Engine struct {
 	metrics *Metrics
 	retries int
 	backoff time.Duration
+	rt      *sched.Runtime
 }
 
 // Option configures an Engine.
@@ -112,6 +113,18 @@ func WithRetry(n int, backoff time.Duration) Option {
 			e.backoff = backoff
 		}
 	}
+}
+
+// WithRuntime executes the engine's parallel regions on a shared
+// sched.Runtime instead of the process-wide default — the daemon
+// passes its pool's runtime here so study fan-out and admitted jobs
+// share one set of workers. WithWorkers still bounds how many of the
+// runtime's workers one Sweep or Map may occupy. The caller keeps
+// ownership: the engine never closes rt, and because the submitting
+// goroutine always participates in its own region, an engine on a
+// busy (or even closed) runtime still makes progress.
+func WithRuntime(rt *sched.Runtime) Option {
+	return func(e *Engine) { e.rt = rt }
 }
 
 // New builds an engine with runtime.NumCPU() workers unless overridden.
@@ -296,45 +309,22 @@ func (e *Engine) nextAttempt(ctx context.Context, faultBase *fault.Injector, att
 	return nil, true
 }
 
-// mapIndexed drives the pool: workers pull indices from a shared
-// channel until it drains or ctx ends. fn must handle its own errors
-// (and its own per-attempt timeout); each index is attempted at most
-// once.
+// mapIndexed fans fn out over the scheduler runtime as one
+// work-stealing indexed region, bounded to the engine's worker count.
+// The runtime's workers join as participants while the calling
+// goroutine drives slot 0, so the region needs no goroutines of its
+// own on the common one-worker path and can never deadlock on a
+// saturated runtime. fn must handle its own errors (and its own
+// per-attempt timeout); each index is attempted at most once, and
+// after ctx ends no further indices are handed out.
 func (e *Engine) mapIndexed(ctx context.Context, n int, fn func(ctx context.Context, i, worker int)) {
-	workers := e.workers
-	if workers > n {
-		workers = n
+	rt := e.rt
+	if rt == nil {
+		rt = sched.Default()
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	idx := make(chan int)
-	go func() {
-		defer close(idx)
-		for i := 0; i < n; i++ {
-			// The explicit check matters when ctx is already dead: select
-			// alone would still hand out indices at random.
-			if ctx.Err() != nil {
-				return
-			}
-			select {
-			case idx <- i:
-			case <-ctx.Done():
-				return
-			}
-		}
-	}()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for i := range idx {
-				fn(ctx, i, worker)
-			}
-		}(w)
-	}
-	wg.Wait()
+	rt.ParallelIndexed(ctx, n, e.workers, 1, func(i, slot int) {
+		fn(ctx, i, slot)
+	})
 }
 
 // Map runs fn(ctx, i) for every i in [0, n) over the engine's pool and

@@ -6,11 +6,11 @@ import (
 	"math"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"pblparallel/internal/core"
 	"pblparallel/internal/obs"
+	"pblparallel/internal/sched"
 )
 
 // histBounds are the wall-time histogram bucket upper bounds; a final
@@ -148,10 +148,13 @@ func (h *Histogram) clone() *Histogram {
 // and throughput over the observation window. All methods are safe for
 // concurrent use and safe on a nil receiver (a disabled sink).
 type Metrics struct {
-	started   atomic.Int64
-	completed atomic.Int64
-	failed    atomic.Int64
-	retried   atomic.Int64
+	// The run counters are bumped from every worker in a sweep; padded
+	// so four hot independent counters stop sharing one cache line
+	// (see BenchmarkCounterInc in internal/sched).
+	started   sched.PaddedInt64
+	completed sched.PaddedInt64
+	failed    sched.PaddedInt64
+	retried   sched.PaddedInt64
 
 	mu     sync.Mutex
 	begin  time.Time // first run start

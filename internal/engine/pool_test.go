@@ -6,10 +6,12 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"pblparallel/internal/sched"
 )
 
 func TestPoolRunsEveryJob(t *testing.T) {
-	p := NewPool(4, 16)
+	p := NewPool(WithPoolWorkers(4), WithQueueDepth(16))
 	var n atomic.Int64
 	var wg sync.WaitGroup
 	for i := 0; i < 32; i++ {
@@ -36,8 +38,24 @@ func TestPoolRunsEveryJob(t *testing.T) {
 	}
 }
 
+// TestPoolDeprecatedConstructor keeps the NewPoolSized shim honest:
+// it must behave exactly like the options form it expands to.
+func TestPoolDeprecatedConstructor(t *testing.T) {
+	p := NewPoolSized(2, 5)
+	defer p.Close()
+	s := p.Stats()
+	if s.Workers != 2 || s.QueueCap != 5 {
+		t.Fatalf("shim built %+v, want workers=2 queue=5", s)
+	}
+	done := make(chan struct{})
+	if err := p.Submit(func() { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
 func TestPoolShedsWhenFull(t *testing.T) {
-	p := NewPool(1, 0)
+	p := NewPool(WithPoolWorkers(1), WithQueueDepth(0))
 	defer p.Close()
 	started := make(chan struct{})
 	release := make(chan struct{})
@@ -66,7 +84,7 @@ func TestPoolShedsWhenFull(t *testing.T) {
 }
 
 func TestPoolCloseDrainsQueuedJobs(t *testing.T) {
-	p := NewPool(1, 8)
+	p := NewPool(WithPoolWorkers(1), WithQueueDepth(8))
 	started := make(chan struct{})
 	release := make(chan struct{})
 	if err := p.Submit(func() { close(started); <-release }); err != nil {
@@ -94,5 +112,72 @@ func TestPoolCloseDrainsQueuedJobs(t *testing.T) {
 	}
 	if err := p.Submit(func() {}); !errors.Is(err, ErrPoolClosed) {
 		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestPoolStatsConsistentUnderHammer is the regression test for the
+// shed-accounting race: the pre-scheduler Pool read Queued (channel
+// length) and InFlight (separate atomic) at different instants, so a
+// job mid-handoff could be counted in both — /metrics would
+// transiently report in-flight > workers. The scheduler packs both
+// counts into one atomic word; every snapshot taken while submitters
+// and workers race must respect the pool's own bounds.
+func TestPoolStatsConsistentUnderHammer(t *testing.T) {
+	const workers, queue = 2, 3
+	p := NewPool(WithPoolWorkers(workers), WithQueueDepth(queue))
+	defer p.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = p.Submit(func() {})
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	var snapshots int
+	for time.Now().Before(deadline) {
+		s := p.Stats()
+		snapshots++
+		if s.InFlight < 0 || s.InFlight > workers {
+			t.Fatalf("snapshot %d: InFlight %d outside [0, %d]: %+v", snapshots, s.InFlight, workers, s)
+		}
+		if s.Queued < 0 || s.Queued > queue {
+			t.Fatalf("snapshot %d: Queued %d outside [0, %d]: %+v", snapshots, s.Queued, queue, s)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestPoolSharedScheduler: a pool built on an adopted runtime submits
+// through it, and Close closes the adopted runtime.
+func TestPoolSharedScheduler(t *testing.T) {
+	rt := sched.New(sched.WithWorkers(2), sched.WithQueueDepth(4))
+	p := NewPool(WithScheduler(rt))
+	if p.Runtime() != rt {
+		t.Fatal("pool did not adopt the supplied runtime")
+	}
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	if err := p.Submit(func() { ran.Add(1); wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	p.Close()
+	if err := rt.Submit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("adopted runtime should be closed by pool.Close, got %v", err)
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("ran %d", ran.Load())
 	}
 }

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"pblparallel/internal/sched"
 )
 
 // Label is one metric dimension; Point labels are kept ordered so
@@ -108,10 +110,14 @@ type GathererFunc func() []Family
 // GatherMetrics implements Gatherer.
 func (f GathererFunc) GatherMetrics() []Family { return f() }
 
-// Counter is a monotonically increasing named value.
+// Counter is a monotonically increasing named value. The count is
+// cache-line padded: counters registered together allocate together,
+// and hot ones (cache hits, sheds, region forks) are bumped from every
+// worker — without padding they false-share lines with their
+// registry neighbors (see BenchmarkCounterInc in internal/sched).
 type Counter struct {
 	help string
-	v    atomic.Int64
+	v    sched.PaddedInt64
 }
 
 // Inc adds one.

@@ -23,6 +23,7 @@ import (
 
 	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
+	"pblparallel/internal/sched"
 )
 
 // laneSeq allocates trace lanes: each traced parallel region claims a
@@ -57,6 +58,7 @@ type config struct {
 	numThreads int
 	inj        *fault.Injector
 	tc         obs.TraceContext
+	rt         *sched.Runtime
 }
 
 // Option configures a parallel region, playing the role of OpenMP
@@ -74,6 +76,15 @@ func WithNumThreads(n int) Option {
 // tree reaches into the fork-join runtime.
 func WithTrace(tc obs.TraceContext) Option {
 	return func(c *config) { c.tc = tc }
+}
+
+// WithRuntime attaches a scheduler runtime to the region: Spawn then
+// throttles extra goroutines through the runtime's shared Forker
+// instead of a per-region one, so a daemon hosting many concurrent
+// regions bounds its total spawned goroutines, not per-region counts.
+// The region never closes the runtime.
+func WithRuntime(rt *sched.Runtime) Option {
+	return func(c *config) { c.rt = rt }
 }
 
 // RegionPanicError wraps a panic raised inside a team member so the
@@ -120,6 +131,7 @@ func Parallel(body func(tc *ThreadContext), opts ...Option) error {
 		barrier:  NewBarrier(n),
 		critical: make(map[string]*sync.Mutex),
 		inj:      cfg.inj,
+		rt:       cfg.rt,
 	}
 	regionsStarted.Inc()
 
@@ -181,6 +193,7 @@ type team struct {
 	n       int
 	barrier *Barrier
 	inj     *fault.Injector
+	rt      *sched.Runtime // optional, from WithRuntime
 
 	mu       sync.Mutex
 	critical map[string]*sync.Mutex
@@ -191,26 +204,39 @@ type team struct {
 	sectionsMu     sync.Mutex
 	sectionTickets map[int]*int
 	loopMu         sync.Mutex
-	loopTickets    map[int]*int64
+	loops          map[int]*loopShared
 	orderedMu      sync.Mutex
 	ordered        map[int]*orderedState
 	tasks          *taskPool // lazily created under mu by pool()
+	forkOnce       sync.Once
+	fork           *sched.Forker // lazily created by forker()
 }
 
-// loopTicket returns the shared chunk counter for the loop at the given
-// call epoch, creating it on first use.
-func (tm *team) loopTicket(epoch int) *int64 {
+// loopShared returns the shared scheduling state for the loop at the
+// given call epoch, creating it on first use.
+func (tm *team) loopShared(epoch int) *loopShared {
 	tm.loopMu.Lock()
 	defer tm.loopMu.Unlock()
-	if tm.loopTickets == nil {
-		tm.loopTickets = make(map[int]*int64)
+	if tm.loops == nil {
+		tm.loops = make(map[int]*loopShared)
 	}
-	t, ok := tm.loopTickets[epoch]
+	sh, ok := tm.loops[epoch]
 	if !ok {
-		t = new(int64)
-		tm.loopTickets[epoch] = t
+		sh = new(loopShared)
+		tm.loops[epoch] = sh
 	}
-	return t
+	return sh
+}
+
+// forker returns the throttle Spawn draws goroutine tokens from: the
+// attached runtime's shared forker when WithRuntime was given, else a
+// lazily built per-team forker sized to the team.
+func (tm *team) forker() *sched.Forker {
+	if tm.rt != nil {
+		return tm.rt.Forker()
+	}
+	tm.forkOnce.Do(func() { tm.fork = sched.NewForker(tm.n) })
+	return tm.fork
 }
 
 // criticalFor returns the mutex guarding the named critical section,

@@ -394,15 +394,17 @@ func TestScheduleCoverageProperty(t *testing.T) {
 		chunk := 1 + int(chunkRaw)%7
 		threads := 1 + int(threadsRaw)%8
 		var sched Schedule
-		switch kind % 4 {
+		switch kind % 5 {
 		case 0:
 			sched = Static{}
 		case 1:
 			sched = StaticChunk{Chunk: chunk}
 		case 2:
 			sched = Dynamic{Chunk: chunk}
-		default:
+		case 3:
 			sched = Guided{MinChunk: chunk}
+		default:
+			sched = Steal{Chunk: chunk}
 		}
 		hits := make([]atomic.Int64, count)
 		err := Parallel(func(tc *ThreadContext) {
@@ -609,6 +611,7 @@ func TestScheduleNames(t *testing.T) {
 		"static,3":  StaticChunk{Chunk: 3},
 		"dynamic,2": Dynamic{Chunk: 2},
 		"guided,1":  Guided{MinChunk: 1},
+		"steal,4":   Steal{Chunk: 4},
 	}
 	for want, s := range cases {
 		if got := s.name(); got != want {

@@ -2,11 +2,23 @@ package omp
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
+	"pblparallel/internal/sched"
 )
+
+// loopShared is one parallel-for's shared scheduling state, keyed by
+// loop epoch in the team: dynamic and guided runners share the ticket
+// counter, the steal schedule shares a range-stealing index pool
+// built by whichever thread reaches the loop first.
+type loopShared struct {
+	ticket int64
+	once   sync.Once
+	pool   *sched.IndexPool
+}
 
 // Schedule chooses how a parallel-for's iteration range is mapped onto
 // the team — the subject of the course's Assignment 3 ("Scheduling of
@@ -14,12 +26,12 @@ import (
 type Schedule interface {
 	// name identifies the schedule in errors and bench labels.
 	name() string
-	// assign returns the iteration chunks for thread tid of n over
+	// newRunner returns the iteration chunks for thread tid of n over
 	// [0, count) as (start, length) pairs via the next function: each
 	// call returns the thread's next chunk, with length 0 meaning done.
-	// For dynamic schedules the returned closure shares state through
-	// the provided ticket counter.
-	newRunner(count, tid, n int, ticket *int64) func() (start, length int)
+	// Schedules that coordinate across threads do so through the
+	// loop's shared state.
+	newRunner(count, tid, n int, sh *loopShared) func() (start, length int)
 }
 
 // Static is OpenMP's default schedule: the range is split into one
@@ -29,7 +41,7 @@ type Static struct{}
 
 func (Static) name() string { return "static" }
 
-func (Static) newRunner(count, tid, n int, _ *int64) func() (int, int) {
+func (Static) newRunner(count, tid, n int, _ *loopShared) func() (int, int) {
 	// Equal-block split: the first (count % n) threads get one extra.
 	base := count / n
 	extra := count % n
@@ -54,7 +66,7 @@ type StaticChunk struct{ Chunk int }
 
 func (s StaticChunk) name() string { return fmt.Sprintf("static,%d", s.Chunk) }
 
-func (s StaticChunk) newRunner(count, tid, n int, _ *int64) func() (int, int) {
+func (s StaticChunk) newRunner(count, tid, n int, _ *loopShared) func() (int, int) {
 	next := tid * s.Chunk
 	return func() (int, int) {
 		if next >= count {
@@ -76,7 +88,8 @@ type Dynamic struct{ Chunk int }
 
 func (s Dynamic) name() string { return fmt.Sprintf("dynamic,%d", s.Chunk) }
 
-func (s Dynamic) newRunner(count, _, _ int, ticket *int64) func() (int, int) {
+func (s Dynamic) newRunner(count, _, _ int, sh *loopShared) func() (int, int) {
+	ticket := &sh.ticket
 	chunk := int64(s.Chunk)
 	return func() (int, int) {
 		start := atomic.AddInt64(ticket, chunk) - chunk
@@ -97,7 +110,8 @@ type Guided struct{ MinChunk int }
 
 func (s Guided) name() string { return fmt.Sprintf("guided,%d", s.MinChunk) }
 
-func (s Guided) newRunner(count, _, n int, ticket *int64) func() (int, int) {
+func (s Guided) newRunner(count, _, n int, sh *loopShared) func() (int, int) {
+	ticket := &sh.ticket
 	return func() (int, int) {
 		for {
 			start := atomic.LoadInt64(ticket)
@@ -119,6 +133,27 @@ func (s Guided) newRunner(count, _, n int, ticket *int64) func() (int, int) {
 	}
 }
 
+// Steal distributes the range as one contiguous share per thread and
+// lets threads that finish early steal the upper half of the largest
+// remaining share — the work-stealing counterpart to Dynamic, with
+// contiguous locality like Static. Chunk is the claim granularity;
+// shares always split on absolute Chunk boundaries, so the set of
+// chunk starts (the fault-injection keys) is identical at every team
+// size and under every steal interleaving.
+type Steal struct{ Chunk int }
+
+func (s Steal) name() string { return fmt.Sprintf("steal,%d", s.Chunk) }
+
+func (s Steal) newRunner(count, tid, n int, sh *loopShared) func() (int, int) {
+	sh.once.Do(func() {
+		sh.pool = sched.NewIndexPool(count, n, s.Chunk)
+	})
+	pool := sh.pool
+	return func() (int, int) {
+		return pool.Next(tid)
+	}
+}
+
 // validateSchedule rejects non-positive chunk sizes.
 func validateSchedule(s Schedule) error {
 	switch v := s.(type) {
@@ -135,6 +170,10 @@ func validateSchedule(s Schedule) error {
 	case Guided:
 		if v.MinChunk < 1 {
 			return fmt.Errorf("omp: guided min chunk %d < 1", v.MinChunk)
+		}
+	case Steal:
+		if v.Chunk < 1 {
+			return fmt.Errorf("omp: steal chunk %d < 1", v.Chunk)
 		}
 	case nil:
 		return fmt.Errorf("omp: nil schedule")
@@ -155,12 +194,13 @@ func (tc *ThreadContext) For(lo, hi int, sched Schedule, body func(i int)) error
 		return fmt.Errorf("omp: for range [%d,%d) is inverted", lo, hi)
 	}
 	count := hi - lo
-	// The shared ticket for dynamic/guided schedules lives in team state
-	// keyed by a per-thread epoch, so that consecutive loops don't mix.
+	// Shared loop state (the dynamic/guided ticket, the steal pool)
+	// lives in team state keyed by a per-thread epoch, so that
+	// consecutive loops don't mix.
 	epoch := tc.loopCount
-	ticket := tc.team.loopTicket(epoch)
+	sh := tc.team.loopShared(epoch)
 	tc.loopCount++
-	next := sched.newRunner(count, tc.tid, tc.team.n, ticket)
+	next := sched.newRunner(count, tc.tid, tc.team.n, sh)
 	// When tracing, the thread's share of the loop is one span and each
 	// claimed chunk a child span — the scheduling patternlet's chunk
 	// assignment, readable straight off the timeline.
@@ -177,8 +217,9 @@ func (tc *ThreadContext) For(lo, hi int, sched Schedule, body func(i int)) error
 		}
 		// Chunk-claim fault site, keyed by (loop epoch, chunk start):
 		// whichever thread claims the chunk draws the same decision, so
-		// injections are scheduling-independent even under dynamic and
-		// guided schedules.
+		// injections are scheduling-independent even under dynamic,
+		// guided, and steal schedules (steal claims always start on
+		// absolute chunk boundaries, so the key set is stable).
 		tc.maybeFault(fault.SiteOMPFor, fault.Mix2(uint64(epoch), uint64(lo+start)))
 		if tr != nil {
 			csp := tr.Span(obs.PIDOMP, tc.lane, "omp", "chunk").

@@ -1,0 +1,26 @@
+package omp
+
+// Spawn is the divide-and-conquer task primitive: run f now, either on
+// a fresh goroutine (when the team's forker has a token free) or
+// inline on the calling thread (when parallelism is saturated). It
+// returns a join function that blocks until f has finished; joining an
+// inlined task is free.
+//
+// This is the "spawn a goroutine if a worker slot is available,
+// otherwise recurse sequentially" throttle of the quicksort patternlet,
+// packaged so recursive code reads as spawn/join:
+//
+//	join := tc.Spawn(func() { sort(left) })
+//	sort(right)
+//	join()
+//
+// Unlike Task/Taskwait, Spawn never migrates f to another team member
+// and has no scheduling points — f starts immediately. Use Task when
+// you want deferred, team-executed work; use Spawn for cheap recursive
+// fork-join. A nil f returns a no-op join.
+func (tc *ThreadContext) Spawn(f func()) (join func()) {
+	if f == nil {
+		return func() {}
+	}
+	return tc.team.forker().Do(f)
+}

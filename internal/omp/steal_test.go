@@ -1,0 +1,166 @@
+package omp
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"pblparallel/internal/sched"
+)
+
+// TestStealScheduleValidation: a non-positive claim granularity is
+// rejected at loop entry like every other schedule's chunk size.
+func TestStealScheduleValidation(t *testing.T) {
+	if err := For(0, 10, Steal{Chunk: 0}, func(int, int) {}); err == nil {
+		t.Fatal("zero steal chunk accepted")
+	}
+	if err := For(0, 10, Steal{Chunk: -2}, func(int, int) {}); err == nil {
+		t.Fatal("negative steal chunk accepted")
+	}
+}
+
+// TestStealClaimStartsGrainAligned is the fault-key stability property
+// behind the steal schedule: whatever the team size and however steals
+// interleave, every claim starts on an absolute Chunk boundary, so the
+// set of claim starts — the (epoch, start) fault-injection keys — is
+// exactly {0, c, 2c, ...} for every run. White-box: drives newRunner
+// directly so the claims themselves are observable.
+func TestStealClaimStartsGrainAligned(t *testing.T) {
+	for _, shape := range []struct{ count, chunk, threads int }{
+		{100, 10, 1}, {100, 10, 4}, {97, 8, 3}, {1000, 16, 8}, {5, 3, 6},
+	} {
+		var mu sync.Mutex
+		var starts []int
+		covered := make([]int, shape.count)
+		sh := new(loopShared)
+		var wg sync.WaitGroup
+		for tid := 0; tid < shape.threads; tid++ {
+			wg.Add(1)
+			go func(tid int) {
+				defer wg.Done()
+				next := Steal{Chunk: shape.chunk}.newRunner(shape.count, tid, shape.threads, sh)
+				for {
+					start, length := next()
+					if length == 0 {
+						return
+					}
+					mu.Lock()
+					starts = append(starts, start)
+					for i := start; i < start+length; i++ {
+						covered[i]++
+					}
+					mu.Unlock()
+				}
+			}(tid)
+		}
+		wg.Wait()
+		for i, c := range covered {
+			if c != 1 {
+				t.Fatalf("%+v: index %d claimed %d times", shape, i, c)
+			}
+		}
+		sort.Ints(starts)
+		for i, s := range starts {
+			if s != i*shape.chunk {
+				t.Fatalf("%+v: claim start #%d = %d, want %d (grain-aligned)", shape, i, s, i*shape.chunk)
+			}
+		}
+	}
+}
+
+// TestStealReduceMatchesSequential: an integer reduction under the
+// steal schedule is exact at every team size — stealing repartitions
+// indices between threads, and an associative-commutative fold cannot
+// tell. (Bit-level float determinism across team sizes is a property
+// of index-ordered results, tested at the engine layer, not of
+// per-thread partials — no dynamic-partition schedule provides it.)
+func TestStealReduceMatchesSequential(t *testing.T) {
+	const n = 512
+	var want int64
+	for i := 0; i < n; i++ {
+		want += int64(i * i)
+	}
+	for _, threads := range []int{1, 2, 3, 8} {
+		got, err := ForReduce(0, n, Steal{Chunk: 8}, int64(0),
+			func(a, b int64) int64 { return a + b },
+			func(i int, acc int64) int64 { return acc + int64(i*i) },
+			WithNumThreads(threads))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("threads=%d: sum %d, want %d", threads, got, want)
+		}
+	}
+}
+
+// TestSpawnRecursiveSum: the spawn/join primitive computes a recursive
+// divide-and-conquer sum correctly whether goroutine tokens are free
+// (parallel) or exhausted (everything inlines).
+func TestSpawnRecursiveSum(t *testing.T) {
+	const n = 1 << 12
+	data := make([]int64, n)
+	var want int64
+	for i := range data {
+		data[i] = int64(i*i - 3*i)
+		want += data[i]
+	}
+	var sum func(tc *ThreadContext, lo, hi int) int64
+	sum = func(tc *ThreadContext, lo, hi int) int64 {
+		if hi-lo <= 64 {
+			var s int64
+			for _, v := range data[lo:hi] {
+				s += v
+			}
+			return s
+		}
+		mid := (lo + hi) / 2
+		var left int64
+		join := tc.Spawn(func() { left = sum(tc, lo, mid) })
+		right := sum(tc, mid, hi)
+		join()
+		return left + right
+	}
+	for _, threads := range []int{1, 4} {
+		err := Parallel(func(tc *ThreadContext) {
+			if got := sum(tc, 0, n); got != want {
+				panic("wrong sum")
+			}
+		}, WithNumThreads(threads))
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+	}
+}
+
+// TestSpawnSharedRuntimeForker: WithRuntime routes Spawn through the
+// runtime's shared forker, so concurrent regions draw from one global
+// goroutine budget; the math still comes out exact.
+func TestSpawnSharedRuntimeForker(t *testing.T) {
+	rt := sched.New(sched.WithWorkers(4))
+	defer rt.Close()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := Parallel(func(tc *ThreadContext) {
+				var a, b int64
+				join := tc.Spawn(func() { a = 21 })
+				b = 21
+				join()
+				if a+b != 42 {
+					panic("spawned work lost")
+				}
+			}, WithNumThreads(2), WithRuntime(rt))
+			if err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	spawned, inlined := rt.Forker().Counts()
+	if spawned+inlined == 0 {
+		t.Fatal("shared forker saw no Spawn traffic")
+	}
+}

@@ -1,0 +1,122 @@
+package patternlets
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pblparallel/internal/sched"
+)
+
+// The divide-and-conquer patternlet: recursive quicksort where each
+// recursion forks its two halves as potentially-parallel tasks on the
+// work-stealing runtime. It teaches the spawn-or-inline discipline the
+// course's quicksort project needed — "spawn a goroutine if a worker
+// is free, otherwise recurse sequentially" — except the runtime makes
+// the decision per task: the child is pushed on the spawner's deque,
+// an idle worker may steal it, and if nobody does the spawner pops it
+// back and runs it inline for free.
+
+// dcCutoff is the sequential leaf size; below it forking costs more
+// than sorting.
+const dcCutoff = 512
+
+// DivideConquerReport is the patternlet's measured outcome.
+type DivideConquerReport struct {
+	N       int
+	Workers int
+	Sorted  bool
+	// Spawned counts forked child tasks, Inlined the ones the spawner
+	// ran itself because no worker stole them, Steals the ones that
+	// actually moved to another worker.
+	Spawned, Inlined, Steals int64
+}
+
+// DivideConquer sorts n pseudo-random (seed-deterministic) integers by
+// parallel quicksort on a fresh work-stealing runtime with the given
+// worker count and reports what the runtime did.
+func DivideConquer(n, workers int, seed int64) (*DivideConquerReport, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("patternlets: divideconquer needs n >= 1, got %d", n)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("patternlets: divideconquer needs workers >= 1, got %d", workers)
+	}
+	data := make([]int64, n)
+	x := uint64(seed)*2862933555777941757 + 3037000493
+	for i := range data {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		data[i] = int64(x % 1_000_000)
+	}
+	rt := sched.New(sched.WithWorkers(workers))
+	defer rt.Close()
+	rt.Do(func(tc *sched.TaskCtx) { quicksort(tc, data) })
+	s := rt.Stats()
+	return &DivideConquerReport{
+		N:       n,
+		Workers: workers,
+		Sorted:  sort.SliceIsSorted(data, func(i, j int) bool { return data[i] < data[j] }),
+		Spawned: s.Spawned,
+		Inlined: s.Inlined,
+		Steals:  s.Steals,
+	}, nil
+}
+
+// quicksort is the recursive kernel: partition, then Join the halves
+// as sibling tasks. Join guarantees both halves are done when it
+// returns, so the recursion is safe whether or not the spawned half
+// was stolen.
+func quicksort(tc *sched.TaskCtx, a []int64) {
+	if len(a) <= dcCutoff {
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		return
+	}
+	p := partition(a)
+	left, right := a[:p], a[p+1:]
+	tc.Join(
+		func(c *sched.TaskCtx) { quicksort(c, left) },
+		func(c *sched.TaskCtx) { quicksort(c, right) },
+	)
+}
+
+// partition is Hoare-style median-of-three around a[hi], returning the
+// pivot's final index.
+func partition(a []int64) int {
+	hi := len(a) - 1
+	mid := hi / 2
+	if a[mid] < a[0] {
+		a[mid], a[0] = a[0], a[mid]
+	}
+	if a[hi] < a[0] {
+		a[hi], a[0] = a[0], a[hi]
+	}
+	if a[mid] < a[hi] {
+		a[mid], a[hi] = a[hi], a[mid]
+	}
+	pivot := a[hi]
+	i := 0
+	for j := 0; j < hi; j++ {
+		if a[j] < pivot {
+			a[i], a[j] = a[j], a[i]
+			i++
+		}
+	}
+	a[i], a[hi] = a[hi], a[i]
+	return i
+}
+
+func demoDivideConquer(w io.Writer, nThreads int) error {
+	rep, err := DivideConquer(200_000, nThreads, 1905)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "quicksort of %d values on %d workers\n", rep.N, rep.Workers)
+	fmt.Fprintf(w, "sorted correctly:    %t\n", rep.Sorted)
+	fmt.Fprintf(w, "tasks spawned:       %d\n", rep.Spawned)
+	fmt.Fprintf(w, "run inline (cheap):  %d\n", rep.Inlined)
+	fmt.Fprintf(w, "stolen by idle peer: %d\n", rep.Spawned-rep.Inlined)
+	fmt.Fprintln(w, "lesson: fork both halves every time — the deque makes an unstolen task cost one push/pop, so throttling happens by itself")
+	return nil
+}

@@ -371,6 +371,33 @@ func TestRegistryCoversAllAssignmentPrograms(t *testing.T) {
 	}
 }
 
+func TestDivideConquerSorts(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rep, err := DivideConquer(100_000, workers, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Sorted {
+			t.Fatalf("workers=%d: output not sorted", workers)
+		}
+		if rep.Spawned == 0 {
+			t.Fatalf("workers=%d: recursion never forked", workers)
+		}
+		if rep.Inlined > rep.Spawned {
+			t.Fatalf("workers=%d: inlined %d > spawned %d", workers, rep.Inlined, rep.Spawned)
+		}
+	}
+}
+
+func TestDivideConquerValidation(t *testing.T) {
+	if _, err := DivideConquer(0, 4, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := DivideConquer(10, 0, 1); err == nil {
+		t.Fatal("workers=0 accepted")
+	}
+}
+
 func TestLookup(t *testing.T) {
 	p, err := Lookup("trapezoid")
 	if err != nil || p.Name != "trapezoid" {
@@ -395,12 +422,13 @@ func TestAllDemosRun(t *testing.T) {
 
 func TestDemoOutputsMentionKeyConcepts(t *testing.T) {
 	checks := map[string]string{
-		"forkjoin":     "before the parallel region",
-		"datarace":     "lost",
-		"scheduling":   "dynamic,3",
-		"trapezoid":    "pi with",
-		"barrier":      "barrier held",
-		"masterworker": "master",
+		"forkjoin":      "before the parallel region",
+		"datarace":      "lost",
+		"scheduling":    "dynamic,3",
+		"trapezoid":     "pi with",
+		"barrier":       "barrier held",
+		"masterworker":  "master",
+		"divideconquer": "quicksort",
 	}
 	for name, want := range checks {
 		p, err := Lookup(name)

@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkDequeOwner is the owner fast path: push+pop with no
+// contention. This is the cost a Join pays when its child is not
+// stolen.
+func BenchmarkDequeOwner(b *testing.B) {
+	d := newDeque()
+	t := &task{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.push(t)
+		if d.pop() == nil {
+			b.Fatal("lost own task")
+		}
+	}
+}
+
+// BenchmarkIndexPoolNext is the uncontended chunk-claim cost — the
+// per-chunk overhead a region adds over a plain loop.
+func BenchmarkIndexPoolNext(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 1 << 16 {
+		b.StopTimer()
+		p := NewIndexPool(1<<16, 1, 1)
+		b.StartTimer()
+		for {
+			_, n := p.Next(0)
+			if n == 0 {
+				break
+			}
+		}
+	}
+}
+
+// BenchmarkSpawnInline is the spawn-or-inline threshold cost: a
+// 1-lane Forker always takes the inline branch, which must stay
+// allocation-free — saturated recursion degrades to plain calls.
+func BenchmarkSpawnInline(b *testing.B) {
+	f := NewForker(1)
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Do(fn)()
+	}
+}
+
+// BenchmarkStealOverhead measures ParallelIndexed dispatch overhead
+// per index with trivial bodies at 4 participants — dominated by
+// chunk claims and the steals that rebalance them.
+func BenchmarkStealOverhead(b *testing.B) {
+	r := New(WithWorkers(4))
+	defer r.Close()
+	var sink atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 4096 {
+		r.ParallelIndexed(context.Background(), 4096, 4, 64, func(i, slot int) {
+			sink.Store(int64(i))
+		})
+	}
+}
+
+// BenchmarkCounterInc is SNIPPETS.md snippet 2 for this codebase:
+// the same logical counter behind a mutex, a bare atomic, and a
+// cache-line-padded atomic, swept across parallelism. The padded
+// variant is what the contention pass moved hot engine/obs/serve
+// counters to.
+func BenchmarkCounterInc(b *testing.B) {
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("mutex/par=%d", par), func(b *testing.B) {
+			var mu sync.Mutex
+			var n int64
+			b.SetParallelism(par)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					mu.Lock()
+					n++
+					mu.Unlock()
+				}
+			})
+			_ = n
+		})
+		b.Run(fmt.Sprintf("atomic/par=%d", par), func(b *testing.B) {
+			// Two adjacent bare atomics sharing a cache line — the
+			// layout engine.Metrics had before the contention pass.
+			var cs struct{ a, z atomic.Int64 }
+			b.SetParallelism(par)
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if i++; i&1 == 0 {
+						cs.a.Add(1)
+					} else {
+						cs.z.Add(1)
+					}
+				}
+			})
+		})
+		b.Run(fmt.Sprintf("padded/par=%d", par), func(b *testing.B) {
+			var cs struct{ a, z PaddedInt64 }
+			b.SetParallelism(par)
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if i++; i&1 == 0 {
+						cs.a.Add(1)
+					} else {
+						cs.z.Add(1)
+					}
+				}
+			})
+		})
+	}
+}

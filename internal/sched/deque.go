@@ -1,0 +1,104 @@
+package sched
+
+import "sync/atomic"
+
+// deque is a Chase–Lev work-stealing deque of tasks. The owning
+// worker pushes and pops at the bottom (LIFO, so hot child tasks run
+// on a warm stack) while thieves take from the top (FIFO, so they
+// steal the oldest — usually largest — pending subtree). The
+// implementation follows Chase & Lev (SPAA '05) as corrected by Lê et
+// al. for weak memory models; Go's sync/atomic operations are
+// sequentially consistent, so no explicit fences are needed, and the
+// garbage collector retires replaced buffers safely.
+type deque struct {
+	top    atomic.Int64 // next index to steal; advanced by CAS only
+	_      [CacheLine - 8]byte
+	bottom atomic.Int64 // next index to push; written by the owner only
+	_      [CacheLine - 8]byte
+	buf    atomic.Pointer[dequeBuf]
+}
+
+// dequeBuf is one power-of-two circular array. Slots are atomic
+// because a slow thief may read an index the owner is concurrently
+// overwriting after wraparound; such a thief always loses the top CAS
+// and discards the value, but the read itself must be race-free.
+type dequeBuf struct {
+	mask  int64
+	slots []atomic.Pointer[task]
+}
+
+func newDequeBuf(size int64) *dequeBuf {
+	return &dequeBuf{mask: size - 1, slots: make([]atomic.Pointer[task], size)}
+}
+
+func (b *dequeBuf) get(i int64) *task    { return b.slots[i&b.mask].Load() }
+func (b *dequeBuf) put(i int64, t *task) { b.slots[i&b.mask].Store(t) }
+
+func newDeque() *deque {
+	d := &deque{}
+	d.buf.Store(newDequeBuf(64))
+	return d
+}
+
+// push appends t at the bottom. Owner-only.
+func (d *deque) push(t *task) {
+	b := d.bottom.Load()
+	top := d.top.Load()
+	buf := d.buf.Load()
+	if b-top > buf.mask {
+		// Full: double, copying the live window. Thieves still holding
+		// the old buffer read identical values for unstolen indices.
+		bigger := newDequeBuf((buf.mask + 1) * 2)
+		for i := top; i < b; i++ {
+			bigger.put(i, buf.get(i))
+		}
+		d.buf.Store(bigger)
+		buf = bigger
+	}
+	buf.put(b, t)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the most recently pushed task. Owner-only; returns nil
+// when the deque is empty or the last task lost a race to a thief.
+func (d *deque) pop() *task {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Already empty; restore bottom.
+		d.bottom.Store(t)
+		return nil
+	}
+	tk := d.buf.Load().get(b)
+	if t == b {
+		// Last element: race the thieves for it via the top CAS.
+		if !d.top.CompareAndSwap(t, t+1) {
+			tk = nil // a thief got there first
+		}
+		d.bottom.Store(t + 1)
+	}
+	return tk
+}
+
+// steal takes the oldest task. Any goroutine may call it; returns nil
+// when the deque looks empty or the CAS loses a race (callers move on
+// to the next victim rather than retrying).
+func (d *deque) steal() *task {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	tk := d.buf.Load().get(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return tk
+}
+
+// empty reports whether the deque currently looks empty. Advisory:
+// used only to decide whether a parked worker should wake.
+func (d *deque) empty() bool {
+	return d.top.Load() >= d.bottom.Load()
+}

@@ -1,0 +1,103 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestDequeOwnerLIFO: with no thieves, pop returns tasks in reverse
+// push order and then nil.
+func TestDequeOwnerLIFO(t *testing.T) {
+	d := newDeque()
+	tasks := make([]*task, 10)
+	for i := range tasks {
+		tasks[i] = &task{}
+		d.push(tasks[i])
+	}
+	for i := len(tasks) - 1; i >= 0; i-- {
+		if got := d.pop(); got != tasks[i] {
+			t.Fatalf("pop %d: got %p want %p", i, got, tasks[i])
+		}
+	}
+	if got := d.pop(); got != nil {
+		t.Fatalf("pop on empty returned %p", got)
+	}
+}
+
+// TestDequeStealFIFO: thieves see the oldest task first.
+func TestDequeStealFIFO(t *testing.T) {
+	d := newDeque()
+	a, b := &task{}, &task{}
+	d.push(a)
+	d.push(b)
+	if got := d.steal(); got != a {
+		t.Fatalf("steal: got %p want oldest %p", got, a)
+	}
+	if got := d.pop(); got != b {
+		t.Fatalf("pop: got %p want %p", got, b)
+	}
+}
+
+// TestDequeExactlyOnce races the owner (pushing and popping, forcing
+// buffer growth past the initial 64 slots) against thieves and checks
+// every task is taken exactly once.
+func TestDequeExactlyOnce(t *testing.T) {
+	const total, thieves = 20000, 4
+	d := newDeque()
+	taken := make([]atomic.Int32, total)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for i := 0; i < thieves; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if tk := d.steal(); tk != nil {
+					taken[tk.idx()].Add(1)
+				}
+			}
+		}()
+	}
+	// Owner: bursts of pushes, then pops — the LIFO side.
+	tasks := make([]*task, total)
+	for i := range tasks {
+		tasks[i] = &task{}
+		tasks[i].state.Store(uint32(i) << 1) // stash the index; unused by the deque
+	}
+	next := 0
+	for next < total {
+		burst := 100
+		if next+burst > total {
+			burst = total - next
+		}
+		for i := 0; i < burst; i++ {
+			d.push(tasks[next])
+			next++
+		}
+		for i := 0; i < burst/2; i++ {
+			if tk := d.pop(); tk != nil {
+				taken[tk.idx()].Add(1)
+			}
+		}
+	}
+	for {
+		tk := d.pop()
+		if tk == nil {
+			break
+		}
+		taken[tk.idx()].Add(1)
+	}
+	stop.Store(true)
+	wg.Wait()
+	// A thief may have stolen between the owner's final nil pop and
+	// stop; all tasks must be accounted for exactly once regardless.
+	for i := range taken {
+		if got := taken[i].Load(); got != 1 {
+			t.Fatalf("task %d taken %d times", i, got)
+		}
+	}
+}
+
+// idx recovers the index stashed in state by TestDequeExactlyOnce.
+func (t *task) idx() int { return int(t.state.Load() >> 1) }

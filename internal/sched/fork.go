@@ -1,0 +1,58 @@
+package sched
+
+// Forker is the spawn-or-inline throttle from the course's quicksort
+// patternlet: a buffered token channel caps how many extra goroutines
+// a recursive computation may hold alive at once. Do takes a token to
+// spawn; when none is free it runs the function inline on the caller
+// — so an arbitrarily deep recursion never creates more than
+// maxParallel-1 goroutines beyond the caller, and saturated systems
+// degrade to plain sequential calls with zero goroutine churn.
+type Forker struct {
+	tokens  chan struct{}
+	spawned PaddedInt64
+	inlined PaddedInt64
+}
+
+// NewForker builds a throttle allowing maxParallel concurrent lanes:
+// the caller plus up to maxParallel-1 spawned goroutines. maxParallel
+// below 2 yields a Forker that always inlines.
+func NewForker(maxParallel int) *Forker {
+	extra := maxParallel - 1
+	if extra < 0 {
+		extra = 0
+	}
+	return &Forker{tokens: make(chan struct{}, extra)}
+}
+
+// noJoin is the shared no-op join for inlined calls, so the inline
+// fast path allocates nothing.
+var noJoin = func() {}
+
+// Do runs fn now — in a new goroutine if a concurrency token is
+// available, inline otherwise — and returns a join func that blocks
+// until fn has finished. After an inline run the join is a shared
+// no-op; the caller cannot tell (and must not care) which happened.
+func (f *Forker) Do(fn func()) (join func()) {
+	select {
+	case f.tokens <- struct{}{}:
+		f.spawned.Add(1)
+		done := make(chan struct{})
+		go func() {
+			defer func() {
+				<-f.tokens
+				close(done)
+			}()
+			fn()
+		}()
+		return func() { <-done }
+	default:
+		f.inlined.Add(1)
+		fn()
+		return noJoin
+	}
+}
+
+// Counts reports how many Do calls spawned a goroutine vs ran inline.
+func (f *Forker) Counts() (spawned, inlined int64) {
+	return f.spawned.Load(), f.inlined.Load()
+}

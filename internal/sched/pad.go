@@ -1,0 +1,29 @@
+package sched
+
+import "sync/atomic"
+
+// CacheLine is the padding granularity for hot shared counters. 64
+// bytes covers x86-64 and most arm64 parts; adjacent counters padded
+// to this size never share a line, so independent writers stop
+// invalidating each other's caches (false sharing).
+const CacheLine = 64
+
+// PaddedInt64 is an atomic.Int64 alone on its cache line. Use it for
+// counters bumped concurrently from many goroutines; plain adjacent
+// atomics in one struct ping-pong a single line between cores.
+type PaddedInt64 struct {
+	atomic.Int64
+	_ [CacheLine - 8]byte
+}
+
+// PaddedUint64 is an atomic.Uint64 alone on its cache line.
+type PaddedUint64 struct {
+	atomic.Uint64
+	_ [CacheLine - 8]byte
+}
+
+// PaddedUint32 is an atomic.Uint32 alone on its cache line.
+type PaddedUint32 struct {
+	atomic.Uint32
+	_ [CacheLine - 4]byte
+}

@@ -1,0 +1,333 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubmitRunsJobs: submitted jobs all execute; Completed ledger
+// matches.
+func TestSubmitRunsJobs(t *testing.T) {
+	r := New(WithWorkers(4), WithQueueDepth(64))
+	var ran atomic.Int64
+	for i := 0; i < 50; i++ {
+		if err := r.Submit(func() { ran.Add(1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	r.Close()
+	if got := ran.Load(); got != 50 {
+		t.Fatalf("ran %d jobs, want 50", got)
+	}
+	st := r.Stats()
+	if st.Submitted != 50 || st.Completed != 50 || st.InFlight != 0 || st.Queued != 0 {
+		t.Fatalf("stats after close: %+v", st)
+	}
+}
+
+// TestSubmitShedsWhenFull: a full queue sheds with ErrQueueFull and
+// counts it; a closed runtime rejects with ErrClosed.
+func TestSubmitShedsWhenFull(t *testing.T) {
+	r := New(WithWorkers(1), WithQueueDepth(1))
+	block := make(chan struct{})
+	started := make(chan struct{})
+	if err := r.Submit(func() { close(started); <-block }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // worker busy; queue empty
+	if err := r.Submit(func() {}); err != nil {
+		t.Fatalf("queue should hold one: %v", err)
+	}
+	var shed bool
+	for i := 0; i < 3; i++ {
+		if err := r.Submit(func() {}); errors.Is(err, ErrQueueFull) {
+			shed = true
+			break
+		}
+	}
+	if !shed {
+		t.Fatal("expected ErrQueueFull with worker blocked and queue occupied")
+	}
+	if got := r.Stats().Shed; got < 1 {
+		t.Fatalf("shed count %d, want >= 1", got)
+	}
+	close(block)
+	r.Close()
+	if err := r.Submit(func() {}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestStatsConsistentUnderHammer is the shed-accounting regression
+// guard: while submitters and workers race, every snapshot must obey
+// InFlight <= Workers and Queued <= QueueCap — the pair comes from
+// one packed word, so a torn read cannot leak an in-flight job into
+// both (or neither) column.
+func TestStatsConsistentUnderHammer(t *testing.T) {
+	const workers, queue = 3, 5
+	r := New(WithWorkers(workers), WithQueueDepth(queue))
+	defer r.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					_ = r.Submit(func() {})
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		st := r.Stats()
+		if st.InFlight < 0 || st.InFlight > workers {
+			t.Fatalf("InFlight %d outside [0, %d]", st.InFlight, workers)
+		}
+		if st.Queued < 0 || st.Queued > queue {
+			t.Fatalf("Queued %d outside [0, %d]", st.Queued, queue)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestParallelIndexedCoverage: every index executes exactly once for
+// a spread of worker counts, parallelism caps, and grains.
+func TestParallelIndexedCoverage(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		r := New(WithWorkers(workers))
+		for _, tc := range []struct{ n, maxPar, grain int }{
+			{0, 4, 1}, {1, 4, 1}, {17, 1, 1}, {100, 4, 1}, {100, 16, 7}, {1000, 8, 3},
+		} {
+			hits := make([]atomic.Int32, tc.n+1)
+			r.ParallelIndexed(context.Background(), tc.n, tc.maxPar, tc.grain, func(i, slot int) {
+				hits[i].Add(1)
+			})
+			for i := 0; i < tc.n; i++ {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d %+v: index %d ran %d times", workers, tc, i, got)
+				}
+			}
+		}
+		r.Close()
+	}
+}
+
+// TestParallelIndexedSlotBounds: slots stay within [0, maxPar) so
+// lane-indexed scratch arrays sized by the caller never overflow.
+func TestParallelIndexedSlotBounds(t *testing.T) {
+	r := New(WithWorkers(8))
+	defer r.Close()
+	const n, maxPar = 500, 3
+	var bad atomic.Int32
+	r.ParallelIndexed(context.Background(), n, maxPar, 1, func(i, slot int) {
+		if slot < 0 || slot >= maxPar {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatalf("%d executions saw an out-of-range slot", bad.Load())
+	}
+}
+
+// TestParallelIndexedCancel: a canceled context stops the handout;
+// the call still returns with every index accounted for and no hang.
+func TestParallelIndexedCancel(t *testing.T) {
+	r := New(WithWorkers(4))
+	defer r.Close()
+
+	// Pre-canceled: nothing runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	r.ParallelIndexed(ctx, 100, 4, 1, func(i, slot int) { ran.Add(1) })
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("pre-canceled region ran %d indices", got)
+	}
+
+	// Canceled mid-flight: partial, but returns.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var ran2 atomic.Int64
+	r.ParallelIndexed(ctx2, 10000, 4, 1, func(i, slot int) {
+		if ran2.Add(1) == 50 {
+			cancel2()
+		}
+	})
+	if got := ran2.Load(); got < 50 || got == 10000 {
+		t.Fatalf("mid-cancel ran %d indices, want partial >= 50", got)
+	}
+}
+
+// TestParallelIndexedNilRuntime: a nil runtime degrades to in-order
+// sequential execution on the caller.
+func TestParallelIndexedNilRuntime(t *testing.T) {
+	var r *Runtime
+	var order []int
+	r.ParallelIndexed(context.Background(), 5, 8, 1, func(i, slot int) {
+		if slot != 0 {
+			t.Fatalf("nil runtime used slot %d", slot)
+		}
+		order = append(order, i)
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+}
+
+// TestParallelIndexedNested: a region started from inside a Submit
+// job on a saturated runtime still completes, because the caller
+// participates — workers are never a liveness dependency.
+func TestParallelIndexedNested(t *testing.T) {
+	r := New(WithWorkers(1), WithQueueDepth(4))
+	defer r.Close()
+	done := make(chan int64, 1)
+	err := r.Submit(func() {
+		var ran atomic.Int64
+		r.ParallelIndexed(context.Background(), 100, 4, 1, func(i, slot int) { ran.Add(1) })
+		done <- ran.Load()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-done:
+		if got != 100 {
+			t.Fatalf("nested region ran %d, want 100", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested region deadlocked")
+	}
+}
+
+// quicksort is the divide-and-conquer test body: Join-based with a
+// sequential cutoff.
+func quicksort(tc *TaskCtx, xs []float64) {
+	if len(xs) <= 32 {
+		sort.Float64s(xs)
+		return
+	}
+	mid := partition(xs)
+	tc.Join(
+		func(tc *TaskCtx) { quicksort(tc, xs[:mid]) },
+		func(tc *TaskCtx) { quicksort(tc, xs[mid+1:]) },
+	)
+}
+
+func partition(xs []float64) int {
+	pivot := xs[len(xs)/2]
+	xs[len(xs)/2], xs[len(xs)-1] = xs[len(xs)-1], xs[len(xs)/2]
+	i := 0
+	for j := 0; j < len(xs)-1; j++ {
+		if xs[j] < pivot {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+		}
+	}
+	xs[i], xs[len(xs)-1] = xs[len(xs)-1], xs[i]
+	return i
+}
+
+func testSlice(n int) []float64 {
+	xs := make([]float64, n)
+	s := uint64(0x9e3779b97f4a7c15)
+	for i := range xs {
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		xs[i] = float64(s % 1000003)
+	}
+	return xs
+}
+
+// TestJoinQuicksort: the fork-join tree sorts correctly at several
+// worker counts — including on a nil runtime — and spawn bookkeeping
+// moves.
+func TestJoinQuicksort(t *testing.T) {
+	want := testSlice(20000)
+	sort.Float64s(want)
+	for _, workers := range []int{0, 1, 2, 8} {
+		xs := testSlice(20000)
+		var r *Runtime
+		if workers > 0 {
+			r = New(WithWorkers(workers))
+		}
+		r.Do(func(tc *TaskCtx) { quicksort(tc, xs) })
+		for i := range xs {
+			if xs[i] != want[i] {
+				t.Fatalf("workers=%d: sort mismatch at %d", workers, i)
+			}
+		}
+		if workers > 0 {
+			if st := r.Stats(); st.Spawned == 0 {
+				t.Errorf("workers=%d: no tasks spawned", workers)
+			}
+			r.Close()
+		}
+	}
+}
+
+// TestForkerThrottle: with maxParallel lanes, at most maxParallel-1
+// concurrent spawns; beyond that Do inlines on the caller.
+func TestForkerThrottle(t *testing.T) {
+	f := NewForker(3)
+	block := make(chan struct{})
+	var joins []func()
+	for i := 0; i < 2; i++ {
+		joins = append(joins, f.Do(func() { <-block }))
+	}
+	// Tokens exhausted: this Do must inline (and therefore complete
+	// synchronously without touching the blocked goroutines).
+	ran := false
+	join := f.Do(func() { ran = true })
+	if !ran {
+		t.Fatal("third Do should have inlined")
+	}
+	join()
+	spawned, inlined := f.Counts()
+	if spawned != 2 || inlined != 1 {
+		t.Fatalf("counts spawned=%d inlined=%d, want 2/1", spawned, inlined)
+	}
+	close(block)
+	for _, j := range joins {
+		j()
+	}
+
+	// A 1-lane forker never spawns.
+	f1 := NewForker(1)
+	f1.Do(func() {})()
+	if s, _ := f1.Counts(); s != 0 {
+		t.Fatal("1-lane forker spawned a goroutine")
+	}
+}
+
+// TestCloseIdempotentAndConcurrent: double Close and Close racing
+// Submit are safe.
+func TestCloseIdempotentAndConcurrent(t *testing.T) {
+	r := New(WithWorkers(2), WithQueueDepth(8))
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				_ = r.Submit(func() {})
+			}
+		}()
+	}
+	r.Close()
+	r.Close()
+	wg.Wait()
+}

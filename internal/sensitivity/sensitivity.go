@@ -15,6 +15,7 @@ import (
 
 	"pblparallel/internal/core"
 	"pblparallel/internal/engine"
+	"pblparallel/internal/sched"
 	"pblparallel/internal/stats"
 )
 
@@ -69,6 +70,11 @@ type Options struct {
 	// this so sweeps stay byte-identical under injected faults.
 	Retries int
 	Backoff time.Duration
+	// Runtime, when non-nil, lends its workers to the sweep's engine
+	// instead of the process-default scheduler — the study service
+	// passes its admission pool's runtime so one worker set serves the
+	// whole daemon. Never closed here.
+	Runtime *sched.Runtime
 }
 
 // Run executes the study under `seeds` consecutive seeds starting at
@@ -91,6 +97,9 @@ func RunSweep(ctx context.Context, start int64, seeds int, opts Options) (*Resul
 	engOpts := []engine.Option{engine.WithWorkers(opts.Workers), engine.WithMetrics(opts.Metrics)}
 	if opts.Retries > 0 {
 		engOpts = append(engOpts, engine.WithRetry(opts.Retries, opts.Backoff))
+	}
+	if opts.Runtime != nil {
+		engOpts = append(engOpts, engine.WithRuntime(opts.Runtime))
 	}
 	eng := engine.New(engOpts...)
 	sweep, err := eng.Sweep(ctx, cfg, engine.SequentialSeeds(start), seeds)

@@ -86,6 +86,40 @@ func BenchmarkServeCachedRun(b *testing.B) {
 	}
 }
 
+// BenchmarkServeCachedRunHandler isolates the server side of a cached
+// /v1/run: the handler invoked directly (no sockets, no client), so
+// the number is the per-request cost of routing + decode + the cache
+// fast path. This is the figure the scheduler redesign's clean-hit
+// fast path targets (the full-HTTP benchmark above is dominated by
+// client and loopback cost).
+func BenchmarkServeCachedRunHandler(b *testing.B) {
+	reg := obs.NewRegistry()
+	s := New(Config{Workers: 2, Registry: reg})
+	defer s.Close()
+	h := s.Handler()
+
+	warm := httptest.NewRequest(http.MethodPost, "/v1/run", strings.NewReader(`{"seed": 321}`))
+	warm.Header.Set("Content-Type", "application/json")
+	wrec := httptest.NewRecorder()
+	h.ServeHTTP(wrec, warm)
+	if wrec.Code != http.StatusOK {
+		b.Fatalf("warmup status %d", wrec.Code)
+	}
+
+	body := `{"seed": 321}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/v1/run", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d", rec.Code)
+		}
+	}
+}
+
 // BenchmarkServeComputeRun measures the uncached path: every iteration
 // a distinct seed, so each response is a full study computation through
 // admission, pool, and cache store.

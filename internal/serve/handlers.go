@@ -126,11 +126,13 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	k := NewKey([]byte(fmt.Sprintf("run|seed=%d|students=%d|calibrated=%t",
 		p.Seed, p.Students, cfg.Calibrate)))
 	s.respond(w, r, k, func(ctx context.Context) (any, error) {
-		// One-run sweep on a fresh single-worker engine: the admission
-		// pool already bounds cross-request parallelism, and the
-		// engine's retry layer absorbs transient faults (injected run
-		// failures, poisoned barriers) so chaos never changes bytes.
-		eng := engine.New(engine.WithWorkers(1), engine.WithRetry(s.cfg.Retries, retryBackoff))
+		// One-run sweep on a single-worker engine region over the shared
+		// scheduler: the admission pool already bounds cross-request
+		// parallelism, and the engine's retry layer absorbs transient
+		// faults (injected run failures, poisoned barriers) so chaos
+		// never changes bytes.
+		eng := engine.New(engine.WithWorkers(1), engine.WithRetry(s.cfg.Retries, retryBackoff),
+			engine.WithRuntime(s.rt))
 		res, err := eng.Sweep(ctx, cfg, engine.SequentialSeeds(p.Seed), 1)
 		if err != nil {
 			return nil, err
@@ -194,6 +196,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Workers: workers,
 			Retries: s.cfg.Retries,
 			Backoff: retryBackoff,
+			Runtime: s.rt,
 		})
 	})
 }
@@ -228,7 +231,8 @@ func (s *Server) handleSpring2019(w http.ResponseWriter, r *http.Request) {
 	}
 	k := NewKey([]byte(fmt.Sprintf("spring2019|n=%d|seed=%d", n, seed)))
 	s.respond(w, r, k, func(ctx context.Context) (any, error) {
-		proj, err := whatif.ProjectOn(ctx, engine.New(engine.WithWorkers(2)), whatif.TeamworkReinforcement(), int(n), seed)
+		proj, err := whatif.ProjectOn(ctx, engine.New(engine.WithWorkers(2), engine.WithRuntime(s.rt)),
+			whatif.TeamworkReinforcement(), int(n), seed)
 		if err != nil {
 			return nil, err
 		}

@@ -44,6 +44,7 @@ import (
 	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
 	"pblparallel/internal/obs/flightrec"
+	"pblparallel/internal/sched"
 )
 
 // init wires the obs middleware's 5xx hook to the flight recorder: any
@@ -119,19 +120,24 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg   Config
 	pool  *engine.Pool
+	rt    *sched.Runtime // the pool's scheduler, shared with every request engine
 	cache *Cache
 	httpm *obs.HTTPMetrics
 	mux   *http.ServeMux
 
 	ready    atomic.Bool
 	draining atomic.Bool
-	ewmaNs   atomic.Int64 // smoothed compute time, Retry-After's basis
+	// The hot per-request atomics are cache-line padded: every compute
+	// CASes ewmaNs and every shed bumps the window counters, and
+	// adjacent-line false sharing between them measurably hurts under
+	// load (see BenchmarkCounterInc in internal/sched).
+	ewmaNs sched.PaddedInt64 // smoothed compute time, Retry-After's basis
 
 	// Shed-burst detection: sheds within the current one-second window.
 	// A burst (>= shedBurstN in one window) triggers a flight-recorder
 	// postmortem — the moment an operator most wants the black box.
-	shedWinSec   atomic.Int64
-	shedWinCount atomic.Int64
+	shedWinSec   sched.PaddedInt64
+	shedWinCount sched.PaddedInt64
 
 	admitMu  sync.Mutex
 	admitSeq map[string]uint64 // per-key admission attempts (fault keying, armed only)
@@ -144,9 +150,11 @@ type Server struct {
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	pool := engine.NewPool(engine.WithPoolWorkers(cfg.Workers), engine.WithQueueDepth(cfg.Queue))
 	s := &Server{
 		cfg:   cfg,
-		pool:  engine.NewPool(cfg.Workers, cfg.Queue),
+		pool:  pool,
+		rt:    pool.Runtime(),
 		cache: NewCache(cfg.CacheEntries, cfg.Injector),
 		httpm: obs.NewHTTPMetrics(cfg.Registry),
 		mux:   http.NewServeMux(),
@@ -345,6 +353,22 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, k Key, build fu
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
+	}
+	// Clean-hit fast path: with no injector armed and no tracer
+	// installed, a verified cache hit needs none of the per-request
+	// context/span plumbing below. This is the embedded/untraced
+	// shape (the pbld CLI always keeps an in-memory tracer for
+	// /debug/trace, so it takes the instrumented path); measured by
+	// BenchmarkServeCachedRunHandler.
+	if s.cfg.Injector == nil && obs.Default() == nil {
+		if body, ok := s.cache.Get(k); ok {
+			s.cacheHits.Inc()
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Cache", string(CacheHit))
+			w.Header().Set("X-Study-Key", k.Hex())
+			w.Write(body)
+			return
+		}
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	defer cancel()

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
@@ -151,12 +152,21 @@ func TestDebugTraceSpanTree(t *testing.T) {
 // TestCoalescedFollowersLinkLeaderTrace: concurrent identical requests
 // compute once; each follower's own trace records a coalesced.link
 // instant pointing at the leader's trace — the trace that actually
-// holds the engine spans.
+// holds the engine spans. The single pool worker is held busy until
+// every follower has coalesced, so the leader's computation provably
+// stays in flight while they arrive — no scheduling luck involved.
 func TestCoalescedFollowersLinkLeaderTrace(t *testing.T) {
 	tr := obs.NewTracer(1 << 17)
 	obs.Install(tr)
 	defer obs.Install(nil)
-	s, ts := newTestServer(t, Config{Workers: 2})
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if err := s.pool.Submit(func() { close(started); <-release }); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the only worker is now parked; the leader's job must queue
 
 	const dup = 6
 	traces := make([]obs.TraceID, dup)
@@ -174,6 +184,17 @@ func TestCoalescedFollowersLinkLeaderTrace(t *testing.T) {
 			errs <- nil
 		}(i)
 	}
+	// Whichever request wins the cache mutex is the leader; the other
+	// five must find its in-flight call (the worker is parked, so it
+	// cannot complete) and coalesce. Only then is the worker released.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Stats().Cache.Coalesced < dup-1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("coalesced %d/%d before deadline", s.Stats().Cache.Coalesced, dup-1)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
 	for i := 0; i < dup; i++ {
 		if err := <-errs; err != nil {
 			t.Fatal(err)
