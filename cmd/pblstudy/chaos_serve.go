@@ -14,6 +14,7 @@ import (
 	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
 	"pblparallel/internal/obs/flightrec"
+	"pblparallel/internal/obs/prof"
 	"pblparallel/internal/serve"
 )
 
@@ -57,6 +58,22 @@ func runServeChaos(o serveChaosOpts) bool {
 		defer func() {
 			flightrec.Install(nil)
 			rec.Stop()
+		}()
+		// The continuous profiler runs across the sweep on a tight
+		// cadence, so the byte-invariance assertion also proves that CPU
+		// sampling, heap snapshots, and mutex/block sampling never change
+		// response bytes — and a drift postmortem ships real profiles.
+		p := prof.New(prof.Config{
+			Interval:      2 * time.Second,
+			CPUDuration:   500 * time.Millisecond,
+			MutexFraction: 100,
+			BlockRate:     1_000_000,
+		})
+		p.Start()
+		prof.Install(p)
+		defer func() {
+			prof.Install(nil)
+			p.Stop()
 		}()
 	}
 	clean := startChaosServer(serve.Config{Workers: o.workers, Queue: o.seeds, Retries: o.retries})
@@ -114,6 +131,14 @@ func runServeChaos(o serveChaosOpts) bool {
 		if path := flightrec.Active().Trigger("chaos-serve-drift", obs.TraceID{}); path != "" {
 			obs.Log().With("pblstudy chaos").Error(context.Background(),
 				"sweep drifted; flight recorder postmortem written", "path", path)
+		}
+		// And the continuous-profiling ring lands next to the bundles:
+		// every snapshot from the sweep, ready for `go tool pprof`.
+		if o.flightrecDir != "" {
+			if n, err := prof.Active().DumpRing(o.flightrecDir); err == nil && n > 0 {
+				obs.Log().With("pblstudy chaos").Error(context.Background(),
+					"continuous-profiling ring dumped", "dir", o.flightrecDir, "snapshots", n)
+			}
 		}
 	}
 	if o.asJSON {

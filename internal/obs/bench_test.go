@@ -50,3 +50,27 @@ func BenchmarkSpanEnabledParallel(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkHistObserveUntraced pins the exemplar feature's cost on the
+// common path: an observation with a zero TraceID must behave exactly
+// like pre-exemplar Observe — bucket search, three counter updates
+// under the mutex, no time lookup, 0 allocs/op.
+func BenchmarkHistObserveUntraced(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "bench", []float64{0.001, 0.01, 0.1, 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveTrace(0.005, TraceID{})
+	}
+}
+
+// BenchmarkHistObserveTraced is the exemplared path: one timestamp
+// lookup plus a fixed-size exemplar store in the landing bucket's
+// preallocated slot — still 0 allocs/op.
+func BenchmarkHistObserveTraced(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", "bench", []float64{0.001, 0.01, 0.1, 1})
+	trace := NewTraceID()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveTrace(0.005, trace)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"pblparallel/internal/obs"
+	"pblparallel/internal/obs/prof"
 )
 
 // Kind classifies one recorded incident.
@@ -327,17 +328,31 @@ type SpanRecord struct {
 	Args    map[string]any `json:"args,omitempty"`
 }
 
+// ProfileRecord is one pprof snapshot shipped inside a bundle. Data is
+// the profile exactly as the runtime emits it (gzipped protobuf), so
+// base64-decoding the JSON field yields a file `go tool pprof` opens
+// directly; File names the sidecar copy when the bundle went to disk.
+type ProfileRecord struct {
+	Seq    uint64    `json:"seq"`
+	Kind   string    `json:"kind"`
+	At     time.Time `json:"at"`
+	Reason string    `json:"reason"`
+	File   string    `json:"file,omitempty"`
+	Data   []byte    `json:"data,omitempty"`
+}
+
 // Bundle is the self-contained postmortem document.
 type Bundle struct {
-	Reason   string         `json:"reason"`
-	At       time.Time      `json:"at"`
-	Trace    obs.TraceID    `json:"trace,omitempty"`
-	WindowNS int64          `json:"window_ns"`
-	Build    map[string]any `json:"build"`
-	Events   []EventRecord  `json:"events"`
-	Samples  []SampleRecord `json:"metric_samples"`
-	Metrics  []obs.Family   `json:"metrics"`
-	Spans    []SpanRecord   `json:"spans,omitempty"`
+	Reason   string          `json:"reason"`
+	At       time.Time       `json:"at"`
+	Trace    obs.TraceID     `json:"trace,omitempty"`
+	WindowNS int64           `json:"window_ns"`
+	Build    map[string]any  `json:"build"`
+	Events   []EventRecord   `json:"events"`
+	Samples  []SampleRecord  `json:"metric_samples"`
+	Metrics  []obs.Family    `json:"metrics"`
+	Spans    []SpanRecord    `json:"spans,omitempty"`
+	Profiles []ProfileRecord `json:"profiles,omitempty"`
 }
 
 // buildBundle assembles the postmortem document.
@@ -378,6 +393,14 @@ func (r *Recorder) buildBundle(reason string, trace obs.TraceID) Bundle {
 			})
 		}
 	}
+	// When the continuous profiler is installed, every postmortem ships
+	// with profiles: fresh instant snapshots plus the latest CPU window
+	// from the profiling ring. Disabled profiler → nil → no profiles.
+	for _, s := range prof.Active().CaptureTrigger("flightrec-" + reason) {
+		b.Profiles = append(b.Profiles, ProfileRecord{
+			Seq: s.Seq, Kind: s.Kind, At: s.At, Reason: s.Reason, Data: s.Data,
+		})
+	}
 	return b
 }
 
@@ -409,7 +432,16 @@ func (r *Recorder) Trigger(reason string, trace obs.TraceID) string {
 		return ""
 	}
 	r.Event(KindDump, reason, 0, trace)
-	data, err := json.MarshalIndent(r.buildBundle(reason, trace), "", "  ")
+	b := r.buildBundle(reason, trace)
+	base := fmt.Sprintf("flightrec-%d-%s", now, sanitize(reason))
+	if r.cfg.Dir != "" {
+		// Name the sidecar profile files before marshaling so the JSON
+		// bundle references them.
+		for i := range b.Profiles {
+			b.Profiles[i].File = fmt.Sprintf("%s-%s-%06d.pb.gz", base, b.Profiles[i].Kind, b.Profiles[i].Seq)
+		}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
 		return ""
 	}
@@ -420,13 +452,18 @@ func (r *Recorder) Trigger(reason string, trace obs.TraceID) string {
 	if r.cfg.Dir == "" {
 		return ""
 	}
-	name := fmt.Sprintf("flightrec-%d-%s.json", now, sanitize(reason))
-	path := filepath.Join(r.cfg.Dir, name)
+	path := filepath.Join(r.cfg.Dir, base+".json")
 	if err := os.MkdirAll(r.cfg.Dir, 0o755); err != nil {
 		return ""
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return ""
+	}
+	// Each profile also lands next to the bundle as a ready-to-open
+	// .pb.gz, so `go tool pprof <file>` works without extracting the
+	// base64 field.
+	for _, p := range b.Profiles {
+		_ = os.WriteFile(filepath.Join(r.cfg.Dir, p.File), p.Data, 0o644)
 	}
 	return path
 }

@@ -1,0 +1,136 @@
+package flightrec
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pblparallel/internal/obs"
+	"pblparallel/internal/obs/prof"
+)
+
+// TestTriggerShipsProfiles exercises the profiler↔recorder hookup: with
+// a continuous profiler installed, a triggered dump must embed
+// capturable pprof profiles in the JSON bundle and write each one as a
+// .pb.gz sidecar next to the bundle file.
+func TestTriggerShipsProfiles(t *testing.T) {
+	p := prof.New(prof.Config{Capacity: 16, Registry: obs.NewRegistry()})
+	prof.Install(p)
+	defer prof.Install(nil)
+
+	dir := t.TempDir()
+	r := newTestRecorder(Config{MinGap: time.Hour, Dir: dir})
+	path := r.Trigger("prof-hookup", obs.NewTraceID())
+	if path == "" {
+		t.Fatal("Trigger wrote no bundle")
+	}
+
+	var b Bundle
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		t.Fatalf("bundle unmarshal: %v", err)
+	}
+	if len(b.Profiles) == 0 {
+		t.Fatal("bundle has no profiles despite installed profiler")
+	}
+	seen := map[string]bool{}
+	for _, pr := range b.Profiles {
+		seen[pr.Kind] = true
+		if pr.Reason != "flightrec-prof-hookup" {
+			t.Errorf("%s: reason %q, want flightrec-prof-hookup", pr.Kind, pr.Reason)
+		}
+		// The JSON-embedded data decodes to a gzip stream go tool
+		// pprof can open.
+		if len(pr.Data) < 2 || pr.Data[0] != 0x1f || pr.Data[1] != 0x8b {
+			t.Fatalf("%s: embedded data is not gzip (len=%d)", pr.Kind, len(pr.Data))
+		}
+		zr, err := gzip.NewReader(bytes.NewReader(pr.Data))
+		if err != nil {
+			t.Fatalf("%s: gzip reader: %v", pr.Kind, err)
+		}
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			t.Fatalf("%s: decompress: %v", pr.Kind, err)
+		}
+		if len(raw) == 0 {
+			t.Fatalf("%s: decompressed profile is empty", pr.Kind)
+		}
+		// The sidecar exists, is named by the bundle, and holds the
+		// same bytes.
+		if pr.File == "" || !strings.HasSuffix(pr.File, ".pb.gz") {
+			t.Fatalf("%s: bad sidecar name %q", pr.Kind, pr.File)
+		}
+		side, err := os.ReadFile(filepath.Join(dir, pr.File))
+		if err != nil {
+			t.Fatalf("%s: sidecar: %v", pr.Kind, err)
+		}
+		if !bytes.Equal(side, pr.Data) {
+			t.Errorf("%s: sidecar bytes differ from embedded data", pr.Kind)
+		}
+	}
+	for _, k := range []string{"heap", "goroutine"} {
+		if !seen[k] {
+			t.Errorf("bundle missing %s profile", k)
+		}
+	}
+	// LastBundle (the /debug/flightrec?last=1 payload) carries the same
+	// profiles.
+	var lb Bundle
+	if err := json.Unmarshal(r.LastBundle(), &lb); err != nil {
+		t.Fatalf("LastBundle unmarshal: %v", err)
+	}
+	if len(lb.Profiles) != len(b.Profiles) {
+		t.Errorf("LastBundle has %d profiles, bundle file has %d", len(lb.Profiles), len(b.Profiles))
+	}
+}
+
+// TestWriteBundleProfilesWithoutSidecars checks the on-demand path: an
+// operator bundle embeds profiles but names no sidecar files (nothing
+// was written to disk).
+func TestWriteBundleProfilesWithoutSidecars(t *testing.T) {
+	p := prof.New(prof.Config{Capacity: 16, Registry: obs.NewRegistry()})
+	prof.Install(p)
+	defer prof.Install(nil)
+
+	r := newTestRecorder(Config{})
+	var buf bytes.Buffer
+	if err := r.WriteBundle(&buf, "on-demand", obs.TraceID{}); err != nil {
+		t.Fatal(err)
+	}
+	var b Bundle
+	if err := json.Unmarshal(buf.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Profiles) == 0 {
+		t.Fatal("on-demand bundle has no profiles")
+	}
+	for _, pr := range b.Profiles {
+		if pr.File != "" {
+			t.Errorf("%s: on-demand profile names sidecar %q", pr.Kind, pr.File)
+		}
+	}
+}
+
+// TestTriggerNoProfilerNoProfiles pins the disabled default: without an
+// installed profiler, bundles simply omit the profiles section.
+func TestTriggerNoProfilerNoProfiles(t *testing.T) {
+	prof.Install(nil)
+	r := newTestRecorder(Config{MinGap: time.Hour})
+	r.Trigger("no-prof", obs.TraceID{})
+	var b Bundle
+	if err := json.Unmarshal(r.LastBundle(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Profiles) != 0 {
+		t.Errorf("bundle has %d profiles with no profiler installed", len(b.Profiles))
+	}
+}

@@ -15,12 +15,15 @@ import (
 // enough for a cache hit (µs–ms) and a cold 124-student study run.
 var httpBounds = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
 
-// routeStats is one route's accumulated request data.
+// routeStats is one route's accumulated request data. exemplars holds
+// the most recent traced observation per latency bucket, so the
+// OpenMetrics exposition can link a p99 bucket to its span tree.
 type routeStats struct {
-	byCode map[int]uint64
-	counts []uint64 // httpBounds buckets + overflow
-	sum    float64
-	n      uint64
+	byCode    map[int]uint64
+	counts    []uint64 // httpBounds buckets + overflow
+	sum       float64
+	n         uint64
+	exemplars []Exemplar
 }
 
 // HTTPMetrics instruments HTTP handlers: per-route latency histograms,
@@ -124,7 +127,7 @@ func (m *HTTPMetrics) Middleware(route string, next http.Handler) http.Handler {
 			code = http.StatusOK
 		}
 		sp.Int("code", int64(code)).End()
-		m.observe(route, code, elapsed)
+		m.observe(route, code, elapsed, tc.Trace)
 		if code >= 500 {
 			if f := onServerError.Load(); f != nil {
 				(*f)(route, code, tc)
@@ -133,17 +136,24 @@ func (m *HTTPMetrics) Middleware(route string, next http.Handler) http.Handler {
 	})
 }
 
-// observe records one completed request.
-func (m *HTTPMetrics) observe(route string, code int, seconds float64) {
+// observe records one completed request; a non-zero trace becomes the
+// landing bucket's exemplar.
+func (m *HTTPMetrics) observe(route string, code int, seconds float64, trace TraceID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rs, ok := m.routes[route]
 	if !ok {
-		rs = &routeStats{byCode: make(map[int]uint64), counts: make([]uint64, len(httpBounds)+1)}
+		rs = &routeStats{byCode: make(map[int]uint64),
+			counts:    make([]uint64, len(httpBounds)+1),
+			exemplars: make([]Exemplar, len(httpBounds)+1)}
 		m.routes[route] = rs
 	}
 	rs.byCode[code]++
-	rs.counts[sort.SearchFloat64s(httpBounds, seconds)]++
+	i := sort.SearchFloat64s(httpBounds, seconds)
+	rs.counts[i]++
+	if !trace.IsZero() {
+		rs.exemplars[i] = Exemplar{Value: seconds, Trace: trace, AtNS: nowUnixNano()}
+	}
 	rs.sum += seconds
 	rs.n++
 }
@@ -185,6 +195,12 @@ func (m *HTTPMetrics) GatherMetrics() []Family {
 		}
 		cum += rs.counts[len(httpBounds)]
 		p.Buckets = append(p.Buckets, Bucket{UpperBound: math.Inf(1), CumulativeCount: cum})
+		for _, e := range rs.exemplars {
+			if !e.Trace.IsZero() {
+				p.Exemplars = append([]Exemplar(nil), rs.exemplars...)
+				break
+			}
+		}
 		durs.Points = append(durs.Points, p)
 	}
 	return []Family{

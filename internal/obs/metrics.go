@@ -11,9 +11,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pblparallel/internal/sched"
 )
+
+// nowUnixNano stamps exemplars; a var so tests can pin it.
+var nowUnixNano = func() int64 { return time.Now().UnixNano() }
 
 // Label is one metric dimension; Point labels are kept ordered so
 // renderings are deterministic.
@@ -77,14 +81,28 @@ func (b *Bucket) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// Exemplar links one recorded observation to the trace that produced
+// it: the raw value, the request's TraceID, and the observation time.
+// A zero Trace means "no exemplar". Rendered only by the OpenMetrics
+// exposition (`# {trace_id="..."} value ts` after a bucket count), so
+// a p99 latency bucket points straight at /debug/trace/{id}.
+type Exemplar struct {
+	Value float64 `json:"value"`
+	Trace TraceID `json:"trace"`
+	AtNS  int64   `json:"at_ns"`
+}
+
 // Point is one sample of a metric family: a scalar for counters and
-// gauges, buckets/sum/count for histograms.
+// gauges, buckets/sum/count for histograms. Exemplars, when present,
+// parallels Buckets (index i is bucket i's most recent traced
+// observation; a zero Trace marks an empty slot).
 type Point struct {
-	Labels  []Label
-	Value   float64
-	Buckets []Bucket
-	Sum     float64
-	Count   uint64
+	Labels    []Label
+	Value     float64
+	Buckets   []Bucket
+	Sum       float64
+	Count     uint64
+	Exemplars []Exemplar
 }
 
 // Family is one named metric with its samples — the exchange format
@@ -146,23 +164,36 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Hist is a fixed-bucket histogram over float64 observations (by
-// convention, seconds).
+// convention, seconds). Each bucket additionally keeps the most recent
+// exemplar — an observation stamped with the trace that produced it —
+// so the exposition can link latency outliers to their span trees.
 type Hist struct {
-	help   string
-	bounds []float64
-	mu     sync.Mutex
-	counts []uint64
-	sum    float64
-	n      uint64
+	help      string
+	bounds    []float64
+	mu        sync.Mutex
+	counts    []uint64
+	sum       float64
+	n         uint64
+	exemplars []Exemplar
 }
 
-// Observe records one value.
-func (h *Hist) Observe(v float64) {
+// Observe records one value with no exemplar.
+func (h *Hist) Observe(v float64) { h.ObserveTrace(v, TraceID{}) }
+
+// ObserveTrace records one value and, when trace is set, stores it as
+// the landing bucket's exemplar. The untraced path is byte-for-byte
+// Observe: no time lookup, no allocation — the call sites on hot paths
+// pass the request's TraceID, which is zero whenever no trace context
+// flowed in.
+func (h *Hist) ObserveTrace(v float64, trace TraceID) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.mu.Lock()
 	h.counts[i]++
 	h.sum += v
 	h.n++
+	if !trace.IsZero() {
+		h.exemplars[i] = Exemplar{Value: v, Trace: trace, AtNS: nowUnixNano()}
+	}
 	h.mu.Unlock()
 }
 
@@ -178,6 +209,12 @@ func (h *Hist) snapshot() Point {
 	}
 	cum += h.counts[len(h.bounds)]
 	p.Buckets = append(p.Buckets, Bucket{UpperBound: math.Inf(1), CumulativeCount: cum})
+	for _, e := range h.exemplars {
+		if !e.Trace.IsZero() {
+			p.Exemplars = append([]Exemplar(nil), h.exemplars...)
+			break
+		}
+	}
 	return p
 }
 
@@ -190,6 +227,7 @@ type Registry struct {
 	counters  map[string]*Counter
 	gauges    map[string]*Gauge
 	hists     map[string]*Hist
+	histvecs  map[string]*HistVec
 	gatherers []Gatherer
 	published bool
 }
@@ -200,6 +238,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Hist),
+		histvecs: make(map[string]*HistVec),
 	}
 }
 
@@ -236,11 +275,79 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Hist {
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
-		h = &Hist{help: help, bounds: append([]float64(nil), bounds...),
-			counts: make([]uint64, len(bounds)+1)}
+		h = newHist(help, bounds)
 		r.hists[name] = h
 	}
 	return h
+}
+
+func newHist(help string, bounds []float64) *Hist {
+	return &Hist{help: help, bounds: append([]float64(nil), bounds...),
+		counts:    make([]uint64, len(bounds)+1),
+		exemplars: make([]Exemplar, len(bounds)+1)}
+}
+
+// HistVec is one histogram family fanned out over the values of a
+// single label (e.g. serve_queue_wait_seconds by route). All member
+// histograms share bounds; the family renders one labeled Point per
+// member, label values sorted, so the exposition is deterministic.
+type HistVec struct {
+	help     string
+	labelKey string
+	bounds   []float64
+	mu       sync.Mutex
+	m        map[string]*Hist
+}
+
+// HistogramVec returns the named labeled-histogram family, creating it
+// on first use. Like Histogram, bounds and the label key are fixed at
+// creation; later calls ignore the arguments.
+func (r *Registry) HistogramVec(name, help, labelKey string, bounds []float64) *HistVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.histvecs[name]
+	if !ok {
+		v = &HistVec{help: help, labelKey: labelKey,
+			bounds: append([]float64(nil), bounds...), m: make(map[string]*Hist)}
+		r.histvecs[name] = v
+	}
+	return v
+}
+
+// With returns the member histogram for one label value, creating it
+// on first use. Call sites with a static label set should cache the
+// result; the lookup is a mutex + map hit otherwise.
+func (v *HistVec) With(labelValue string) *Hist {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	h, ok := v.m[labelValue]
+	if !ok {
+		h = newHist(v.help, v.bounds)
+		v.m[labelValue] = h
+	}
+	return h
+}
+
+// snapshotFamily renders the vec as one family under name.
+func (v *HistVec) snapshotFamily(name string) Family {
+	v.mu.Lock()
+	vals := make([]string, 0, len(v.m))
+	for val := range v.m {
+		vals = append(vals, val)
+	}
+	members := make([]*Hist, 0, len(vals))
+	sort.Strings(vals)
+	for _, val := range vals {
+		members = append(members, v.m[val])
+	}
+	v.mu.Unlock()
+	f := Family{Name: name, Help: v.help, Type: "histogram"}
+	for i, h := range members {
+		p := h.snapshot()
+		p.Labels = []Label{{Key: v.labelKey, Value: vals[i]}}
+		f.Points = append(f.Points, p)
+	}
+	return f
 }
 
 // RegisterGatherer adds a render-time metrics source.
@@ -269,6 +376,9 @@ func (r *Registry) Gather() []Family {
 	for name, h := range r.hists {
 		fams = append(fams, Family{Name: name, Help: h.help, Type: "histogram",
 			Points: []Point{h.snapshot()}})
+	}
+	for name, v := range r.histvecs {
+		fams = append(fams, v.snapshotFamily(name))
 	}
 	gatherers := append([]Gatherer(nil), r.gatherers...)
 	r.mu.Unlock()
@@ -364,6 +474,69 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 // formatFloat renders a sample value (shortest round-trip form).
 func formatFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// OpenMetricsContentType is the content type WriteOpenMetrics renders;
+// the /metrics handler serves it when the client's Accept header asks
+// for application/openmetrics-text.
+const OpenMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// exemplarSuffix renders one OpenMetrics exemplar clause
+// (" # {trace_id=\"...\"} value timestamp") or "" when e is unset.
+func exemplarSuffix(e Exemplar) string {
+	if e.Trace.IsZero() {
+		return ""
+	}
+	ts := strconv.FormatFloat(float64(e.AtNS)/1e9, 'f', 3, 64)
+	return " # {trace_id=\"" + e.Trace.String() + "\"} " + formatFloat(e.Value) + " " + ts
+}
+
+// WriteOpenMetrics renders every family in the OpenMetrics text format
+// (the successor of the Prometheus 0.0.4 exposition): counter metadata
+// drops the _total suffix per the spec, histogram buckets carry
+// exemplar clauses linking latency outliers to /debug/trace/{id}, and
+// the stream is terminated by the mandatory # EOF marker.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	for _, f := range r.Gather() {
+		meta := f.Name
+		if f.Type == "counter" {
+			meta = strings.TrimSuffix(meta, "_total")
+		}
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", meta, f.Help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", meta, f.Type); err != nil {
+			return err
+		}
+		for _, p := range f.Points {
+			if f.Type == "histogram" {
+				for i, b := range p.Buckets {
+					var ex string
+					if i < len(p.Exemplars) {
+						ex = exemplarSuffix(p.Exemplars[i])
+					}
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n",
+						f.Name, labelString(p.Labels, "le", formatBound(b.UpperBound)), b.CumulativeCount, ex); err != nil {
+						return err
+					}
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+					f.Name, labelString(p.Labels, "", ""), formatFloat(p.Sum),
+					f.Name, labelString(p.Labels, "", ""), p.Count); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n",
+				f.Name, labelString(p.Labels, "", ""), formatFloat(p.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
 }
 
 // ExpvarFunc returns an expvar.Func whose JSON value is the gathered

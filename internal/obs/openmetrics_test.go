@@ -1,0 +1,295 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pblparallel/internal/sched"
+)
+
+// newTestRuntime starts a 2-worker scheduler and runs one indexed
+// region over 1024 indices at grain 16 (64 chunks) so the gatherer has
+// real ledgers to export.
+func newTestRuntime(t *testing.T) *sched.Runtime {
+	t.Helper()
+	rt := sched.New(sched.WithWorkers(2))
+	t.Cleanup(rt.Close)
+	rt.ParallelIndexed(context.Background(), 1024, 2, 16, func(i, slot int) {})
+	return rt
+}
+
+// Exposition-grammar regexes: a pragmatic subset of the OpenMetrics
+// ABNF covering every construct this registry can emit. Each sample
+// line is metric name, optional label set, a value, and an optional
+// exemplar clause (`# {labels} value timestamp`).
+var (
+	reMetricName = `[a-zA-Z_:][a-zA-Z0-9_:]*`
+	reLabelSet   = `\{` + reMetricName + `="(?:[^"\\]|\\.)*"(?:,` + reMetricName + `="(?:[^"\\]|\\.)*")*\}`
+	reValue      = `(?:[-+]?[0-9]*\.?[0-9]+(?:[eE][-+]?[0-9]+)?|\+Inf|-Inf|NaN)`
+	reExemplar   = `(?: # ` + reLabelSet + ` ` + reValue + `(?: ` + reValue + `)?)?`
+	reSample     = regexp.MustCompile(`^(` + reMetricName + `)(` + reLabelSet + `)? ` + reValue + reExemplar + `$`)
+	reHelp       = regexp.MustCompile(`^# HELP ` + reMetricName + ` .*$`)
+	reType       = regexp.MustCompile(`^# TYPE (` + reMetricName + `) (counter|gauge|histogram)$`)
+)
+
+// parseExposition validates every line of an exposition against the
+// grammar and returns sample-name → count plus whether # EOF closed
+// the stream. It fails the test on the first malformed line.
+func parseExposition(t *testing.T, text string, allowExemplars bool) (samples map[string]int, sawEOF bool) {
+	t.Helper()
+	samples = make(map[string]int)
+	types := make(map[string]string)
+	for ln, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		switch {
+		case line == "# EOF":
+			sawEOF = true
+		case strings.HasPrefix(line, "# HELP "):
+			if !reHelp.MatchString(line) {
+				t.Fatalf("line %d: malformed HELP: %q", ln+1, line)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			m := reType.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			types[m[1]] = m[2]
+		default:
+			m := reSample.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed sample: %q", ln+1, line)
+			}
+			if !allowExemplars && strings.Contains(line, " # {") {
+				t.Fatalf("line %d: exemplar in a non-OpenMetrics exposition: %q", ln+1, line)
+			}
+			if strings.Contains(line, " # {") && !strings.Contains(m[1], "_bucket") {
+				t.Fatalf("line %d: exemplar on a non-bucket sample: %q", ln+1, line)
+			}
+			samples[m[1]]++
+		}
+	}
+	if len(types) == 0 {
+		t.Fatal("exposition declared no metric types")
+	}
+	return samples, sawEOF
+}
+
+// buildTestRegistry assembles a registry exercising every instrument
+// kind, with exemplars recorded through traced observations.
+func buildTestRegistry(t *testing.T) (*Registry, TraceID) {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("test_requests_total", "Requests.").Add(7)
+	reg.Gauge("test_depth", "Queue depth.").Set(3.5)
+	trace, _ := ParseTraceID("4bf92f3577b34da6a3ce929d0e0e4736")
+	h := reg.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	h.Observe(0.004)
+	h.ObserveTrace(0.05, trace)
+	v := reg.HistogramVec("test_wait_seconds", "Wait by route.", "route", []float64{0.001, 0.25})
+	v.With("/v1/run").ObserveTrace(0.002, trace)
+	v.With("/v1/sweep").Observe(0.3)
+	return reg, trace
+}
+
+// TestOpenMetricsGrammar renders the registry through both writers and
+// validates every line against the exposition grammar: Prometheus text
+// carries no exemplars, OpenMetrics carries them on bucket lines only
+// and terminates with # EOF.
+func TestOpenMetricsGrammar(t *testing.T) {
+	reg, trace := buildTestRegistry(t)
+
+	var prom strings.Builder
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	samples, sawEOF := parseExposition(t, prom.String(), false)
+	if sawEOF {
+		t.Fatal("Prometheus 0.0.4 exposition must not emit # EOF")
+	}
+	if samples["test_requests_total"] != 1 || samples["test_latency_seconds_bucket"] != 4 {
+		t.Fatalf("unexpected prometheus samples: %v", samples)
+	}
+
+	var om strings.Builder
+	if err := reg.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	text := om.String()
+	samples, sawEOF = parseExposition(t, text, true)
+	if !sawEOF {
+		t.Fatal("OpenMetrics exposition missing # EOF terminator")
+	}
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatal("# EOF must be the final line")
+	}
+	// Counter metadata drops the _total suffix; samples keep it.
+	if !strings.Contains(text, "# TYPE test_requests counter") {
+		t.Fatalf("counter TYPE metadata kept its _total suffix:\n%s", text)
+	}
+	if samples["test_requests_total"] != 1 {
+		t.Fatalf("counter sample lost its _total suffix: %v", samples)
+	}
+	// The traced observations must surface as exemplars naming the trace.
+	want := `# {trace_id="` + trace.String() + `"} 0.05`
+	if !strings.Contains(text, want) {
+		t.Fatalf("exposition missing histogram exemplar %q:\n%s", want, text)
+	}
+	if !strings.Contains(text, `trace_id="`+trace.String()+`"} 0.002`) {
+		t.Fatalf("exposition missing histvec exemplar:\n%s", text)
+	}
+	// The vec renders one labeled point per route, sorted.
+	run := strings.Index(text, `test_wait_seconds_bucket{route="/v1/run"`)
+	sweep := strings.Index(text, `test_wait_seconds_bucket{route="/v1/sweep"`)
+	if run < 0 || sweep < 0 || run > sweep {
+		t.Fatalf("histvec points missing or unsorted (run@%d sweep@%d)", run, sweep)
+	}
+}
+
+// TestHistogramExemplarBuckets pins exemplar placement: the exemplar
+// lands on the bucket its observation fell in, holds the latest traced
+// value, and untraced observations never overwrite it.
+func TestHistogramExemplarBuckets(t *testing.T) {
+	old := nowUnixNano
+	nowUnixNano = func() int64 { return 1_700_000_000_000_000_000 }
+	defer func() { nowUnixNano = old }()
+
+	reg := NewRegistry()
+	h := reg.Histogram("x_seconds", "", []float64{0.01, 0.1})
+	t1, _ := ParseTraceID("0af7651916cd43dd8448eb211c80319c")
+	t2, _ := ParseTraceID("4bf92f3577b34da6a3ce929d0e0e4736")
+	h.ObserveTrace(0.005, t1) // bucket 0
+	h.ObserveTrace(0.004, t2) // bucket 0 again: latest wins
+	h.Observe(0.003)          // untraced: must not clear the exemplar
+	h.ObserveTrace(5, t1)     // overflow (+Inf) bucket
+
+	var fam *Family
+	for _, f := range reg.Gather() {
+		if f.Name == "x_seconds" {
+			fam = &f
+			break
+		}
+	}
+	if fam == nil {
+		t.Fatal("family not gathered")
+	}
+	p := fam.Points[0]
+	if len(p.Exemplars) != 3 {
+		t.Fatalf("exemplar slots = %d, want 3", len(p.Exemplars))
+	}
+	if p.Exemplars[0].Trace != t2 || p.Exemplars[0].Value != 0.004 {
+		t.Fatalf("bucket 0 exemplar = %+v, want latest traced (t2, 0.004)", p.Exemplars[0])
+	}
+	if p.Exemplars[1].Trace != (TraceID{}) {
+		t.Fatalf("bucket 1 exemplar = %+v, want empty", p.Exemplars[1])
+	}
+	if p.Exemplars[2].Trace != t1 || p.Exemplars[2].Value != 5 {
+		t.Fatalf("+Inf exemplar = %+v, want (t1, 5)", p.Exemplars[2])
+	}
+	if p.Exemplars[2].AtNS != 1_700_000_000_000_000_000 {
+		t.Fatalf("exemplar timestamp = %d, want pinned clock", p.Exemplars[2].AtNS)
+	}
+	// Counts must be unaffected by exemplar bookkeeping.
+	if p.Count != 4 || p.Buckets[0].CumulativeCount != 3 {
+		t.Fatalf("counts perturbed: %+v", p)
+	}
+}
+
+// TestSchedGathererFamilies runs real scheduler work and checks the
+// gatherer surfaces consistent per-worker families.
+func TestSchedGathererFamilies(t *testing.T) {
+	reg := NewRegistry()
+	rt := newTestRuntime(t)
+	reg.RegisterGatherer(SchedGatherer(rt))
+	fams := reg.Gather()
+	byName := map[string]Family{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	workers, ok := byName["sched_workers"]
+	if !ok || workers.Points[0].Value != 2 {
+		t.Fatalf("sched_workers missing or wrong: %+v", workers)
+	}
+	claims, ok := byName["sched_worker_grain_claims_total"]
+	if !ok {
+		t.Fatal("sched_worker_grain_claims_total not gathered")
+	}
+	// 2 workers + the external aggregate.
+	if len(claims.Points) != 3 {
+		t.Fatalf("grain-claim points = %d, want 3", len(claims.Points))
+	}
+	var total float64
+	for _, p := range claims.Points {
+		total += p.Value
+	}
+	if total != 64 { // 1024 indices / grain 16 = 64 chunks, claimed exactly once
+		t.Fatalf("grain claims total = %g, want 64", total)
+	}
+	depth, ok := byName["sched_worker_deque_depth"]
+	if !ok || len(depth.Points) != 2 {
+		t.Fatalf("deque-depth points = %+v, want one per worker", depth)
+	}
+	// The whole sched surface must render through both writers cleanly.
+	var om strings.Builder
+	if err := reg.WriteOpenMetrics(&om); err != nil {
+		t.Fatal(err)
+	}
+	if _, sawEOF := parseExposition(t, om.String(), true); !sawEOF {
+		t.Fatal("sched exposition missing # EOF")
+	}
+	if !strings.Contains(om.String(), `sched_worker_steals_total{worker="external"}`) {
+		t.Fatalf("external participant aggregate missing:\n%s", om.String())
+	}
+}
+
+// TestSchedGathererNil pins the disabled shape: a nil runtime gathers
+// no families, so registration is safe unconditionally.
+func TestSchedGathererNil(t *testing.T) {
+	if fams := SchedGatherer(nil).GatherMetrics(); fams != nil {
+		t.Fatalf("nil runtime gathered %d families", len(fams))
+	}
+}
+
+// quantileSanity guards the httpBounds invariants the exemplar code
+// indexes by.
+func TestHTTPBoundsSorted(t *testing.T) {
+	for i := 1; i < len(httpBounds); i++ {
+		if httpBounds[i] <= httpBounds[i-1] {
+			t.Fatalf("httpBounds unsorted at %d", i)
+		}
+	}
+	if math.IsInf(httpBounds[len(httpBounds)-1], 1) {
+		t.Fatal("httpBounds must not include +Inf; the overflow bucket is implicit")
+	}
+	// formatBound must round-trip every bound (exemplar/bucket labels
+	// rely on exact rendering).
+	for _, b := range httpBounds {
+		if got, err := strconv.ParseFloat(formatBound(b), 64); err != nil || got != b {
+			t.Fatalf("formatBound(%v) = %q does not round-trip", b, formatBound(b))
+		}
+	}
+}
+
+// ExampleRegistry_WriteOpenMetrics shows the exemplar clause shape.
+func ExampleRegistry_WriteOpenMetrics() {
+	old := nowUnixNano
+	nowUnixNano = func() int64 { return 1_700_000_000_500_000_000 }
+	defer func() { nowUnixNano = old }()
+	reg := NewRegistry()
+	trace, _ := ParseTraceID("4bf92f3577b34da6a3ce929d0e0e4736")
+	reg.Histogram("demo_seconds", "Demo.", []float64{0.1}).ObserveTrace(0.05, trace)
+	var b strings.Builder
+	_ = reg.WriteOpenMetrics(&b)
+	fmt.Print(b.String())
+	// Output:
+	// # HELP demo_seconds Demo.
+	// # TYPE demo_seconds histogram
+	// demo_seconds_bucket{le="0.1"} 1 # {trace_id="4bf92f3577b34da6a3ce929d0e0e4736"} 0.05 1700000000.500
+	// demo_seconds_bucket{le="+Inf"} 1
+	// demo_seconds_sum 0.05
+	// demo_seconds_count 1
+	// # EOF
+}

@@ -1,0 +1,30 @@
+package prof
+
+import "testing"
+
+// BenchmarkActiveDisabled pins the disabled fast path: when no
+// profiler is installed, checking costs one atomic load and zero
+// allocations — the price every trigger site pays in production with
+// profiling off.
+func BenchmarkActiveDisabled(b *testing.B) {
+	Install(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if p := Active(); p != nil {
+			b.Fatal("profiler installed")
+		}
+	}
+}
+
+// BenchmarkCaptureTriggerDisabled pins the full disabled trigger path:
+// Active() returning nil plus the nil-receiver CaptureTrigger, which
+// must not allocate.
+func BenchmarkCaptureTriggerDisabled(b *testing.B) {
+	Install(nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if snaps := Active().CaptureTrigger("bench"); snaps != nil {
+			b.Fatal("unexpected snapshots")
+		}
+	}
+}

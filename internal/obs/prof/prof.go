@@ -1,0 +1,356 @@
+// Package prof is the continuous profiler: a background loop that
+// captures CPU, heap, goroutine, mutex, and block pprof profiles into
+// a bounded in-memory ring of compressed snapshots, plus a
+// trigger-driven capture path so every flight-recorder postmortem
+// bundle ships with the profiles that explain it.
+//
+// It obeys the observability contract of the tracer and the flight
+// recorder: capturing never changes what the system computes, and the
+// disabled path (no profiler installed) is a nil-pointer check with
+// zero allocations.
+package prof
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pblparallel/internal/obs"
+)
+
+// Profile kinds. The values match runtime/pprof.Lookup names where one
+// exists; "cpu" is the sampled CPU profile.
+const (
+	KindCPU       = "cpu"
+	KindHeap      = "heap"
+	KindGoroutine = "goroutine"
+	KindMutex     = "mutex"
+	KindBlock     = "block"
+)
+
+// instantKinds are the profiles capturable at a point in time (no
+// sampling window), in capture order.
+var instantKinds = []string{KindHeap, KindGoroutine, KindMutex, KindBlock}
+
+// Snapshot is one captured profile. Data is the pprof protobuf exactly
+// as the runtime emits it (already gzip-compressed), so a snapshot can
+// be written to a .pb.gz file or fed to `go tool pprof` unmodified.
+type Snapshot struct {
+	Seq    uint64    `json:"seq"`
+	Kind   string    `json:"kind"`
+	At     time.Time `json:"at"`
+	Reason string    `json:"reason"`
+	Data   []byte    `json:"data,omitempty"`
+}
+
+// Config sizes and paces a Profiler.
+type Config struct {
+	// Capacity is the snapshot-ring size (slots); <1 selects 64.
+	Capacity int
+	// Interval paces the background capture cycle; <=0 selects 30s.
+	Interval time.Duration
+	// CPUDuration is the CPU sampling window per cycle; <=0 selects
+	// 1s, and it is clamped below Interval so cycles never overlap.
+	CPUDuration time.Duration
+	// MutexFraction is passed to runtime.SetMutexProfileFraction when
+	// >0 (sample 1/n of contention events); 0 leaves the rate alone.
+	MutexFraction int
+	// BlockRate is passed to runtime.SetBlockProfileRate when >0
+	// (nanoseconds of blocking per sample); 0 leaves the rate alone.
+	BlockRate int
+	// Registry receives the profiler's own counters (process registry
+	// when nil).
+	Registry *obs.Registry
+}
+
+// Profiler captures profiles on a cadence and on demand. All methods
+// are safe for concurrent use and safe on a nil receiver (the disabled
+// profiler).
+type Profiler struct {
+	cfg Config
+
+	mu   sync.Mutex
+	ring []Snapshot
+	next uint64
+	seq  uint64
+
+	stop chan struct{}
+	done chan struct{}
+
+	captures *obs.Counter
+	errors   *obs.Counter
+}
+
+// New builds a profiler from cfg (see Config for defaults) and applies
+// the mutex/block sampling rates.
+func New(cfg Config) *Profiler {
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 64
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	if cfg.CPUDuration <= 0 {
+		cfg.CPUDuration = time.Second
+	}
+	if cfg.CPUDuration >= cfg.Interval {
+		cfg.CPUDuration = cfg.Interval / 2
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Metrics()
+	}
+	if cfg.MutexFraction > 0 {
+		runtime.SetMutexProfileFraction(cfg.MutexFraction)
+	}
+	if cfg.BlockRate > 0 {
+		runtime.SetBlockProfileRate(cfg.BlockRate)
+	}
+	return &Profiler{
+		cfg:  cfg,
+		ring: make([]Snapshot, cfg.Capacity),
+		captures: cfg.Registry.Counter("prof_captures_total",
+			"Profile snapshots captured into the continuous-profiling ring."),
+		errors: cfg.Registry.Counter("prof_capture_errors_total",
+			"Profile captures that failed (e.g. CPU profiling already active)."),
+	}
+}
+
+// Start launches the background capture loop (idempotent per profiler;
+// Stop it before discarding the profiler). Each cycle samples CPU for
+// CPUDuration, then takes instant heap/goroutine/mutex/block snapshots.
+func (p *Profiler) Start() {
+	if p == nil || p.stop != nil {
+		return
+	}
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go func() {
+		defer close(p.done)
+		tick := time.NewTicker(p.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-tick.C:
+				p.captureCycle()
+			}
+		}
+	}()
+}
+
+// Stop halts the capture loop and waits for it to exit.
+func (p *Profiler) Stop() {
+	if p == nil || p.stop == nil {
+		return
+	}
+	close(p.stop)
+	<-p.done
+	p.stop, p.done = nil, nil
+}
+
+// captureCycle is one background iteration: a CPU sampling window
+// followed by the instant profiles.
+func (p *Profiler) captureCycle() {
+	p.captureCPU("interval")
+	for _, kind := range instantKinds {
+		p.captureInstant(kind, "interval")
+	}
+}
+
+// cpuActive serializes CPU profiling process-wide: the runtime allows
+// only one CPU profile at a time, and an operator may be holding
+// /debug/pprof/profile open.
+var cpuActive atomic.Bool
+
+// captureCPU samples the CPU profile for the configured window,
+// aborting early when the profiler stops.
+func (p *Profiler) captureCPU(reason string) {
+	if !cpuActive.CompareAndSwap(false, true) {
+		p.errors.Inc()
+		return
+	}
+	defer cpuActive.Store(false)
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		p.errors.Inc()
+		return
+	}
+	select {
+	case <-time.After(p.cfg.CPUDuration):
+	case <-p.stop:
+	}
+	pprof.StopCPUProfile()
+	p.store(KindCPU, reason, buf.Bytes())
+}
+
+// captureInstant snapshots one point-in-time profile by name.
+func (p *Profiler) captureInstant(kind, reason string) {
+	prof := pprof.Lookup(kind)
+	if prof == nil {
+		p.errors.Inc()
+		return
+	}
+	var buf bytes.Buffer
+	if err := prof.WriteTo(&buf, 0); err != nil {
+		p.errors.Inc()
+		return
+	}
+	p.store(kind, reason, buf.Bytes())
+}
+
+// store appends one snapshot to the ring.
+func (p *Profiler) store(kind, reason string, data []byte) {
+	p.mu.Lock()
+	p.seq++
+	p.ring[p.next%uint64(len(p.ring))] = Snapshot{
+		Seq: p.seq, Kind: kind, At: time.Now(), Reason: reason,
+		Data: append([]byte(nil), data...),
+	}
+	p.next++
+	p.mu.Unlock()
+	p.captures.Inc()
+}
+
+// CaptureTrigger takes instant heap/goroutine/mutex/block snapshots
+// tagged with reason, pairs them with the most recent CPU snapshot
+// from the continuous ring (a CPU profile needs a sampling window, so
+// a trigger can only ship what the background loop already has), and
+// returns the set. The new snapshots also enter the ring. Nil-safe:
+// the disabled profiler returns nil.
+func (p *Profiler) CaptureTrigger(reason string) []Snapshot {
+	if p == nil {
+		return nil
+	}
+	out := make([]Snapshot, 0, len(instantKinds)+1)
+	if cpu, ok := p.Latest(KindCPU); ok {
+		out = append(out, cpu)
+	}
+	for _, kind := range instantKinds {
+		p.captureInstant(kind, reason)
+		if s, ok := p.Latest(kind); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Snapshots returns copies of the buffered snapshots, oldest first.
+// Data slices are shared (snapshots are immutable once stored).
+func (p *Profiler) Snapshots() []Snapshot {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.next
+	cap64 := uint64(len(p.ring))
+	start := uint64(0)
+	if n > cap64 {
+		start = n - cap64
+	}
+	out := make([]Snapshot, 0, n-start)
+	for j := start; j < n; j++ {
+		out = append(out, p.ring[j%cap64])
+	}
+	return out
+}
+
+// Latest returns the most recent snapshot of kind, if any.
+func (p *Profiler) Latest(kind string) (Snapshot, bool) {
+	if p == nil {
+		return Snapshot{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.next
+	cap64 := uint64(len(p.ring))
+	lo := uint64(0)
+	if n > cap64 {
+		lo = n - cap64
+	}
+	for j := n; j > lo; j-- {
+		if s := p.ring[(j-1)%cap64]; s.Kind == kind {
+			return s, true
+		}
+	}
+	return Snapshot{}, false
+}
+
+// Get returns the snapshot with the given sequence number, if still in
+// the ring.
+func (p *Profiler) Get(seq uint64) (Snapshot, bool) {
+	if p == nil {
+		return Snapshot{}, false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := p.next
+	cap64 := uint64(len(p.ring))
+	lo := uint64(0)
+	if n > cap64 {
+		lo = n - cap64
+	}
+	for j := lo; j < n; j++ {
+		if s := p.ring[j%cap64]; s.Seq == seq {
+			return s, true
+		}
+	}
+	return Snapshot{}, false
+}
+
+// DumpRing writes every buffered snapshot to dir as
+// prof-<seq>-<kind>.pb.gz files ready for `go tool pprof`, and reports
+// how many were written.
+func (p *Profiler) DumpRing(dir string) (int, error) {
+	if p == nil {
+		return 0, nil
+	}
+	snaps := p.Snapshots()
+	if len(snaps) == 0 {
+		return 0, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	written := 0
+	for _, s := range snaps {
+		name := fmt.Sprintf("prof-%06d-%s.pb.gz", s.Seq, s.Kind)
+		if err := os.WriteFile(filepath.Join(dir, name), s.Data, 0o644); err != nil {
+			return written, err
+		}
+		written++
+	}
+	return written, nil
+}
+
+// Captures reports how many snapshots have been stored.
+func (p *Profiler) Captures() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.captures.Value()
+}
+
+// active is the process-wide profiler; nil means disabled.
+var active atomic.Pointer[Profiler]
+
+// Install makes p the process-wide profiler returned by Active; nil
+// uninstalls. Capture sites never hold the profiler across calls, so
+// installation takes effect at the next capture.
+func Install(p *Profiler) {
+	active.Store(p)
+}
+
+// Active returns the installed profiler, or nil when continuous
+// profiling is disabled. All Profiler methods are safe on the nil
+// result.
+func Active() *Profiler {
+	return active.Load()
+}

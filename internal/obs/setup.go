@@ -77,6 +77,16 @@ func (c *CLI) Start() (*Session, error) {
 	return s, nil
 }
 
+// PprofAddr reports the bound address of the session's pprof/metrics
+// server ("" when -pprof was not set), for tests and log lines that
+// need the resolved port of a ":0" listen.
+func (s *Session) PprofAddr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
 // Close uninstalls the tracer, writes the trace and metrics files, and
 // stops the HTTP server. Safe on a nil session.
 func (s *Session) Close() error {

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSessionPprofRoutes boots the -pprof server on an ephemeral port
+// and asserts every advertised debug route answers: the pprof index and
+// cmdline endpoints, the Prometheus /metrics exposition, and
+// /debug/vars. This is the contract the README's profiling walkthrough
+// relies on.
+func TestSessionPprofRoutes(t *testing.T) {
+	cli := &CLI{PprofAddr: "127.0.0.1:0"}
+	s, err := cli.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer s.Close()
+	addr := s.PprofAddr()
+	if addr == "" {
+		t.Fatal("PprofAddr empty after Start with -pprof set")
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	checks := []struct {
+		path string
+		want string // substring expected in the body
+	}{
+		{"/debug/pprof/", "profiles"},
+		{"/debug/pprof/cmdline", ""},
+		{"/metrics", "# TYPE"},
+		{"/debug/vars", "cmdline"},
+	}
+	for _, c := range checks {
+		resp, err := client.Get(fmt.Sprintf("http://%s%s", addr, c.path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", c.path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", c.path, resp.StatusCode)
+		}
+		if c.want != "" && !strings.Contains(string(body), c.want) {
+			t.Errorf("GET %s: body missing %q (got %d bytes)", c.path, c.want, len(body))
+		}
+	}
+}
+
+// TestSessionPprofAddrNil covers the nil-safe accessors: a nil session
+// and a session without a listener both report no address and close
+// cleanly.
+func TestSessionPprofAddrNil(t *testing.T) {
+	var s *Session
+	if got := s.PprofAddr(); got != "" {
+		t.Errorf("nil session PprofAddr = %q, want empty", got)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("nil session Close: %v", err)
+	}
+	if got := (&Session{cli: &CLI{}}).PprofAddr(); got != "" {
+		t.Errorf("listener-less session PprofAddr = %q, want empty", got)
+	}
+}

@@ -123,3 +123,20 @@ func BenchmarkCounterInc(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkIntrospect is the cost of one full runtime snapshot — the
+// price GET /debug/sched pays per request. It must stay cheap enough
+// to poll at dashboard rates; the gate pins its allocations (one
+// per-worker slice) so the introspection surface cannot quietly start
+// allocating per worker.
+func BenchmarkIntrospect(b *testing.B) {
+	r := New(WithWorkers(4))
+	defer r.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap := r.Introspect(); snap.Workers != 4 {
+			b.Fatal("lost workers")
+		}
+	}
+}

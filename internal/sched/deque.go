@@ -102,3 +102,14 @@ func (d *deque) steal() *task {
 func (d *deque) empty() bool {
 	return d.top.Load() >= d.bottom.Load()
 }
+
+// size reports the current task count. Advisory like empty: the
+// introspection surface reads it while the owner and thieves move both
+// ends, so it is exact only for an idle deque.
+func (d *deque) size() int64 {
+	b, t := d.bottom.Load(), d.top.Load()
+	if b < t {
+		return 0
+	}
+	return b - t
+}

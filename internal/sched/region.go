@@ -30,9 +30,10 @@ func (reg *region) open() bool {
 }
 
 // join contributes the calling worker as a participant if a slot is
-// free, working the region until its pool is empty. Reports whether
-// any participation happened.
-func (reg *region) join(rt *Runtime) bool {
+// free, working the region until its pool is empty. ws is the
+// participant's stat block (grain claims are attributed to whoever
+// claimed them). Reports whether any participation happened.
+func (reg *region) join(ws *workerStats) bool {
 	if !reg.open() {
 		return false
 	}
@@ -40,12 +41,12 @@ func (reg *region) join(rt *Runtime) bool {
 	if slot >= reg.p {
 		return false
 	}
-	reg.work(slot)
+	reg.work(slot, ws)
 	return true
 }
 
 // work is one participant's claim-execute loop.
-func (reg *region) work(slot int) {
+func (reg *region) work(slot int, ws *workerStats) {
 	ctx := reg.ctx
 	for {
 		if ctx != nil && ctx.Err() != nil {
@@ -55,6 +56,9 @@ func (reg *region) work(slot int) {
 		start, k := reg.pool.Next(slot)
 		if k == 0 {
 			return
+		}
+		if ws != nil {
+			ws.grainClaims.Add(1)
 		}
 		ran := 0
 		for i := start; i < start+k; i++ {
@@ -140,6 +144,6 @@ func (r *Runtime) ParallelIndexed(ctx context.Context, n, maxPar, grain int, fn 
 	reg.remaining.Store(int64(n))
 	reg.slots.Store(1) // slot 0 is reserved for the caller
 	r.addRegion(reg)
-	reg.work(0)
+	reg.work(0, &r.external)
 	<-reg.done
 }

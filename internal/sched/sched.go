@@ -73,16 +73,20 @@ type Stats struct {
 	Inlined     int64
 }
 
-// worker is one runtime-owned execution lane.
+// worker is one runtime-owned execution lane. stats points at the
+// participant's counter block: runtime workers own a private block,
+// temporarily attached participants (Do callers) share the runtime's
+// external block so their counts survive detach.
 type worker struct {
 	id     int
 	deque  *deque
 	parked atomic.Bool
 	wake   chan struct{}
+	stats  *workerStats
 }
 
 func newWorker(id int) *worker {
-	return &worker{id: id, deque: newDeque(), wake: make(chan struct{}, 1)}
+	return &worker{id: id, deque: newDeque(), wake: make(chan struct{}, 1), stats: &workerStats{}}
 }
 
 // Runtime is the scheduler. The zero value is not usable; construct
@@ -107,11 +111,12 @@ type Runtime struct {
 	submitted   PaddedInt64
 	shed        PaddedInt64
 	completed   PaddedInt64
-	steals      PaddedInt64
-	spawned     PaddedInt64
-	inlined     PaddedInt64
 	rangeSteals PaddedInt64
 	tempSeq     atomic.Int64
+	// external is the shared stat block of non-worker participants:
+	// attached Do callers and the calling goroutine of ParallelIndexed
+	// regions (slot 0).
+	external workerStats
 
 	// regions is the copy-on-write list of active indexed regions.
 	regions atomic.Pointer[[]*region]
@@ -238,7 +243,10 @@ func (r *Runtime) Close() {
 	r.wg.Wait()
 }
 
-// Stats snapshots the runtime counters.
+// Stats snapshots the runtime counters. Steals, Spawned, and Inlined
+// aggregate the per-worker stat blocks (plus the shared external block
+// of attached participants); Introspect exposes the same counters
+// without the folding.
 func (r *Runtime) Stats() Stats {
 	if r == nil {
 		return Stats{}
@@ -257,10 +265,16 @@ func (r *Runtime) Stats() Stats {
 		Submitted:   r.submitted.Load(),
 		Shed:        r.shed.Load(),
 		Completed:   r.completed.Load(),
-		Steals:      r.steals.Load(),
 		RangeSteals: rangeSteals,
 	}
-	st.Spawned, st.Inlined = r.spawned.Load(), r.inlined.Load()
+	for _, w := range r.workers {
+		st.Steals += w.stats.steals.Load()
+		st.Spawned += w.stats.spawned.Load()
+		st.Inlined += w.stats.inlined.Load()
+	}
+	st.Steals += r.external.steals.Load()
+	st.Spawned += r.external.spawned.Load()
+	st.Inlined += r.external.inlined.Load()
 	if f := r.loadForker(); f != nil {
 		fs, fi := f.Counts()
 		st.Spawned += fs
@@ -309,23 +323,30 @@ func (r *Runtime) workerLoop(w *worker) {
 		// Nothing visible: publish parked, recheck (a producer that
 		// made work visible before seeing parked=true will be caught
 		// by this recheck; one that saw it will send a wake token).
+		// Park/unpark counts live on the idle path only, so the stat
+		// writes cost nothing while the worker has work.
 		w.parked.Store(true)
+		w.stats.parks.Add(1)
 		if r.workVisible(w) {
 			w.parked.Store(false)
+			w.stats.unparks.Add(1)
 			continue
 		}
 		select {
 		case job, ok := <-r.submitq:
 			w.parked.Store(false)
+			w.stats.unparks.Add(1)
 			if !ok {
 				return
 			}
 			r.runQueued(job)
 		case job := <-r.handoff:
 			w.parked.Store(false)
+			w.stats.unparks.Add(1)
 			r.runDirect(job)
 		case <-w.wake:
 			w.parked.Store(false)
+			w.stats.unparks.Add(1)
 		}
 	}
 }
@@ -377,7 +398,7 @@ func (r *Runtime) runStolen(w *worker) bool {
 			continue
 		}
 		if t := v.deque.steal(); t != nil {
-			r.steals.Add(1)
+			w.stats.steals.Add(1)
 			t.run(&TaskCtx{rt: r, w: w})
 			return true
 		}
@@ -390,7 +411,7 @@ func (r *Runtime) runStolen(w *worker) bool {
 // is empty.
 func (r *Runtime) runRegion(w *worker) bool {
 	for _, reg := range *r.regions.Load() {
-		if reg.join(r) {
+		if reg.join(w.stats) {
 			return true
 		}
 	}

@@ -56,7 +56,7 @@ func (c *TaskCtx) Join(a, b func(*TaskCtx)) {
 		return
 	}
 	child := &task{fn: b}
-	c.rt.spawned.Add(1)
+	c.w.stats.spawned.Add(1)
 	c.w.deque.push(child)
 	c.rt.wakeOne()
 	a(c)
@@ -69,7 +69,7 @@ func (c *TaskCtx) Join(a, b func(*TaskCtx)) {
 			break
 		}
 		if t == child {
-			c.rt.inlined.Add(1)
+			c.w.stats.inlined.Add(1)
 			b(c)
 			return
 		}
@@ -103,7 +103,7 @@ func (c *TaskCtx) helpOnce() bool {
 			continue
 		}
 		if t := v.deque.steal(); t != nil {
-			c.rt.steals.Add(1)
+			c.w.stats.steals.Add(1)
 			t.run(c)
 			return true
 		}
@@ -121,6 +121,9 @@ func (r *Runtime) Do(fn func(*TaskCtx)) {
 		return
 	}
 	w := newWorker(len(r.workers) + int(r.tempSeq.Add(1)))
+	// Attached participants come and go; their counts accumulate on the
+	// runtime's shared external block so detach loses nothing.
+	w.stats = &r.external
 	r.attach(w)
 	defer r.detach(w)
 	tc := &TaskCtx{rt: r, w: w}

@@ -13,6 +13,7 @@ import (
 	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
 	"pblparallel/internal/obs/flightrec"
+	"pblparallel/internal/obs/prof"
 )
 
 // Command is the daemon entry point shared by cmd/pbld and the
@@ -39,6 +40,9 @@ func Command(name string, args []string) error {
 	frec := fs.Bool("flightrec", true, "run the black-box flight recorder (/debug/flightrec, postmortems on 5xx/shed-burst/SIGQUIT)")
 	frecDir := fs.String("flightrec-dir", "", "also write triggered postmortem bundles to this directory (empty = in-memory only)")
 	frecWindow := fs.Duration("flightrec-window", 30*time.Second, "how far back the flight recorder's window reaches")
+	profOn := fs.Bool("prof", true, "run the continuous profiler (/debug/prof ring; postmortem bundles ship with pprof profiles)")
+	profInterval := fs.Duration("prof-interval", 30*time.Second, "continuous-profiler capture cadence")
+	profCPU := fs.Duration("prof-cpu", time.Second, "CPU sampling window per continuous-profiler cycle")
 	obsCLI := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +69,24 @@ func Command(name string, args []string) error {
 		}
 		log.Info(context.Background(), "service fault plan armed",
 			"seed", *faultSeed, "qfull", *qfull, "slow", *slow, "corrupt", *corrupt)
+	}
+
+	if *profOn {
+		// Mutex/block sampling is enabled alongside the profiler: the
+		// scheduler's contention only shows up in postmortems if the
+		// runtime was sampling it before the incident.
+		p := prof.New(prof.Config{
+			Interval:      *profInterval,
+			CPUDuration:   *profCPU,
+			MutexFraction: 100,
+			BlockRate:     1_000_000, // one sample per ms of blocking
+		})
+		p.Start()
+		prof.Install(p)
+		defer func() {
+			prof.Install(nil)
+			p.Stop()
+		}()
 	}
 
 	if *frec {
@@ -109,7 +131,7 @@ func Command(name string, args []string) error {
 	}
 	log.Info(context.Background(), "serving",
 		"addr", fmt.Sprintf("http://%s", ln.Addr()),
-		"endpoints", "/v1/run /v1/sweep /v1/spring2019 /healthz /readyz /metrics /debug/trace/{id} /debug/flightrec")
+		"endpoints", "/v1/run /v1/sweep /v1/spring2019 /healthz /readyz /metrics /debug/trace/{id} /debug/flightrec /debug/sched /debug/prof")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

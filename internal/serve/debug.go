@@ -2,11 +2,14 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"pblparallel/internal/obs"
 	"pblparallel/internal/obs/flightrec"
+	"pblparallel/internal/obs/prof"
 )
 
 // shedBurstN is the per-second shed count that triggers a flight
@@ -83,4 +86,77 @@ func (s *Server) handleDebugFlightrec(w http.ResponseWriter, r *http.Request) {
 	if err := rec.WriteBundle(w, "on-demand", obs.TraceIDFromContext(r.Context())); err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 	}
+}
+
+// handleDebugSched serves GET /debug/sched: a JSON introspection
+// snapshot of the pool's work-stealing scheduler — per-worker deque
+// depths, steal/spawn/inline ledgers, park counts, grain claims, and
+// the runtime-wide totals. Always available: the snapshot reads the
+// same padded atomics the hot paths write, so serving it never
+// perturbs them.
+func (s *Server) handleDebugSched(w http.ResponseWriter, _ *http.Request) {
+	snap := s.rt.Introspect()
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+// profIndexEntry is one row of the /debug/prof listing: a snapshot's
+// identity and size, without its data.
+type profIndexEntry struct {
+	Seq    uint64    `json:"seq"`
+	Kind   string    `json:"kind"`
+	At     time.Time `json:"at"`
+	Reason string    `json:"reason"`
+	Bytes  int       `json:"bytes"`
+}
+
+// handleDebugProf serves GET /debug/prof: the continuous-profiling
+// ring. Without parameters it lists the buffered snapshots newest
+// last; ?seq=N downloads one snapshot as a .pb.gz ready for
+// `go tool pprof`. 503 while no profiler is installed.
+func (s *Server) handleDebugProf(w http.ResponseWriter, r *http.Request) {
+	p := prof.Active()
+	if p == nil {
+		writeError(w, http.StatusServiceUnavailable, "continuous profiler disabled; start the server with -prof")
+		return
+	}
+	if q := r.URL.Query().Get("seq"); q != "" {
+		seq, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "malformed seq %q", q)
+			return
+		}
+		snap, ok := p.Get(seq)
+		if !ok {
+			writeError(w, http.StatusNotFound, "no snapshot with seq %d in the ring (evicted or never captured)", seq)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition",
+			fmt.Sprintf("attachment; filename=prof-%06d-%s.pb.gz", snap.Seq, snap.Kind))
+		w.Write(snap.Data)
+		return
+	}
+	snaps := p.Snapshots()
+	index := make([]profIndexEntry, 0, len(snaps))
+	for _, sn := range snaps {
+		index = append(index, profIndexEntry{
+			Seq: sn.Seq, Kind: sn.Kind, At: sn.At, Reason: sn.Reason, Bytes: len(sn.Data),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(struct {
+		Captures  int64            `json:"captures_total"`
+		Snapshots []profIndexEntry `json:"snapshots"`
+	}{Captures: p.Captures(), Snapshots: index}, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Write(append(b, '\n'))
 }

@@ -36,6 +36,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -145,7 +146,13 @@ type Server struct {
 	closeOnce sync.Once
 
 	cacheHits, cacheMisses, cacheCoalesced, shed, corruptHealed *obs.Counter
+	queueWait                                                   *obs.HistVec
 }
+
+// queueWaitBounds are the admission-wait bucket bounds (seconds): an
+// uncontended Submit is handed to a worker in microseconds, a saturated
+// queue can hold a request for seconds.
+var queueWaitBounds = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
 
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
@@ -168,7 +175,12 @@ func New(cfg Config) *Server {
 	s.cacheCoalesced = reg.Counter("serve_cache_coalesced_total", "Requests coalesced onto an identical in-flight computation.")
 	s.shed = reg.Counter("serve_shed_total", "Requests shed with 429 at admission.")
 	s.corruptHealed = reg.Counter("serve_cache_corruption_healed_total", "Cache integrity failures healed by recompute.")
+	s.queueWait = reg.HistogramVec("serve_queue_wait_seconds",
+		"Admission queue wait from Submit to job start, by route.", "route", queueWaitBounds)
 	reg.RegisterGatherer(obs.GathererFunc(s.gatherPool))
+	// The pool's scheduler exposes its work-stealing internals (deque
+	// depths, steal/park ledgers, grain claims) through the same registry.
+	reg.RegisterGatherer(obs.SchedGatherer(s.rt))
 
 	route := func(path string, h http.HandlerFunc) {
 		s.mux.Handle(path, s.httpm.Middleware(path, h))
@@ -189,12 +201,22 @@ func New(cfg Config) *Server {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
 	})
-	route("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	route("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		// Content negotiation: an OpenMetrics scraper gets the exemplared
+		// exposition (bucket → trace links), everyone else the classic
+		// Prometheus text format.
+		if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+			w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+			_ = reg.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		_ = reg.WritePrometheus(w)
 	})
 	route("/debug/trace/{id}", s.handleDebugTrace)
 	route("/debug/flightrec", s.handleDebugFlightrec)
+	route("/debug/sched", s.handleDebugSched)
+	route("/debug/prof", s.handleDebugProf)
 	s.ready.Store(true)
 	return s
 }
@@ -376,7 +398,9 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, k Key, build fu
 	csp, ctx := obs.Default().StartSpan(ctx, obs.PIDServe,
 		obs.LaneFor(obs.TraceIDFromContext(ctx)), "serve", "cache")
 	body, status, err := s.cache.Do(ctx, k, func() ([]byte, error) {
-		return s.compute(ctx, k, build)
+		// The URL path is the registered route pattern for every
+		// compute route, so it doubles as the queue-wait label.
+		return s.compute(ctx, r.URL.Path, k, build)
 	})
 	csp.Str("status", string(status)).Str("key", k.Hex()[:8]).End()
 	switch status {
@@ -415,7 +439,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, k Key, build fu
 // cache miss. The waiting is bounded by the request ctx; the
 // computation itself gets a fresh deadline from DefaultTimeout so a
 // canceled waiter cannot poison coalesced followers.
-func (s *Server) compute(ctx context.Context, k Key, build func(ctx context.Context) (any, error)) ([]byte, error) {
+func (s *Server) compute(ctx context.Context, route string, k Key, build func(ctx context.Context) (any, error)) ([]byte, error) {
 	inj := s.cfg.Injector
 	trace := obs.TraceIDFromContext(ctx)
 	inj = inj.WithTrace(trace)
@@ -434,9 +458,13 @@ func (s *Server) compute(ctx context.Context, k Key, build func(ctx context.Cont
 	// the moment a pool worker picks the job up.
 	asp, ctx := obs.Default().StartSpan(ctx, obs.PIDServe, obs.LaneFor(trace), "serve", "admit")
 	tc, hasTC := obs.TraceFromContext(ctx)
+	admitAt := time.Now()
 	done := make(chan result, 1)
 	job := func() {
 		asp.End()
+		// Run-queue latency: how long the job sat between Submit and a
+		// pool worker picking it up, exemplared with the request trace.
+		s.queueWait.With(route).ObserveTrace(time.Since(admitAt).Seconds(), trace)
 		jctx, cancel := context.WithTimeout(context.Background(), s.cfg.DefaultTimeout)
 		defer cancel()
 		if hasTC {
