@@ -1,18 +1,30 @@
 GO ?= go
 
-.PHONY: verify ci build test race vet bench bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-check golden fuzz fuzz-smoke chaos chaos-serve
+.PHONY: verify ci build test race vet bench bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-check cover-stats golden fuzz fuzz-smoke chaos chaos-serve sweep-stray
 
 ## verify: the tier-1 gate — vet, build, race-test everything, pin the
-## golden run output, and smoke the fuzz targets on their seed corpora.
+## golden outputs, smoke the fuzz targets on their seed corpora, and
+## hold the sketch files to their coverage floor. The stray-baseline
+## sweep runs first so a leftover benchjson scratch file can never be
+## mistaken for (or sorted above) a committed BENCH_PR* baseline.
 ## The stages run as sequential sub-makes (not parallel prerequisites)
 ## so `make -j verify` still stops at the first failure instead of
 ## racing vet diagnostics against a doomed race run.
 verify:
+	$(MAKE) sweep-stray
 	$(MAKE) vet
 	$(MAKE) build
 	$(MAKE) race
 	$(MAKE) golden
 	$(MAKE) fuzz-smoke
+	$(MAKE) cover-stats
+
+## sweep-stray: remove benchjson scratch output wherever it landed.
+## BENCH_BASELINE below globs BENCH_PR*.json, which cannot match
+## *.new.json — but a stray scratch file at the root is still noise
+## (PR 7 left one behind), so the gate sweeps it unconditionally.
+sweep-stray:
+	rm -f ./*.new.json ./internal/*.new.json
 
 ## ci: what the GitHub Actions verify job runs; alias of verify.
 ci: verify
@@ -29,11 +41,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-## golden: byte-compare `pblstudy run -json` against testdata/golden.
-## Regenerate a deliberately changed baseline with:
-##   go test -run TestGoldenRunJSON -update .
+## golden: byte-compare `pblstudy run -json` and `pblstudy cohort
+## -json` against testdata/golden. Regenerate a deliberately changed
+## baseline with:
+##   go test -run TestGolden -update .
 golden:
-	$(GO) test -run TestGoldenRunJSON .
+	$(GO) test -run TestGolden .
 
 ## fuzz-smoke: 2s of coverage-guided fuzzing per target — enough to
 ## exercise the corpora plus a few thousand mutations in CI.
@@ -41,12 +54,31 @@ fuzz-smoke:
 	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzHistogramQuantile -fuzztime 2s
 	$(GO) test ./internal/armsim -run '^$$' -fuzz FuzzAsmParse -fuzztime 2s
 	$(GO) test ./internal/survey -run '^$$' -fuzz FuzzSurveyScores -fuzztime 2s
+	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzMomentsMerge -fuzztime 2s
+	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzCoMomentsMerge -fuzztime 2s
 
 ## fuzz: the longer local run, 30s per target.
 fuzz:
 	$(GO) test ./internal/engine -run '^$$' -fuzz FuzzHistogramQuantile -fuzztime 30s
 	$(GO) test ./internal/armsim -run '^$$' -fuzz FuzzAsmParse -fuzztime 30s
 	$(GO) test ./internal/survey -run '^$$' -fuzz FuzzSurveyScores -fuzztime 30s
+	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzMomentsMerge -fuzztime 30s
+	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzCoMomentsMerge -fuzztime 30s
+
+## cover-stats: hold the mergeable-sketch implementation to a >=90%
+## statement-coverage floor. The sketches are the numeric foundation
+## every reduction now folds through; an uncovered branch there is an
+## uncovered associativity or compensation path. The awk pass reads
+## the raw coverprofile (file:lo,hi numStmts hitCount) and weights by
+## statement count, scoped to sketch.go only so unrelated stats code
+## cannot dilute or subsidize the floor.
+cover-stats:
+	$(GO) test ./internal/stats -coverprofile=cover-stats.out -count=1 > /dev/null
+	@awk -F'[ ]' '/internal\/stats\/sketch\.go:/ { total += $$2; if ($$3 > 0) covered += $$2 } \
+	  END { pct = 100 * covered / total; \
+	    printf "sketch.go statement coverage: %.1f%% (floor 90%%)\n", pct; \
+	    if (pct < 90) exit 1 }' cover-stats.out
+	@rm -f cover-stats.out
 
 ## chaos: the 200-seed fault-injection sweep, run at worker counts 1,
 ## 2, and 8 on dedicated work-stealing runtimes; exits non-zero if any
@@ -114,6 +146,7 @@ GATED_BENCH = { $(GO) test ./internal/fault/ -bench . -benchmem -count $(BENCH_C
   $(GO) test ./internal/obs/flightrec/ -bench Event -benchmem -count $(BENCH_COUNT) -run '^$$' && \
   $(GO) test ./internal/obs/prof/ -bench . -benchmem -count $(BENCH_COUNT) -run '^$$' && \
   $(GO) test ./internal/sched/ -bench 'DequeOwner|IndexPoolNext|SpawnInline|StealOverhead|Introspect' -benchmem -count $(BENCH_COUNT) -run '^$$' && \
+  $(GO) test ./internal/stats/ -bench 'MomentsAdd|MomentsMerge|CoMomentsAdd' -benchmem -count $(BENCH_COUNT) -run '^$$' && \
   $(GO) test ./internal/serve/ -bench 'CacheHitDo' -benchmem -count $(BENCH_COUNT) -run '^$$'; }
 BENCH_COUNT ?= 3
 
@@ -122,6 +155,13 @@ BENCH_COUNT ?= 3
 bench-pr7: BENCH_COUNT = 1
 bench-pr7:
 	$(GATED_BENCH) | $(GO) run ./cmd/benchjson -o BENCH_PR7.json
+
+## bench-pr8: the PR8 baseline — the gated union plus the sketch hot
+## paths (Moments.Add on the per-student path must stay 0 allocs/op;
+## Merge folds 64 partials, the shape of a chunk-ordered reduction).
+bench-pr8: BENCH_COUNT = 1
+bench-pr8:
+	$(GATED_BENCH) | $(GO) run ./cmd/benchjson -o BENCH_PR8.json
 
 ## bench-check: re-run the gated perf surface and fail if it regressed
 ## against the NEWEST committed BENCH_PR*.json baseline — more than 20%
@@ -137,3 +177,4 @@ BENCH_BASELINE ?= $(shell ls BENCH_PR*.json 2>/dev/null | sort -V | tail -n 1)
 bench-check:
 	$(GATED_BENCH) | $(GO) run ./cmd/benchjson -o BENCH.new.json
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) BENCH.new.json -tolerance 0.20
+	rm -f BENCH.new.json

@@ -4,6 +4,7 @@
 //
 //	pblstudy [run] [-seed N] [-students N] [-uncalibrated] [-json]
 //	pblstudy sensitivity [-seeds N] [-start S] [-workers N] [-json] [-metrics]
+//	pblstudy cohort [-students N] [-seed S] [-workerset 1,2,8] [-faults P] [-json]
 //	pblstudy serve [-addr HOST:PORT] [-workers N] [-queue N]
 //	pblstudy instrument
 //	pblstudy spring2019 [-n N] [-seed S]
@@ -63,6 +64,8 @@ func main() {
 		cmdSensitivity(args[1:])
 	case "chaos":
 		cmdChaos(args[1:])
+	case "cohort":
+		cmdCohort(args[1:])
 	case "serve":
 		if err := serve.Command("pblstudy serve", args[1:]); err != nil {
 			fail(err)
@@ -93,8 +96,13 @@ subcommands:
   chaos        re-run a seed sweep under deterministic fault injection
                and assert the statistics are byte-identical (-serve runs
                the sweep through the HTTP service instead)
+  cohort       mega-cohort scenario engine: millions of synthetic
+               students over formation-policy x assessment-variant
+               cells, reduced through mergeable one-pass sketches
+               (-workerset asserts byte-identical output per count)
   serve        run the study-as-a-service HTTP daemon (same server as
-               cmd/pbld: /v1/run, /v1/sweep, /v1/spring2019, /metrics)
+               cmd/pbld: /v1/run, /v1/sweep, /v1/cohort, /v1/spring2019,
+               /metrics)
   instrument   print the full survey instrument (Fig. 2 for every element)
   spring2019   the planned Spring 2019 revision and its projected effect
 

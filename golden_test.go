@@ -24,7 +24,26 @@ var update = flag.Bool("update", false, "regenerate golden files instead of comp
 // paper's seed and configuration.
 const goldenRunPath = "testdata/golden/run_paper_seed.json"
 
+// goldenCohortPath pins a small `pblstudy cohort -json` run: the
+// mega-cohort reduction's floating-point association (grain order),
+// cell layout, and serialized field set, all byte-for-byte.
+const goldenCohortPath = "testdata/golden/cohort_small.json"
+
 func TestGoldenRunJSON(t *testing.T) {
+	goldenCLI(t, goldenRunPath, "run", "-json")
+}
+
+func TestGoldenCohortJSON(t *testing.T) {
+	// 1200 students over the full 72-cell grid keeps the file small
+	// while exercising multi-cell batches and the ordered chunk fold.
+	goldenCLI(t, goldenCohortPath, "cohort", "-students", "1200", "-seed", "42", "-json")
+}
+
+// goldenCLI builds the CLI, runs it with args, and compares stdout
+// byte-for-byte against the golden file at path (regenerating under
+// -update, which CI refuses).
+func goldenCLI(t *testing.T, path string, args ...string) {
+	t.Helper()
 	bin := filepath.Join(t.TempDir(), "pblstudy")
 	if runtime.GOOS == "windows" {
 		bin += ".exe"
@@ -33,12 +52,12 @@ func TestGoldenRunJSON(t *testing.T) {
 	if out, err := build.CombinedOutput(); err != nil {
 		t.Fatalf("go build ./cmd/pblstudy: %v\n%s", err, out)
 	}
-	cmd := exec.Command(bin, "run", "-json")
+	cmd := exec.Command(bin, args...)
 	var stderr bytes.Buffer
 	cmd.Stderr = &stderr
 	got, err := cmd.Output()
 	if err != nil {
-		t.Fatalf("pblstudy run -json: %v\n%s", err, stderr.String())
+		t.Fatalf("pblstudy %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
 	}
 	if *update {
 		// A CI job that regenerates the baseline would turn the pin into
@@ -47,22 +66,22 @@ func TestGoldenRunJSON(t *testing.T) {
 		if os.Getenv("CI") != "" {
 			t.Fatal("-update refused: CI must never regenerate the golden baseline (run locally and commit the diff)")
 		}
-		if err := os.MkdirAll(filepath.Dir(goldenRunPath), 0o755); err != nil {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(goldenRunPath, got, 0o644); err != nil {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("regenerated %s (%d bytes)", goldenRunPath, len(got))
+		t.Logf("regenerated %s (%d bytes)", path, len(got))
 		return
 	}
-	want, err := os.ReadFile(goldenRunPath)
+	want, err := os.ReadFile(path)
 	if err != nil {
-		t.Fatalf("missing golden file (regenerate with `go test -run TestGoldenRunJSON -update .`): %v", err)
+		t.Fatalf("missing golden file (regenerate with `go test -run TestGolden -update .`): %v", err)
 	}
 	if !bytes.Equal(got, want) {
-		t.Errorf("pblstudy run -json drifted from %s\n%s(if the change is intended, regenerate with `go test -run TestGoldenRunJSON -update .`)",
-			goldenRunPath, diffExcerpt(got, want))
+		t.Errorf("pblstudy %s drifted from %s\n%s(if the change is intended, regenerate with `go test -run TestGolden -update .`)",
+			strings.Join(args, " "), path, diffExcerpt(got, want))
 	}
 }
 

@@ -1,0 +1,10 @@
+//go:build !race
+
+package mega_test
+
+// Full-scale sizes for the memory-independence test: the large run is
+// the acceptance criterion's 10M-student cohort.
+const (
+	megaScaleSmall  = 1_000_000
+	megaScaleFactor = 10
+)

@@ -1,0 +1,12 @@
+//go:build race
+
+package mega_test
+
+// The race detector multiplies both CPU and memory cost by an order of
+// magnitude (and the race gate runs on small CI hosts), so the memory
+// test scales down; the property under test — allocation independent
+// of cohort size — is size-free.
+const (
+	megaScaleSmall  = 100_000
+	megaScaleFactor = 10
+)

@@ -1,0 +1,45 @@
+package cohort
+
+import "testing"
+
+func TestFormationPolicyRoundTrip(t *testing.T) {
+	for _, p := range AllFormationPolicies() {
+		got, err := ParseFormationPolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("round trip %v: got %v, %v", p, got, err)
+		}
+		if !p.Valid() {
+			t.Errorf("%v not valid", p)
+		}
+		if mean, spread := p.GainModel(); mean <= 0 || spread <= 0 {
+			t.Errorf("%v gain model (%v, %v) not positive", p, mean, spread)
+		}
+	}
+	if _, err := ParseFormationPolicy("nope"); err == nil {
+		t.Error("unknown policy token accepted")
+	}
+	if FormationPolicy(99).Valid() {
+		t.Error("out-of-range policy valid")
+	}
+	if FormationPolicy(99).String() == "" {
+		t.Error("out-of-range policy has empty name")
+	}
+}
+
+func TestAssessmentVariantRoundTrip(t *testing.T) {
+	for _, v := range AllAssessmentVariants() {
+		got, err := ParseAssessmentVariant(v.String())
+		if err != nil || got != v {
+			t.Errorf("round trip %v: got %v, %v", v, got, err)
+		}
+		if _, sd := v.NoiseModel(); sd <= 0 {
+			t.Errorf("%v noise SD not positive", v)
+		}
+	}
+	if _, err := ParseAssessmentVariant("nope"); err == nil {
+		t.Error("unknown assessment token accepted")
+	}
+	if AssessmentVariant(99).Valid() {
+		t.Error("out-of-range variant valid")
+	}
+}

@@ -318,11 +318,19 @@ func (e *Engine) nextAttempt(ctx context.Context, faultBase *fault.Injector, att
 // per-attempt timeout); each index is attempted at most once, and
 // after ctx ends no further indices are handed out.
 func (e *Engine) mapIndexed(ctx context.Context, n int, fn func(ctx context.Context, i, worker int)) {
+	e.mapIndexedGrain(ctx, n, 1, fn)
+}
+
+// mapIndexedGrain is mapIndexed with an explicit claim grain. The
+// index pool hands out whole grain-aligned chunks, each processed by
+// exactly one participant in ascending index order — the property
+// Reduce's chunk-ordered fold builds its determinism on.
+func (e *Engine) mapIndexedGrain(ctx context.Context, n, grain int, fn func(ctx context.Context, i, worker int)) {
 	rt := e.rt
 	if rt == nil {
 		rt = sched.Default()
 	}
-	rt.ParallelIndexed(ctx, n, e.workers, 1, func(i, slot int) {
+	rt.ParallelIndexed(ctx, n, e.workers, grain, func(i, slot int) {
 		fn(ctx, i, slot)
 	})
 }

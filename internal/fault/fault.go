@@ -118,6 +118,11 @@ const (
 	// SiteServeCache is a result-cache read (keyed by request content
 	// hash and per-key hit count).
 	SiteServeCache Site = "serve.cache"
+	// SiteCohortBatch is the mega-cohort runner's per-batch boundary
+	// (keyed by batch index, so the decision is independent of which
+	// worker claims the batch). RunFail there forces a deterministic
+	// batch recompute; ThreadStall adds latency only.
+	SiteCohortBatch Site = "cohort.batch"
 )
 
 // Rule arms one fault kind at one site with a firing probability and an

@@ -25,9 +25,17 @@ type Summary struct {
 	Q05, Median, Q95 float64
 }
 
-// summarize builds a Summary from raw values.
+// summarize builds a Summary from raw values. Mean and SD stream
+// through the one-pass Moments sketch — the same aggregation stack the
+// mega-cohort reduction merges — while the quantiles, which have no
+// constant-memory exact form, still read the slice.
 func summarize(xs []float64) (Summary, error) {
-	d, err := stats.Describe(xs)
+	m := stats.MomentsOf(xs)
+	mean, err := m.MeanValue()
+	if err != nil {
+		return Summary{}, err
+	}
+	sd, err := m.StdDev()
 	if err != nil {
 		return Summary{}, err
 	}
@@ -35,11 +43,15 @@ func summarize(xs []float64) (Summary, error) {
 	if err != nil {
 		return Summary{}, err
 	}
+	med, err := stats.Median(xs)
+	if err != nil {
+		return Summary{}, err
+	}
 	q95, err := stats.Quantile(xs, 0.95)
 	if err != nil {
 		return Summary{}, err
 	}
-	return Summary{Mean: d.Mean, SD: d.StdDev, Q05: q05, Median: d.Median, Q95: q95}, nil
+	return Summary{Mean: mean, SD: sd, Q05: q05, Median: med, Q95: q95}, nil
 }
 
 // Result is the full sensitivity study.

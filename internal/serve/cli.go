@@ -131,7 +131,7 @@ func Command(name string, args []string) error {
 	}
 	log.Info(context.Background(), "serving",
 		"addr", fmt.Sprintf("http://%s", ln.Addr()),
-		"endpoints", "/v1/run /v1/sweep /v1/spring2019 /healthz /readyz /metrics /debug/trace/{id} /debug/flightrec /debug/sched /debug/prof")
+		"endpoints", "/v1/run /v1/sweep /v1/cohort /v1/spring2019 /healthz /readyz /metrics /debug/trace/{id} /debug/flightrec /debug/sched /debug/prof")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"pblparallel/internal/cohort/mega"
 	"pblparallel/internal/core"
 	"pblparallel/internal/engine"
 	"pblparallel/internal/sensitivity"
@@ -198,6 +199,73 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			Backoff: retryBackoff,
 			Runtime: s.rt,
 		})
+	})
+}
+
+// cohortParams is the /v1/cohort request body.
+type cohortParams struct {
+	// Students scales the synthetic mega-cohort; 0 keeps 100000.
+	Students int `json:"students"`
+	// Seed roots every per-student draw; 0 keeps 42.
+	Seed int64 `json:"seed"`
+	// Batch is the reduction grain; 0 auto-scales. Part of the content
+	// address: it fixes how floating-point error associates.
+	Batch int `json:"batch"`
+	// Workers tunes this request's engine pool only. Excluded from the
+	// content address — the reduction is worker-count invariant.
+	Workers int `json:"workers"`
+}
+
+// handleCohort serves a mega-cohort scenario sweep through the
+// streaming sketch reduction.
+func (s *Server) handleCohort(w http.ResponseWriter, r *http.Request) {
+	var p cohortParams
+	if err := decodeParams(r, &p); err != nil {
+		writeError(w, statusForDecode(r), "%v", err)
+		return
+	}
+	if r.Method == http.MethodGet {
+		students, err := queryInt64(r, "students", 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		seed, err := queryInt64(r, "seed", 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		batch, err := queryInt64(r, "batch", 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		p.Students, p.Seed, p.Batch = int(students), seed, int(batch)
+	}
+	if p.Students == 0 {
+		p.Students = 100_000
+	}
+	if p.Seed == 0 {
+		p.Seed = 42
+	}
+	if p.Students < 1 || p.Students > s.cfg.MaxCohortStudents {
+		writeError(w, http.StatusBadRequest, "students %d outside [1, %d]", p.Students, s.cfg.MaxCohortStudents)
+		return
+	}
+	if p.Batch < 0 {
+		writeError(w, http.StatusBadRequest, "batch %d negative", p.Batch)
+		return
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = s.cfg.Workers
+	}
+	k := NewKey([]byte(fmt.Sprintf("cohort|students=%d|seed=%d|batch=%d", p.Students, p.Seed, p.Batch)))
+	s.respond(w, r, k, func(ctx context.Context) (any, error) {
+		cfg := mega.DefaultConfig(p.Students, p.Seed)
+		cfg.Batch = p.Batch
+		eng := engine.New(engine.WithWorkers(workers), engine.WithRuntime(s.rt))
+		return mega.Run(ctx, eng, cfg)
 	})
 }
 

@@ -5,6 +5,7 @@
 //
 //	POST /v1/run        one study         {seed, students, uncalibrated}
 //	POST /v1/sweep      a seed sweep      {start, seeds, workers}
+//	POST /v1/cohort     a mega-cohort scenario sweep  {students, seed, batch, workers}
 //	GET  /v1/spring2019 the planned revision's projection  ?n=&seed=
 //	GET  /healthz       liveness
 //	GET  /readyz        readiness (503 while draining)
@@ -77,6 +78,10 @@ type Config struct {
 	DrainTimeout time.Duration
 	// MaxSweepSeeds rejects larger /v1/sweep requests. Defaults to 1000.
 	MaxSweepSeeds int
+	// MaxCohortStudents rejects larger /v1/cohort requests. Defaults to
+	// 20 million — far past the 10M acceptance run; the streaming
+	// reduction's memory does not grow with it.
+	MaxCohortStudents int
 	// Retries is the engine retry budget for transient faults under
 	// each request. Defaults to 3.
 	Retries int
@@ -105,6 +110,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSweepSeeds <= 0 {
 		c.MaxSweepSeeds = 1000
+	}
+	if c.MaxCohortStudents <= 0 {
+		c.MaxCohortStudents = 20_000_000
 	}
 	if c.Retries <= 0 {
 		c.Retries = 3
@@ -187,6 +195,7 @@ func New(cfg Config) *Server {
 	}
 	route("/v1/run", s.handleRun)
 	route("/v1/sweep", s.handleSweep)
+	route("/v1/cohort", s.handleCohort)
 	route("/v1/spring2019", s.handleSpring2019)
 	route("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")

@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The sketch hot paths sit inside the mega-cohort reduction's
+// per-student loop, so Add must stay allocation-free and Merge cheap
+// enough that chunk folding never shows up in a profile. Both are
+// pinned by the bench-check gate (BENCH_PR8.json baseline: any
+// allocs/op growth fails CI).
+
+func benchValues(n int) []float64 {
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 3.5 + 0.7*rng.NormFloat64()
+	}
+	return xs
+}
+
+func BenchmarkMomentsAdd(b *testing.B) {
+	xs := benchValues(1024)
+	var m Moments
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Add(xs[i&1023])
+	}
+	sinkMoments = m
+}
+
+func BenchmarkMomentsMerge(b *testing.B) {
+	xs := benchValues(4096)
+	parts := make([]Moments, 64)
+	for i := range parts {
+		parts[i] = MomentsOf(xs[i*64 : (i+1)*64])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var m Moments
+		for _, p := range parts {
+			m.Merge(p)
+		}
+		sinkMoments = m
+	}
+}
+
+func BenchmarkCoMomentsAdd(b *testing.B) {
+	xs := benchValues(1024)
+	ys := benchValues(1024)
+	var cm CoMoments
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.Add(xs[i&1023], ys[i&1023])
+	}
+	sinkCoMoments = cm
+}
+
+// Sinks defeat dead-code elimination of the benchmarked loops.
+var (
+	sinkMoments   Moments
+	sinkCoMoments CoMoments
+)

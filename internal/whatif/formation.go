@@ -1,0 +1,94 @@
+package whatif
+
+import (
+	"context"
+	"fmt"
+
+	"pblparallel/internal/cohort"
+	"pblparallel/internal/cohort/mega"
+	"pblparallel/internal/engine"
+)
+
+// This file is the scale counterpart of the Spring 2019 projection:
+// instead of asking "what if we reinforce teamwork tasks?" at n=124,
+// it asks "what if we had formed teams differently?" across a
+// mega-cohort, sweeping the formation-policy axis through the
+// streaming reduction so the comparison holds at millions of students
+// in sketch-sized memory.
+
+// FormationRow is one policy's projected outcome next to the baseline.
+type FormationRow struct {
+	Policy    string  `json:"policy"`
+	Students  int64   `json:"students"`
+	GainMean  float64 `json:"gain_mean"`
+	EffectD   float64 `json:"effect_d"`
+	Band      string  `json:"band"`
+	DeltaGain float64 `json:"delta_gain"` // vs the balanced baseline
+	DeltaD    float64 `json:"delta_d"`
+}
+
+// FormationComparison compares every formation policy against the
+// paper's balanced baseline on one synthetic mega-cohort.
+type FormationComparison struct {
+	Students int            `json:"students"`
+	Seed     int64          `json:"seed"`
+	Baseline string         `json:"baseline"`
+	Rows     []FormationRow `json:"rows"`
+}
+
+// CompareFormations sweeps the formation-policy axis over a
+// students-sized cohort (single institution and semester, the paper's
+// survey instrument) and reports each policy's soft-skill gain and
+// pre/post effect size relative to BalancedFormation. Deterministic
+// for any worker count, like everything on the reduction path.
+func CompareFormations(ctx context.Context, eng *engine.Engine, students int, seed int64) (*FormationComparison, error) {
+	cfg := mega.Config{
+		Students:     students,
+		Institutions: 1,
+		Semesters:    1,
+		Policies:     cohort.AllFormationPolicies(),
+		Assessments:  []cohort.AssessmentVariant{cohort.SurveyAssessment},
+		Seed:         seed,
+	}
+	res, err := mega.Run(ctx, eng, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("whatif: formation comparison: %w", err)
+	}
+	out := &FormationComparison{
+		Students: students,
+		Seed:     seed,
+		Baseline: cohort.BalancedFormation.String(),
+	}
+	var base *mega.Cell
+	for i := range res.Cells {
+		if res.Cells[i].Policy == out.Baseline {
+			base = &res.Cells[i]
+		}
+	}
+	if base == nil {
+		return nil, fmt.Errorf("whatif: baseline policy %q missing from sweep", out.Baseline)
+	}
+	for _, c := range res.Cells {
+		out.Rows = append(out.Rows, FormationRow{
+			Policy:    c.Policy,
+			Students:  c.Students,
+			GainMean:  c.GainMean,
+			EffectD:   c.EffectD,
+			Band:      c.EffectBand,
+			DeltaGain: c.GainMean - base.GainMean,
+			DeltaD:    c.EffectD - base.EffectD,
+		})
+	}
+	return out, nil
+}
+
+// Render writes the comparison as a short report.
+func (fc FormationComparison) Render() string {
+	out := fmt.Sprintf("formation-policy projection over %d students (baseline %s):\n",
+		fc.Students, fc.Baseline)
+	for _, r := range fc.Rows {
+		out += fmt.Sprintf("  %-14s gain=%.3f (Δ%+.3f)  d=%.2f %s (Δ%+.2f)\n",
+			r.Policy, r.GainMean, r.DeltaGain, r.EffectD, r.Band, r.DeltaD)
+	}
+	return out
+}

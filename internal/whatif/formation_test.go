@@ -1,0 +1,62 @@
+package whatif
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"pblparallel/internal/engine"
+	"pblparallel/internal/sched"
+)
+
+func compareJSON(t *testing.T, workers int) []byte {
+	t.Helper()
+	rt := sched.New(sched.WithWorkers(workers))
+	defer rt.Close()
+	eng := engine.New(engine.WithWorkers(workers), engine.WithRuntime(rt))
+	fc, err := CompareFormations(context.Background(), eng, 40_000, 17)
+	if err != nil {
+		t.Fatalf("CompareFormations: %v", err)
+	}
+	b, err := json.Marshal(fc)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+func TestCompareFormations(t *testing.T) {
+	ref := compareJSON(t, 1)
+	if got := compareJSON(t, 8); string(got) != string(ref) {
+		t.Fatal("comparison not worker-count invariant")
+	}
+
+	var fc FormationComparison
+	if err := json.Unmarshal(ref, &fc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(fc.Rows) != 4 {
+		t.Fatalf("got %d rows, want one per policy", len(fc.Rows))
+	}
+	var balanced, skill *FormationRow
+	for i := range fc.Rows {
+		switch fc.Rows[i].Policy {
+		case "balanced":
+			balanced = &fc.Rows[i]
+		case "skill-based":
+			skill = &fc.Rows[i]
+		}
+	}
+	if balanced == nil || skill == nil {
+		t.Fatalf("missing policies in %s", ref)
+	}
+	if balanced.DeltaGain != 0 || balanced.DeltaD != 0 {
+		t.Fatalf("baseline deltas not zero: %+v", *balanced)
+	}
+	if skill.DeltaGain <= 0 {
+		t.Fatalf("skill-based should out-gain balanced, got Δ%.3f", skill.DeltaGain)
+	}
+	if fc.Render() == "" {
+		t.Fatal("empty render")
+	}
+}
