@@ -1,13 +1,19 @@
 // Command pbld is the study-as-a-service daemon: it serves the full
 // reproduction pipeline over HTTP with a content-addressed result
 // cache, singleflight coalescing, bounded-queue admission control, and
-// graceful drain on SIGTERM.
+// graceful drain on SIGTERM. -cache-dir adds a persistent second cache
+// tier under the in-memory LRU — compressed, integrity-verified files
+// keyed by the same content addresses — so a restarted daemon serves
+// its predecessor's warm set byte-identically (X-Cache: disk) without
+// recomputing.
 //
 // Usage:
 //
 //	pbld [-addr HOST:PORT] [-workers N] [-queue N] [-cache N]
+//	     [-cache-dir DIR] [-cache-disk-max BYTES]
 //	     [-timeout D] [-drain D] [-retries N]
 //	     [-fault-qfull P] [-fault-slow P] [-fault-corrupt P]
+//	     [-fault-store-corrupt P] [-fault-store-read P] [-fault-store-write P]
 //	     [-trace FILE] [-metrics-out FILE] [-pprof ADDR]
 //
 // Endpoints: POST /v1/run, POST /v1/sweep, GET /v1/spring2019, plus

@@ -47,6 +47,11 @@ func cmdChaos(args []string) {
 	qfull := fs.Float64("qfull", 0.05, "-serve: probability a request is shed at admission as if the queue were full (client retries)")
 	slowreq := fs.Float64("slowreq", 0.1, "-serve: probability a computation is delayed (latency only)")
 	corrupt := fs.Float64("corrupt", 0.2, "-serve: probability a cache read sees corrupted bytes (healed by recompute)")
+	storeCorrupt := fs.Float64("store-corrupt", 0.1, "-serve -restart: probability a persistent-tier read sees corrupted bytes (healed by delete + recompute)")
+	storeRead := fs.Float64("store-read", 0.05, "-serve -restart: probability a persistent-tier read fails (degrades to a miss)")
+	storeWrite := fs.Float64("store-write", 0.05, "-serve -restart: probability a persistent-tier write fails (entry not persisted)")
+	restart := fs.Bool("restart", true, "-serve: run the second pass against a freshly restarted daemon whose memory cache is cold, so it must be served from the persistent tier")
+	cacheDir := fs.String("cache-dir", "", "-serve -restart: persistent tier directory shared across the restart (empty = a fresh temp dir)")
 	frec := fs.Bool("flightrec", true, "-serve: run tracing + the flight recorder through the sweep, asserting recording never changes response bytes")
 	frecDir := fs.String("flightrec-dir", "", "-serve: write triggered postmortem bundles to this directory (CI uploads them when the sweep fails)")
 	asJSON := fs.Bool("json", false, "emit the chaos report as JSON instead of text")
@@ -82,6 +87,11 @@ func cmdChaos(args []string) {
 				qfull:        *qfull,
 				slowreq:      *slowreq,
 				corrupt:      *corrupt,
+				storeCorrupt: *storeCorrupt,
+				storeRead:    *storeRead,
+				storeWrite:   *storeWrite,
+				restart:      *restart,
+				cacheDir:     *cacheDir,
 				flightrec:    *frec,
 				flightrecDir: *frecDir,
 				asJSON:       *asJSON,

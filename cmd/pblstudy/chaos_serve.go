@@ -8,6 +8,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -16,6 +17,7 @@ import (
 	"pblparallel/internal/obs/flightrec"
 	"pblparallel/internal/obs/prof"
 	"pblparallel/internal/serve"
+	"pblparallel/internal/store"
 )
 
 // serveChaosOpts carries the service-layer chaos sweep parameters from
@@ -31,6 +33,15 @@ type serveChaosOpts struct {
 	runtimeRules []fault.Rule
 	// The service-layer probabilities.
 	qfull, slowreq, corrupt float64
+	// The persistent-tier probabilities (armed with -restart).
+	storeCorrupt, storeRead, storeWrite float64
+	// restart replaces the second chaotic pass with a kill-and-restart:
+	// the first server (memory + disk tiers, faults armed) is drained
+	// and closed, a second server reopens the same cache directory with
+	// a cold memory cache, and the sweep must come back byte-identical
+	// — served from the restarted daemon's disk tier.
+	restart  bool
+	cacheDir string // shared across the restart; empty = fresh temp dir
 	// flightrec runs tracing + the flight recorder across the whole
 	// sweep: the byte-invariance assertion then also proves recording
 	// never changes response bytes. flightrecDir receives triggered
@@ -83,25 +94,65 @@ func runServeChaos(o serveChaosOpts) bool {
 		fail(fmt.Errorf("baseline serve sweep: %w", err))
 	}
 
-	plan := serve.ServiceFaultPlan(o.faultSeed, o.qfull, o.slowreq, o.corrupt)
+	plan := serve.ServiceFaultPlan(o.faultSeed, serve.FaultProbs{
+		QueueFull: o.qfull, BackendSlow: o.slowreq, CacheCorrupt: o.corrupt,
+		StoreCorrupt: o.storeCorrupt, StoreRead: o.storeRead, StoreWrite: o.storeWrite,
+	})
 	plan.Rules = append(plan.Rules, o.runtimeRules...)
 	inj, err := fault.New(plan)
 	if err != nil {
 		fail(err)
 	}
-	chaotic := startChaosServer(serve.Config{Workers: o.workers, Queue: o.seeds, Retries: o.retries, Injector: inj})
-	var drifted []int64
-	passes := [2][][]byte{}
-	for pass := 0; pass < 2; pass++ {
-		bodies, err := sweepOverHTTP(chaotic.base, o.start, o.seeds, true)
-		if err != nil {
-			chaotic.stop()
-			fail(fmt.Errorf("chaos serve sweep (pass %d): %w", pass+1, err))
+	var (
+		passes [2][][]byte
+		stats  [2]serve.Stats
+	)
+	if o.restart {
+		// Kill-and-restart: each pass runs on its own daemon over the
+		// same cache directory. Pass 1 populates the persistent tier
+		// through the full fault mix; stopping the server is the "kill"
+		// (graceful drain flushes the write-behind queue, exactly what
+		// SIGTERM does to pbld); pass 2's freshly started daemon has a
+		// cold memory cache, so its responses come from verified disk
+		// reads — healed by recompute wherever store.corrupt fired.
+		dir := o.cacheDir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "pblchaos-store-")
+			if err != nil {
+				fail(err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
 		}
-		passes[pass] = bodies
+		for pass := 0; pass < 2; pass++ {
+			disk, err := store.Open(dir, store.Options{Injector: inj, Registry: obs.NewRegistry()})
+			if err != nil {
+				fail(fmt.Errorf("chaos serve restart (pass %d): %w", pass+1, err))
+			}
+			srv := startChaosServer(serve.Config{Workers: o.workers, Queue: o.seeds, Retries: o.retries, Injector: inj, DiskStore: disk})
+			bodies, err := sweepOverHTTP(srv.base, o.start, o.seeds, true)
+			if err != nil {
+				srv.stop()
+				fail(fmt.Errorf("chaos serve sweep (pass %d): %w", pass+1, err))
+			}
+			stats[pass] = srv.srv.Stats()
+			srv.stop()
+			passes[pass] = bodies
+		}
+	} else {
+		chaotic := startChaosServer(serve.Config{Workers: o.workers, Queue: o.seeds, Retries: o.retries, Injector: inj})
+		for pass := 0; pass < 2; pass++ {
+			bodies, err := sweepOverHTTP(chaotic.base, o.start, o.seeds, true)
+			if err != nil {
+				chaotic.stop()
+				fail(fmt.Errorf("chaos serve sweep (pass %d): %w", pass+1, err))
+			}
+			passes[pass] = bodies
+		}
+		stats[1] = chaotic.srv.Stats()
+		chaotic.stop()
 	}
-	stats := chaotic.srv.Stats()
-	chaotic.stop()
+	var drifted []int64
 	for i := 0; i < o.seeds; i++ {
 		if !bytes.Equal(baseline[i], passes[0][i]) || !bytes.Equal(baseline[i], passes[1][i]) {
 			drifted = append(drifted, o.start+int64(i))
@@ -113,19 +164,30 @@ func runServeChaos(o serveChaosOpts) bool {
 		Start:     o.start,
 		Retries:   o.retries,
 		FaultSeed: o.faultSeed,
+		Restart:   o.restart,
 		Plan: map[string]float64{
 			"qfull": o.qfull, "slowreq": o.slowreq, "corrupt": o.corrupt,
+			"store_corrupt": o.storeCorrupt, "store_read": o.storeRead, "store_write": o.storeWrite,
 		},
 		Faults:           inj.Stats(),
-		Shed:             stats.Shed,
-		CacheHits:        stats.Cache.Hits,
-		CacheMisses:      stats.Cache.Misses,
-		CacheCoalesced:   stats.Cache.Coalesced,
-		CorruptionHealed: stats.Cache.CorruptRecovered,
+		Shed:             stats[0].Shed + stats[1].Shed,
+		CacheHits:        stats[0].Cache.Hits + stats[1].Cache.Hits,
+		CacheMisses:      stats[0].Cache.Misses + stats[1].Cache.Misses,
+		CacheCoalesced:   stats[0].Cache.Coalesced + stats[1].Cache.Coalesced,
+		CorruptionHealed: stats[0].Cache.CorruptRecovered + stats[1].Cache.CorruptRecovered,
+		StorePuts:        stats[0].Store.Puts + stats[1].Store.Puts,
+		StoreHealed:      stats[0].Store.CorruptionsHealed + stats[1].Store.CorruptionsHealed,
+		StoreReadErrors:  stats[0].Store.ReadErrors + stats[1].Store.ReadErrors,
+		StoreWriteErrors: stats[0].Store.WriteErrors + stats[1].Store.WriteErrors,
+		RestartDiskHits:  stats[1].Store.DiskHits,
 		DriftedSeeds:     drifted,
 		Identical:        len(drifted) == 0,
 	}
-	if !report.Identical {
+	// Byte-identity alone is not the whole restart contract: the second
+	// pass must actually have been served from the reopened disk tier,
+	// or the phase proved nothing about persistence.
+	report.OK = report.Identical && (!o.restart || report.RestartDiskHits > 0)
+	if !report.OK {
 		// The black box earns its keep: capture the sweep's last window
 		// so CI can attach exactly what the service saw at drift time.
 		if path := flightrec.Active().Trigger("chaos-serve-drift", obs.TraceID{}); path != "" {
@@ -146,7 +208,7 @@ func runServeChaos(o serveChaosOpts) bool {
 	} else {
 		renderServeChaos(report)
 	}
-	return report.Identical
+	return report.OK
 }
 
 // serveChaosJSON is the machine-readable service-chaos report.
@@ -155,6 +217,7 @@ type serveChaosJSON struct {
 	Start            int64               `json:"start"`
 	Retries          int                 `json:"retries"`
 	FaultSeed        int64               `json:"fault_seed"`
+	Restart          bool                `json:"restart"`
 	Plan             map[string]float64  `json:"service_plan"`
 	Faults           fault.StatsSnapshot `json:"faults"`
 	Shed             int64               `json:"shed_429"`
@@ -162,15 +225,22 @@ type serveChaosJSON struct {
 	CacheMisses      int64               `json:"cache_misses"`
 	CacheCoalesced   int64               `json:"cache_coalesced"`
 	CorruptionHealed int64               `json:"cache_corruption_healed"`
+	StorePuts        int64               `json:"store_puts,omitempty"`
+	StoreHealed      int64               `json:"store_corruptions_healed,omitempty"`
+	StoreReadErrors  int64               `json:"store_read_errors,omitempty"`
+	StoreWriteErrors int64               `json:"store_write_errors,omitempty"`
+	RestartDiskHits  int64               `json:"restart_disk_hits,omitempty"`
 	DriftedSeeds     []int64             `json:"drifted_seeds,omitempty"`
 	Identical        bool                `json:"identical"`
+	OK               bool                `json:"ok"`
 }
 
 func renderServeChaos(r serveChaosJSON) {
 	fmt.Printf("serve chaos sweep: %d seeds from %d over /v1/run, retry budget=%d, fault seed=%d\n",
 		r.Seeds, r.Start, r.Retries, r.FaultSeed)
-	fmt.Printf("service plan: qfull=%.3g slowreq=%.3g corrupt=%.3g (+ runtime mix)\n",
-		r.Plan["qfull"], r.Plan["slowreq"], r.Plan["corrupt"])
+	fmt.Printf("service plan: qfull=%.3g slowreq=%.3g corrupt=%.3g store_corrupt=%.3g store_read=%.3g store_write=%.3g (+ runtime mix)\n",
+		r.Plan["qfull"], r.Plan["slowreq"], r.Plan["corrupt"],
+		r.Plan["store_corrupt"], r.Plan["store_read"], r.Plan["store_write"])
 	fmt.Printf("faults: injected=%d", r.Faults.Injected)
 	if len(r.Faults.ByKind) > 0 {
 		b, _ := json.Marshal(r.Faults.ByKind)
@@ -179,9 +249,18 @@ func renderServeChaos(r serveChaosJSON) {
 	fmt.Printf(" recovered=%d retries=%d\n", r.Faults.Recovered, r.Faults.Retries)
 	fmt.Printf("service: shed(429)=%d cache hits=%d misses=%d coalesced=%d corruption healed=%d\n",
 		r.Shed, r.CacheHits, r.CacheMisses, r.CacheCoalesced, r.CorruptionHealed)
-	if r.Identical {
+	if r.Restart {
+		fmt.Printf("store: puts=%d corruptions healed=%d read errs=%d write errs=%d; restarted pass disk hits=%d\n",
+			r.StorePuts, r.StoreHealed, r.StoreReadErrors, r.StoreWriteErrors, r.RestartDiskHits)
+	}
+	switch {
+	case r.OK && r.Restart:
+		fmt.Println("result: OK — every response byte-identical to the clean server, including the pass served from the restarted daemon's disk tier")
+	case r.OK:
 		fmt.Println("result: OK — every response byte-identical to the clean server, both passes")
-	} else {
+	case r.Identical:
+		fmt.Printf("result: FAIL — bytes identical but the restarted pass recorded %d disk hits; persistence not exercised\n", r.RestartDiskHits)
+	default:
 		fmt.Printf("result: DRIFT — %d seed(s) diverged: %v\n", len(r.DriftedSeeds), r.DriftedSeeds)
 	}
 }
@@ -194,8 +273,14 @@ type chaosServer struct {
 }
 
 // startChaosServer binds a server on a loopback port and returns its
-// base URL plus a blocking stopper that drains it.
+// base URL plus a blocking stopper that drains it. Each server gets a
+// private metrics registry unless the caller supplies one: the restart
+// phase spins up several servers in one process, and sharing the
+// process registry would merge their ledgers.
 func startChaosServer(cfg serve.Config) *chaosServer {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
 	srv := serve.New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

@@ -66,6 +66,13 @@ const (
 	// integrity check; the cache detects the bad digest, evicts the
 	// entry, and recomputes.
 	CacheCorrupt
+	// DiskReadErr fails a persistent-store read as if the file were
+	// unreadable; the store treats it as a miss and the request is
+	// served by recompute, so the fault is recoverable by construction.
+	DiskReadErr
+	// DiskWriteErr fails a persistent-store write; the entry simply
+	// never spills to disk, costing a future disk hit but never bytes.
+	DiskWriteErr
 
 	nKinds
 )
@@ -77,6 +84,7 @@ var kindNames = [nKinds]string{
 	CoreSlow: "core-slow", RunFail: "run-fail",
 	QueueFull: "queue-full", BackendSlow: "backend-slow",
 	CacheCorrupt: "cache-corrupt",
+	DiskReadErr:  "disk-read-err", DiskWriteErr: "disk-write-err",
 }
 
 // String names the kind.
@@ -118,6 +126,19 @@ const (
 	// SiteServeCache is a result-cache read (keyed by request content
 	// hash and per-key hit count).
 	SiteServeCache Site = "serve.cache"
+	// SiteStoreRead is a persistent-store file read (keyed by request
+	// content hash and per-key read count). DiskReadErr there turns the
+	// read into a miss; the entry survives on disk for the next read.
+	SiteStoreRead Site = "store.read"
+	// SiteStoreWrite is a persistent-store file write (keyed by request
+	// content hash). DiskWriteErr there drops the spill — the entry
+	// stays memory-only and a later miss recomputes it.
+	SiteStoreWrite Site = "store.write"
+	// SiteStoreCorrupt is a persistent-store read about to verify its
+	// payload (keyed like SiteStoreRead). CacheCorrupt there flips
+	// bytes so the CRC32/SHA-256 check fails; the store heals by
+	// deleting the file and letting the caller recompute.
+	SiteStoreCorrupt Site = "store.corrupt"
 	// SiteCohortBatch is the mega-cohort runner's per-batch boundary
 	// (keyed by batch index, so the decision is independent of which
 	// worker claims the batch). RunFail there forces a deterministic

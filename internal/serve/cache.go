@@ -10,6 +10,7 @@ import (
 	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
 	"pblparallel/internal/obs/flightrec"
+	"pblparallel/internal/store"
 )
 
 // Key is the content address of a study request: the SHA-256 of its
@@ -32,6 +33,10 @@ func NewKey(canonical []byte) Key {
 // Hex is the key's lowercase hex form, served as X-Study-Key.
 func (k Key) Hex() string { return k.hex }
 
+// DiskKey is the key's persistent-tier form: the same digest, so both
+// tiers address an entry identically.
+func (k Key) DiskKey() store.Key { return store.Key{Sum: k.sum, Hex: k.hex} }
+
 // word folds the hash into the 64-bit key the fault injector draws on.
 func (k Key) word() uint64 {
 	var w uint64
@@ -53,11 +58,17 @@ const (
 	// CacheCoalesced waited on an identical in-flight computation —
 	// singleflight: N concurrent identical requests compute once.
 	CacheCoalesced CacheStatus = "coalesced"
+	// CacheDiskHit served verified bytes from the persistent tier after
+	// a memory miss — the read-through path, no compute executed.
+	CacheDiskHit CacheStatus = "disk"
 )
 
-// entry is one cached response with its integrity digest.
+// entry is one cached response with its integrity digest. ck keeps the
+// full content address so an eviction can spill the entry to the
+// persistent tier without re-deriving it.
 type entry struct {
 	key  string
+	ck   Key
 	body []byte
 	sum  [sha256.Size]byte
 }
@@ -86,14 +97,26 @@ type CacheStats struct {
 	// CorruptRecovered counts integrity failures healed by recompute.
 	CorruptRecovered int64
 	Evicted          int64
+	// DiskHits counts memory misses served (verified) from the
+	// persistent tier without computing.
+	DiskHits int64
 }
 
 // Cache is the content-addressed result cache: bounded, LRU-evicting,
 // integrity-checked, with singleflight coalescing of concurrent
 // identical requests. All methods are safe for concurrent use.
+//
+// When a persistent tier is attached (disk non-nil), the cache is
+// read-through/write-behind over it: a memory miss probes the disk
+// before computing, a computed response is queued for spill, and a
+// memory eviction spills the evicted entry — so a restart on the same
+// directory finds its warm set waiting. Singleflight coalescing covers
+// both tiers: followers of an in-flight key wait whether the leader is
+// reading disk or computing.
 type Cache struct {
-	cap int
-	inj *fault.Injector
+	cap  int
+	inj  *fault.Injector
+	disk *store.Store
 
 	mu      sync.Mutex
 	entries map[string]*list.Element
@@ -180,32 +203,70 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() ([]byte, error)) (
 	}
 	call := &flightCall{done: make(chan struct{}), trace: obs.TraceIDFromContext(ctx)}
 	c.flight[k.hex] = call
-	c.stats.Computes++
 	c.mu.Unlock()
 
-	body, err := compute()
+	// Leader path, read-through: a memory miss probes the persistent
+	// tier before paying for a compute. A disk entry that fails
+	// verification is healed there (deleted) and the compute below
+	// completes the heal, exactly like the in-memory corruption path.
+	var (
+		body   []byte
+		err    error
+		status = CacheMiss
+	)
+	if c.disk != nil {
+		if b, ok, h := c.disk.Get(ctx, k.DiskKey()); ok {
+			body, status = b, CacheDiskHit
+		} else if h {
+			healing = true
+		}
+	}
+	if status != CacheDiskHit {
+		c.mu.Lock()
+		c.stats.Computes++
+		c.mu.Unlock()
+		body, err = compute()
+	}
 
+	var spill []*entry
 	c.mu.Lock()
 	delete(c.flight, k.hex)
 	if err == nil {
 		sum := sha256.Sum256(body)
-		c.entries[k.hex] = c.ll.PushFront(&entry{key: k.hex, body: body, sum: sum})
+		c.entries[k.hex] = c.ll.PushFront(&entry{key: k.hex, ck: k, body: body, sum: sum})
 		for c.ll.Len() > c.cap {
 			old := c.ll.Remove(c.ll.Back()).(*entry)
 			delete(c.entries, old.key)
 			c.stats.Evicted++
+			spill = append(spill, old)
 		}
-		c.stats.Misses++
+		if status == CacheDiskHit {
+			c.stats.DiskHits++
+		} else {
+			c.stats.Misses++
+		}
 	}
 	call.body, call.err = body, err
 	close(call.done)
 	c.mu.Unlock()
+	if c.disk != nil {
+		if status == CacheMiss && err == nil {
+			// Write-behind: the freshly computed entry becomes durable
+			// without blocking this response on compression or IO.
+			c.disk.Put(k.DiskKey(), body)
+		}
+		for _, old := range spill {
+			// Memory evictions spill to the tier below (a no-op when the
+			// entry is already resident there).
+			c.disk.Put(old.ck.DiskKey(), old.body)
+		}
+	}
 	if healing && err == nil {
 		// The corruption detected above is now fully absorbed: the
-		// recomputed bytes are byte-identical to the originals.
+		// recovered bytes are byte-identical to the originals.
 		c.inj.MarkRecovered(1)
 	}
-	return body, CacheMiss, err
+	return body, status, err
 }
 
 // Get is the injection-free fast path: a plain verified cache hit, or

@@ -14,6 +14,7 @@ import (
 	"pblparallel/internal/obs"
 	"pblparallel/internal/obs/flightrec"
 	"pblparallel/internal/obs/prof"
+	"pblparallel/internal/store"
 )
 
 // Command is the daemon entry point shared by cmd/pbld and the
@@ -26,6 +27,8 @@ func Command(name string, args []string) error {
 	workers := fs.Int("workers", 0, "pool workers (0 = all CPUs)")
 	queue := fs.Int("queue", 32, "admission queue depth; waiting requests beyond it are shed with 429")
 	cacheEntries := fs.Int("cache", 1024, "result cache capacity (entries)")
+	cacheDir := fs.String("cache-dir", "", "persistent cache tier directory: memory misses probe it, computed responses and evictions spill into it, and the warm set survives restarts (empty = memory-only)")
+	cacheDiskMax := fs.Int64("cache-disk-max", store.DefaultMaxBytes, "persistent tier size bound in compressed bytes (LRU eviction past it)")
 	timeout := fs.Duration("timeout", 120*time.Second, "default per-request deadline (Request-Timeout header may shorten it)")
 	drain := fs.Duration("drain", 30*time.Second, "graceful-drain bound on SIGTERM")
 	maxSeeds := fs.Int("max-seeds", 1000, "largest accepted /v1/sweep width")
@@ -37,6 +40,9 @@ func Command(name string, args []string) error {
 	qfull := fs.Float64("fault-qfull", 0, "probability a request is shed at admission as if the queue were full")
 	slow := fs.Float64("fault-slow", 0, "probability a computation is delayed (latency only)")
 	corrupt := fs.Float64("fault-corrupt", 0, "probability a cache read sees corrupted bytes (healed by recompute)")
+	storeCorrupt := fs.Float64("fault-store-corrupt", 0, "probability a persistent-tier read sees corrupted bytes (healed by delete + recompute)")
+	storeRead := fs.Float64("fault-store-read", 0, "probability a persistent-tier read fails (degrades to a miss)")
+	storeWrite := fs.Float64("fault-store-write", 0, "probability a persistent-tier write fails (entry not persisted)")
 	frec := fs.Bool("flightrec", true, "run the black-box flight recorder (/debug/flightrec, postmortems on 5xx/shed-burst/SIGQUIT)")
 	frecDir := fs.String("flightrec-dir", "", "also write triggered postmortem bundles to this directory (empty = in-memory only)")
 	frecWindow := fs.Duration("flightrec-window", 30*time.Second, "how far back the flight recorder's window reaches")
@@ -60,15 +66,20 @@ func Command(name string, args []string) error {
 		obs.Install(tr)
 	}
 
+	probs := FaultProbs{
+		QueueFull: *qfull, BackendSlow: *slow, CacheCorrupt: *corrupt,
+		StoreCorrupt: *storeCorrupt, StoreRead: *storeRead, StoreWrite: *storeWrite,
+	}
 	var inj *fault.Injector
-	if *qfull > 0 || *slow > 0 || *corrupt > 0 {
-		inj, err = fault.New(ServiceFaultPlan(*faultSeed, *qfull, *slow, *corrupt))
+	if probs != (FaultProbs{}) {
+		inj, err = fault.New(ServiceFaultPlan(*faultSeed, probs))
 		if err != nil {
 			sess.Close()
 			return err
 		}
 		log.Info(context.Background(), "service fault plan armed",
-			"seed", *faultSeed, "qfull", *qfull, "slow", *slow, "corrupt", *corrupt)
+			"seed", *faultSeed, "qfull", *qfull, "slow", *slow, "corrupt", *corrupt,
+			"store-corrupt", *storeCorrupt, "store-read", *storeRead, "store-write", *storeWrite)
 	}
 
 	if *profOn {
@@ -114,6 +125,22 @@ func Command(name string, args []string) error {
 		}()
 	}
 
+	var disk *store.Store
+	if *cacheDir != "" {
+		disk, err = store.Open(*cacheDir, store.Options{
+			MaxBytes: *cacheDiskMax,
+			Injector: inj,
+		})
+		if err != nil {
+			sess.Close()
+			return err
+		}
+		st := disk.Stats()
+		log.Info(context.Background(), "persistent cache tier open",
+			"dir", *cacheDir, "max-bytes", *cacheDiskMax,
+			"entries", st.Entries, "bytes", st.Bytes)
+	}
+
 	srv := New(Config{
 		Workers:        *workers,
 		Queue:          *queue,
@@ -123,6 +150,7 @@ func Command(name string, args []string) error {
 		MaxSweepSeeds:  *maxSeeds,
 		Retries:        *retries,
 		Injector:       inj,
+		DiskStore:      disk,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -143,13 +171,28 @@ func Command(name string, args []string) error {
 	return err
 }
 
+// FaultProbs bundles the service-layer fault probabilities: the three
+// original sites plus the persistent tier's read/write/corrupt sites.
+type FaultProbs struct {
+	QueueFull    float64
+	BackendSlow  float64
+	CacheCorrupt float64
+	StoreCorrupt float64
+	StoreRead    float64
+	StoreWrite   float64
+}
+
 // ServiceFaultPlan builds the service-layer fault plan the daemon's
 // chaos flags and `pblstudy chaos -serve` share: injected admission
-// sheds, backend slowdowns (2ms max), and cache corruption.
-func ServiceFaultPlan(seed int64, qfull, slow, corrupt float64) fault.Plan {
+// sheds, backend slowdowns (2ms max), in-memory cache corruption, and
+// the persistent tier's corruption/read/write faults.
+func ServiceFaultPlan(seed int64, p FaultProbs) fault.Plan {
 	return fault.Plan{Seed: seed, Rules: []fault.Rule{
-		{Site: fault.SiteServeQueue, Kind: fault.QueueFull, Prob: qfull},
-		{Site: fault.SiteServeBackend, Kind: fault.BackendSlow, Prob: slow, Max: 2e-3},
-		{Site: fault.SiteServeCache, Kind: fault.CacheCorrupt, Prob: corrupt},
+		{Site: fault.SiteServeQueue, Kind: fault.QueueFull, Prob: p.QueueFull},
+		{Site: fault.SiteServeBackend, Kind: fault.BackendSlow, Prob: p.BackendSlow, Max: 2e-3},
+		{Site: fault.SiteServeCache, Kind: fault.CacheCorrupt, Prob: p.CacheCorrupt},
+		{Site: fault.SiteStoreCorrupt, Kind: fault.CacheCorrupt, Prob: p.StoreCorrupt},
+		{Site: fault.SiteStoreRead, Kind: fault.DiskReadErr, Prob: p.StoreRead},
+		{Site: fault.SiteStoreWrite, Kind: fault.DiskWriteErr, Prob: p.StoreWrite},
 	}}
 }

@@ -213,7 +213,7 @@ func TestForced5xxBundleShipsProfile(t *testing.T) {
 	flightrec.Install(rec)
 	defer flightrec.Install(nil)
 
-	inj, err := fault.New(ServiceFaultPlan(7, 0, 1, 0)) // every backend slowed
+	inj, err := fault.New(ServiceFaultPlan(7, FaultProbs{BackendSlow: 1})) // every backend slowed
 	if err != nil {
 		t.Fatal(err)
 	}

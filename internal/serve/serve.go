@@ -15,10 +15,12 @@
 // content-addressed result cache keys every response by the SHA-256 of
 // its normalized request (execution knobs like worker count excluded —
 // determinism means they cannot change bytes), with singleflight
-// coalescing so N concurrent identical requests compute once. An
-// admission layer feeds computations through a bounded engine.Pool,
-// sheds overload with 429 + Retry-After, bounds each request's wait by
-// its Request-Timeout header, and drains gracefully on SIGTERM.
+// coalescing so N concurrent identical requests compute once, and an
+// optional persistent tier below the LRU (-cache-dir; internal/store)
+// so the warm set survives restarts. An admission layer feeds
+// computations through a bounded engine.Pool, sheds overload with 429 +
+// Retry-After, bounds each request's wait by its Request-Timeout
+// header, and drains gracefully on SIGTERM.
 //
 // The fault-injection subsystem extends through the service: the
 // admission decision, the backend compute, and the cache read are
@@ -47,6 +49,7 @@ import (
 	"pblparallel/internal/obs"
 	"pblparallel/internal/obs/flightrec"
 	"pblparallel/internal/sched"
+	"pblparallel/internal/store"
 )
 
 // init wires the obs middleware's 5xx hook to the flight recorder: any
@@ -92,6 +95,12 @@ type Config struct {
 	// Registry receives the server's metrics; nil selects the process
 	// registry (obs.Metrics()).
 	Registry *obs.Registry
+	// DiskStore attaches the persistent second cache tier (see
+	// internal/store): memory misses probe it before computing, and
+	// computed responses plus memory evictions spill into it, so the
+	// warm set survives a restart. Nil keeps the cache memory-only.
+	// The server takes ownership — Close drains and closes it.
+	DiskStore *store.Store
 }
 
 // withDefaults resolves the zero values.
@@ -177,6 +186,7 @@ func New(cfg Config) *Server {
 	if cfg.Injector != nil {
 		s.admitSeq = make(map[string]uint64)
 	}
+	s.cache.disk = cfg.DiskStore
 	reg := cfg.Registry
 	s.cacheHits = reg.Counter("serve_cache_hits_total", "Responses served from the result cache.")
 	s.cacheMisses = reg.Counter("serve_cache_misses_total", "Responses computed and stored.")
@@ -251,12 +261,17 @@ func (s *Server) Handler() http.Handler { return s.mux }
 type Stats struct {
 	Pool  engine.PoolStats
 	Cache CacheStats
+	Store store.StatsSnapshot
 	Shed  int64
 }
 
 // Stats snapshots the server.
 func (s *Server) Stats() Stats {
-	return Stats{Pool: s.pool.Stats(), Cache: s.cache.Stats(), Shed: s.shed.Value()}
+	st := Stats{Pool: s.pool.Stats(), Cache: s.cache.Stats(), Shed: s.shed.Value()}
+	if s.cfg.DiskStore != nil {
+		st.Store = s.cfg.DiskStore.Stats()
+	}
+	return st
 }
 
 // Serve accepts on ln until ctx is canceled, then drains: readiness
@@ -280,12 +295,17 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	return err
 }
 
-// Close drains the admission pool. Idempotent; used directly by tests
-// and by Serve during shutdown.
+// Close drains the admission pool, then the persistent tier's write
+// queue — every response accepted before the drain is durable when
+// Close returns. Idempotent; used directly by tests and by Serve
+// during shutdown.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.draining.Store(true)
 		s.pool.Close()
+		if s.cfg.DiskStore != nil {
+			s.cfg.DiskStore.Close()
+		}
 	})
 }
 
@@ -419,6 +439,8 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, k Key, build fu
 		s.cacheMisses.Inc()
 	case CacheCoalesced:
 		s.cacheCoalesced.Inc()
+	case CacheDiskHit:
+		// Counted by the persistent tier itself (store_disk_hits_total).
 	}
 	if err != nil {
 		switch {

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# cache_persistence.sh — the restart-survival gate for the persistent
+# result cache. It drives the real daemon binary the way an operator
+# would: populate a -cache-dir over HTTP, SIGTERM, restart on the same
+# directory, and fail unless every replayed request comes back
+# byte-identical as a verified disk hit.
+#
+#   PERSIST_CACHE_DIR  cache directory to use (kept on exit, so CI can
+#                      upload it as an artifact on failure); defaults
+#                      to a temp dir removed on success.
+#   PERSIST_PORT       listen port (default: first free port at/after
+#                      18977).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+WORK="$(mktemp -d)"
+CACHE_DIR="${PERSIST_CACHE_DIR:-}"
+KEEP_CACHE=1
+if [ -z "$CACHE_DIR" ]; then
+    CACHE_DIR="$WORK/cache"
+    KEEP_CACHE=0
+fi
+mkdir -p "$CACHE_DIR"
+
+PID=""
+cleanup() {
+    if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+        kill -TERM "$PID" 2>/dev/null || true
+        wait "$PID" 2>/dev/null || true
+    fi
+    if [ "$KEEP_CACHE" = 0 ]; then
+        rm -rf "$WORK"
+    fi
+}
+trap cleanup EXIT
+
+fail() {
+    echo "persist-check: FAIL: $*" >&2
+    echo "persist-check: daemon logs:" >&2
+    tail -n 20 "$WORK"/pbld-*.log >&2 || true
+    exit 1
+}
+
+echo "persist-check: building pbld"
+go build -o "$WORK/pbld" ./cmd/pbld
+
+PORT="${PERSIST_PORT:-}"
+if [ -z "$PORT" ]; then
+    PORT=18977
+    while { exec 3<>"/dev/tcp/127.0.0.1/$PORT"; } 2>/dev/null; do
+        exec 3>&- || true
+        PORT=$((PORT + 1))
+    done
+fi
+BASE="http://127.0.0.1:$PORT"
+
+start_daemon() { # $1: log suffix
+    "$WORK/pbld" -addr "127.0.0.1:$PORT" -cache-dir "$CACHE_DIR" -prof=false \
+        >"$WORK/pbld-$1.log" 2>&1 &
+    PID=$!
+    for _ in $(seq 1 100); do
+        if curl -fsS "$BASE/readyz" >/dev/null 2>&1; then
+            return 0
+        fi
+        kill -0 "$PID" 2>/dev/null || fail "daemon exited during startup (pass $1)"
+        sleep 0.1
+    done
+    fail "daemon never became ready (pass $1)"
+}
+
+SEEDS="1 2 3 4 5"
+SWEEP_BODY='{"start": 20180800, "seeds": 10}'
+
+echo "persist-check: pass 1 — populate $CACHE_DIR"
+start_daemon 1
+for s in $SEEDS; do
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d "{\"seed\": $s}" "$BASE/v1/run" -o "$WORK/run-$s.json" \
+        || fail "populate /v1/run seed $s"
+done
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "$SWEEP_BODY" "$BASE/v1/sweep" -o "$WORK/sweep.json" \
+    || fail "populate /v1/sweep"
+
+echo "persist-check: SIGTERM (graceful drain flushes the write-behind queue)"
+kill -TERM "$PID"
+wait "$PID" || fail "daemon exited non-zero on SIGTERM"
+PID=""
+
+echo "persist-check: pass 2 — restart on the same directory, replay"
+start_daemon 2
+for s in $SEEDS; do
+    curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d "{\"seed\": $s}" "$BASE/v1/run" \
+        -D "$WORK/replay-$s.hdr" -o "$WORK/replay-$s.json" \
+        || fail "replay /v1/run seed $s"
+    cmp -s "$WORK/run-$s.json" "$WORK/replay-$s.json" \
+        || fail "seed $s replay is not byte-identical"
+    tr -d '\r' <"$WORK/replay-$s.hdr" | grep -qi '^x-cache: disk$' \
+        || fail "seed $s replay not served from the disk tier ($(tr -d '\r' <"$WORK/replay-$s.hdr" | grep -i '^x-cache:' || echo 'no X-Cache'))"
+done
+curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d "$SWEEP_BODY" "$BASE/v1/sweep" \
+    -D "$WORK/replay-sweep.hdr" -o "$WORK/replay-sweep.json" \
+    || fail "replay /v1/sweep"
+cmp -s "$WORK/sweep.json" "$WORK/replay-sweep.json" \
+    || fail "sweep replay is not byte-identical"
+tr -d '\r' <"$WORK/replay-sweep.hdr" | grep -qi '^x-cache: disk$' \
+    || fail "sweep replay not served from the disk tier"
+
+# The metric the CI job quotes: every replayed request above must have
+# been a persistent-tier hit on the restarted daemon.
+HITS="$(curl -fsS "$BASE/metrics" | awk '$1 == "store_disk_hits_total" { print $2 }')"
+WANT=6 # 5 runs + 1 sweep
+if [ -z "$HITS" ] || ! awk -v h="$HITS" -v w="$WANT" 'BEGIN { exit !(h + 0 >= w) }'; then
+    fail "store_disk_hits_total = '${HITS:-missing}', want >= $WANT"
+fi
+
+kill -TERM "$PID"
+wait "$PID" || fail "daemon exited non-zero on final SIGTERM"
+PID=""
+
+echo "persist-check: OK — $WANT replayed requests byte-identical, all served from the restarted daemon's disk tier (store_disk_hits_total=$HITS)"
