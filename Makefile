@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify ci build test race vet bench bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-check cover-stats golden fuzz fuzz-smoke chaos chaos-serve persist-check sweep-stray
+.PHONY: verify ci build test race vet bench bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr8 bench-pr9 bench-pr10 bench-check cover-stats golden fuzz fuzz-smoke chaos chaos-serve persist-check sweep-stray
 
 ## verify: the tier-1 gate — vet, build, race-test everything, pin the
 ## golden outputs, smoke the fuzz targets on their seed corpora, and
@@ -56,6 +56,7 @@ fuzz-smoke:
 	$(GO) test ./internal/survey -run '^$$' -fuzz FuzzSurveyScores -fuzztime 2s
 	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzMomentsMerge -fuzztime 2s
 	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzCoMomentsMerge -fuzztime 2s
+	$(GO) test ./internal/obs/tsdb -run '^$$' -fuzz FuzzTSDBChunkDecode -fuzztime 2s
 
 ## fuzz: the longer run — 30s per target locally, raised by the
 ## nightly workflow with FUZZTIME=5m.
@@ -66,6 +67,7 @@ fuzz:
 	$(GO) test ./internal/survey -run '^$$' -fuzz FuzzSurveyScores -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzMomentsMerge -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/stats -run '^$$' -fuzz FuzzCoMomentsMerge -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/obs/tsdb -run '^$$' -fuzz FuzzTSDBChunkDecode -fuzztime $(FUZZTIME)
 
 ## cover-stats: hold the mergeable-sketch implementation to a >=90%
 ## statement-coverage floor. The sketches are the numeric foundation
@@ -162,6 +164,7 @@ GATED_BENCH = { $(GO) test ./internal/fault/ -bench . -benchmem -count $(BENCH_C
   $(GO) test ./internal/sched/ -bench 'DequeOwner|IndexPoolNext|SpawnInline|StealOverhead|Introspect' -benchmem -count $(BENCH_COUNT) -run '^$$' && \
   $(GO) test ./internal/stats/ -bench 'MomentsAdd|MomentsMerge|CoMomentsAdd' -benchmem -count $(BENCH_COUNT) -run '^$$' && \
   $(GO) test ./internal/store/ -bench 'DiskHit|Compress|Decompress' -benchmem -count $(BENCH_COUNT) -run '^$$' && \
+  $(GO) test ./internal/obs/tsdb/ -bench 'TSDBAppend|TSDBQuery' -benchmem -count $(BENCH_COUNT) -run '^$$' && \
   $(GO) test ./internal/serve/ -bench 'CacheHitDo' -benchmem -count $(BENCH_COUNT) -run '^$$'; }
 BENCH_COUNT ?= 3
 
@@ -192,6 +195,15 @@ bench-pr9:
 	{ $(GATED_BENCH) && \
 	  $(GO) test ./internal/store/ -bench 'DiskPut' -benchmem -count $(BENCH_COUNT) -run '^$$'; } \
 	| $(GO) run ./cmd/benchjson -o BENCH_PR9.json
+
+## bench-pr10: the PR10 baseline — the gated union plus the embedded
+## TSDB's hot paths: the per-sample Gorilla chunk append (the sampler
+## pays it for every series on every tick — gated at 0 allocs/op) and
+## a rate() range query over an hour of 5s samples (the /debug/tsdb
+## read path).
+bench-pr10: BENCH_COUNT = 1
+bench-pr10:
+	$(GATED_BENCH) | $(GO) run ./cmd/benchjson -o BENCH_PR10.json
 
 ## bench-check: re-run the gated perf surface and fail if it regressed
 ## against the NEWEST committed BENCH_PR*.json baseline — more than 20%

@@ -16,6 +16,7 @@ import (
 	"pblparallel/internal/obs"
 	"pblparallel/internal/obs/flightrec"
 	"pblparallel/internal/obs/prof"
+	"pblparallel/internal/obs/tsdb"
 	"pblparallel/internal/serve"
 	"pblparallel/internal/store"
 )
@@ -104,8 +105,9 @@ func runServeChaos(o serveChaosOpts) bool {
 		fail(err)
 	}
 	var (
-		passes [2][][]byte
-		stats  [2]serve.Stats
+		passes   [2][][]byte
+		stats    [2]serve.Stats
+		lastTSDB *tsdb.DB // the last chaotic server's history, for failure artifacts
 	)
 	if o.restart {
 		// Kill-and-restart: each pass runs on its own daemon over the
@@ -130,6 +132,7 @@ func runServeChaos(o serveChaosOpts) bool {
 				fail(fmt.Errorf("chaos serve restart (pass %d): %w", pass+1, err))
 			}
 			srv := startChaosServer(serve.Config{Workers: o.workers, Queue: o.seeds, Retries: o.retries, Injector: inj, DiskStore: disk})
+			lastTSDB = srv.db
 			bodies, err := sweepOverHTTP(srv.base, o.start, o.seeds, true)
 			if err != nil {
 				srv.stop()
@@ -141,6 +144,7 @@ func runServeChaos(o serveChaosOpts) bool {
 		}
 	} else {
 		chaotic := startChaosServer(serve.Config{Workers: o.workers, Queue: o.seeds, Retries: o.retries, Injector: inj})
+		lastTSDB = chaotic.db
 		for pass := 0; pass < 2; pass++ {
 			bodies, err := sweepOverHTTP(chaotic.base, o.start, o.seeds, true)
 			if err != nil {
@@ -201,6 +205,14 @@ func runServeChaos(o serveChaosOpts) bool {
 				obs.Log().With("pblstudy chaos").Error(context.Background(),
 					"continuous-profiling ring dumped", "dir", o.flightrecDir, "snapshots", n)
 			}
+			// The last chaotic server's full metrics history joins the
+			// artifacts — the same window /debug/tsdb would have served.
+			if lastTSDB != nil {
+				if path, err := dumpTSDBSnapshot(lastTSDB, o.flightrecDir); err == nil {
+					obs.Log().With("pblstudy chaos").Error(context.Background(),
+						"tsdb snapshot dumped", "path", path)
+				}
+			}
 		}
 	}
 	if o.asJSON {
@@ -209,6 +221,21 @@ func runServeChaos(o serveChaosOpts) bool {
 		renderServeChaos(report)
 	}
 	return report.OK
+}
+
+// dumpTSDBSnapshot writes the store's entire retained history as a
+// JSON array of series dumps into dir, returning the path.
+func dumpTSDBSnapshot(db *tsdb.DB, dir string) (string, error) {
+	dump := db.DumpWindow(0, time.Now().UnixMilli())
+	b, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := dir + "/tsdb-snapshot.json"
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // serveChaosJSON is the machine-readable service-chaos report.
@@ -268,6 +295,7 @@ func renderServeChaos(r serveChaosJSON) {
 // chaosServer is one ephemeral in-process daemon.
 type chaosServer struct {
 	srv  *serve.Server
+	db   *tsdb.DB
 	base string
 	stop func()
 }
@@ -277,10 +305,25 @@ type chaosServer struct {
 // private metrics registry unless the caller supplies one: the restart
 // phase spins up several servers in one process, and sharing the
 // process registry would merge their ledgers.
+//
+// Every server runs with the full judgment layer armed — a
+// fast-cadence TSDB sampling its registry, the default SLOs over it,
+// and the runtime watchdog — so the byte-invariance assertion also
+// proves that history sampling, burn-rate evaluation, and anomaly
+// checks never change response bytes. The TSDB attaches to the active
+// flight recorder while the server runs: any postmortem the sweep
+// triggers embeds the metrics window.
 func startChaosServer(cfg serve.Config) *chaosServer {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	db := tsdb.New(tsdb.Config{Registry: cfg.Registry, Interval: 250 * time.Millisecond})
+	db.Start()
+	flightrec.Active().AttachTSDB(db)
+	cfg.TSDB = db
+	cfg.SLOs = serve.DefaultSLOs()
+	cfg.SLOInterval = 250 * time.Millisecond
+	cfg.WatchdogInterval = 250 * time.Millisecond
 	srv := serve.New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -294,8 +337,14 @@ func startChaosServer(cfg serve.Config) *chaosServer {
 	}()
 	return &chaosServer{
 		srv:  srv,
+		db:   db,
 		base: "http://" + ln.Addr().String(),
-		stop: func() { cancel(); <-done },
+		stop: func() {
+			cancel()
+			<-done
+			flightrec.Active().AttachTSDB(nil)
+			db.Stop()
+		},
 	}
 }
 

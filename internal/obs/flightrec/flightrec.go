@@ -23,6 +23,7 @@ import (
 
 	"pblparallel/internal/obs"
 	"pblparallel/internal/obs/prof"
+	"pblparallel/internal/obs/tsdb"
 )
 
 // Kind classifies one recorded incident.
@@ -99,6 +100,10 @@ type Config struct {
 	MinGap time.Duration
 	// SampleInterval paces the background metric sampler; <=0 selects 1s.
 	SampleInterval time.Duration
+	// TSDB, when non-nil, is the embedded time-series store whose
+	// Window-sized history every bundle embeds (see Bundle.TSDB). It
+	// can also be attached after construction with AttachTSDB.
+	TSDB *tsdb.DB
 }
 
 // Recorder is the flight recorder. All methods are safe for concurrent
@@ -116,6 +121,8 @@ type Recorder struct {
 
 	lmu        sync.Mutex
 	lastBundle []byte
+
+	tsdb atomic.Pointer[tsdb.DB]
 
 	stop chan struct{}
 	done chan struct{}
@@ -164,7 +171,24 @@ func New(cfg Config) *Recorder {
 	for i := range r.shards {
 		r.shards[i].buf = make([]event, per)
 	}
+	if cfg.TSDB != nil {
+		r.tsdb.Store(cfg.TSDB)
+	}
 	return r
+}
+
+// AttachTSDB points the recorder at an embedded time-series store; the
+// next bundle embeds that store's window. Nil detaches; nil-safe on a
+// nil recorder.
+func (r *Recorder) AttachTSDB(db *tsdb.DB) {
+	if r == nil {
+		return
+	}
+	if db == nil {
+		r.tsdb.Store(nil)
+		return
+	}
+	r.tsdb.Store(db)
 }
 
 // Start launches the background metric sampler (idempotent per
@@ -353,6 +377,10 @@ type Bundle struct {
 	Metrics  []obs.Family    `json:"metrics"`
 	Spans    []SpanRecord    `json:"spans,omitempty"`
 	Profiles []ProfileRecord `json:"profiles,omitempty"`
+	// TSDB is the embedded time-series window around the trigger: every
+	// sampled series' history across the bundle window, so a postmortem
+	// carries its own before/after curves without an external store.
+	TSDB []tsdb.SeriesDump `json:"tsdb,omitempty"`
 }
 
 // buildBundle assembles the postmortem document.
@@ -400,6 +428,12 @@ func (r *Recorder) buildBundle(reason string, trace obs.TraceID) Bundle {
 		b.Profiles = append(b.Profiles, ProfileRecord{
 			Seq: s.Seq, Kind: s.Kind, At: s.At, Reason: s.Reason, Data: s.Data,
 		})
+	}
+	// Attached TSDB → embed the surrounding window. DumpWindow is
+	// nil-safe, so a detached store costs one atomic load.
+	if db := r.tsdb.Load(); db != nil {
+		to := b.At.UnixMilli()
+		b.TSDB = db.DumpWindow(to-r.cfg.Window.Milliseconds(), to)
 	}
 	return b
 }

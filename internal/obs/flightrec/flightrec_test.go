@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"pblparallel/internal/obs"
+	"pblparallel/internal/obs/tsdb"
 )
 
 // newTestRecorder builds a recorder on a private registry so counters
@@ -295,5 +296,51 @@ func BenchmarkEventEnabled(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		Active().Event(KindRetry, "engine.run", uint64(i), obs.TraceID{})
+	}
+}
+
+func TestBundleEmbedsTSDBWindow(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("demo_total", "demo").Add(5)
+	db := tsdb.New(tsdb.Config{Registry: reg, Interval: time.Hour})
+	now := time.Now()
+	db.SampleOnce(now.Add(-2 * time.Second))
+	reg.Counter("demo_total", "demo").Add(5)
+	db.SampleOnce(now.Add(-1 * time.Second))
+
+	r := newTestRecorder(Config{Window: time.Minute, Registry: reg, TSDB: db})
+	var buf bytes.Buffer
+	if err := r.WriteBundle(&buf, "test", obs.TraceID{}); err != nil {
+		t.Fatalf("WriteBundle: %v", err)
+	}
+	var b Bundle
+	if err := json.Unmarshal(buf.Bytes(), &b); err != nil {
+		t.Fatalf("unmarshal bundle: %v", err)
+	}
+	var demo *tsdb.SeriesDump
+	for i := range b.TSDB {
+		if b.TSDB[i].Series == "demo_total" {
+			demo = &b.TSDB[i]
+		}
+	}
+	if demo == nil || len(demo.Samples) != 2 {
+		t.Fatalf("bundle TSDB window missing demo_total history: %+v", b.TSDB)
+	}
+	if demo.Samples[0].V != 5 || demo.Samples[1].V != 10 {
+		t.Fatalf("embedded samples = %+v, want values 5 then 10", demo.Samples)
+	}
+
+	// Detach: the next bundle carries no TSDB window.
+	r.AttachTSDB(nil)
+	buf.Reset()
+	if err := r.WriteBundle(&buf, "test", obs.TraceID{}); err != nil {
+		t.Fatalf("WriteBundle after detach: %v", err)
+	}
+	var b2 Bundle
+	if err := json.Unmarshal(buf.Bytes(), &b2); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(b2.TSDB) != 0 {
+		t.Fatalf("detached recorder still embedded %d series", len(b2.TSDB))
 	}
 }

@@ -1,0 +1,378 @@
+// Package slo evaluates declarative service-level objectives against
+// the embedded time-series store (internal/obs/tsdb). Each objective
+// is an availability or latency target for a serve route; the engine
+// computes error-budget burn rates over paired short/long windows and
+// fires on the Google-SRE multi-window multi-burn-rate rule: a window
+// pair alerts only when BOTH its short and long windows burn budget
+// faster than the pair's threshold. The fast pair (5m/1h at 14.4×)
+// catches sharp outages in minutes; the slow pair (6h/3d at 1×)
+// catches slow leaks without paging on noise.
+//
+// Results surface three ways: GET /debug/slo (the evaluator's Status
+// snapshot), slo_* metric families on the registry (burn rates,
+// firing states, trip counts — which the TSDB then samples, giving
+// burn-rate history for free), and an OnTrip hook the serve layer
+// points at the flight recorder, so every budget trip ships a
+// postmortem bundle with the surrounding TSDB window embedded.
+package slo
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"pblparallel/internal/obs"
+	"pblparallel/internal/obs/tsdb"
+)
+
+// Objective is one declarative target.
+type Objective struct {
+	// Name identifies the objective in statuses, metrics, and trips.
+	Name string `json:"name"`
+	// Route filters http_requests_total/http_request_duration_seconds
+	// by their route label; empty matches every route.
+	Route string `json:"route,omitempty"`
+	// Kind is "availability" (non-5xx ratio) or "latency" (requests
+	// faster than LatencyThreshold).
+	Kind string `json:"kind"`
+	// Target is the good-event ratio promised, e.g. 0.999.
+	Target float64 `json:"target"`
+	// LatencyThreshold is the "fast enough" bound in seconds (latency
+	// kind only). It should sit on a histogram bucket bound; otherwise
+	// the evaluation conservatively rounds up to the next bucket.
+	LatencyThreshold float64 `json:"latency_threshold,omitempty"`
+}
+
+// WindowRule is one short/long window pair with its burn threshold.
+type WindowRule struct {
+	Name      string        `json:"name"`
+	Short     time.Duration `json:"short"`
+	Long      time.Duration `json:"long"`
+	Threshold float64       `json:"threshold"`
+}
+
+// DefaultWindows is the canonical multi-window pairing: fast 5m/1h at
+// 14.4× (2% of a 30-day budget in an hour) and slow 6h/3d at 1×.
+func DefaultWindows() []WindowRule {
+	return []WindowRule{
+		{Name: "fast", Short: 5 * time.Minute, Long: time.Hour, Threshold: 14.4},
+		{Name: "slow", Short: 6 * time.Hour, Long: 72 * time.Hour, Threshold: 1},
+	}
+}
+
+// Source supplies windowed event counts. The production implementation
+// is TSDBSource; tests substitute hand-built tables.
+type Source interface {
+	// RouteCounts returns (total, errors) request counts for the route
+	// ("" = all routes) across [from, to] in unix milliseconds.
+	RouteCounts(route string, from, to int64) (total, errs float64)
+	// RouteSlow returns (total, slow) counts, where slow is requests
+	// at or above the threshold in seconds.
+	RouteSlow(route string, threshold float64, from, to int64) (total, slow float64)
+}
+
+// TSDBSource reads windowed counts from the embedded store's
+// http_requests_total and http_request_duration_seconds families.
+type TSDBSource struct {
+	DB *tsdb.DB
+}
+
+// RouteCounts implements Source over http_requests_total{route,code}.
+func (s TSDBSource) RouteCounts(route string, from, to int64) (total, errs float64) {
+	match := func(want5xx bool) func([]obs.Label) bool {
+		return func(labels []obs.Label) bool {
+			if route != "" && tsdb.LabelValue(labels, "route") != route {
+				return false
+			}
+			if !want5xx {
+				return true
+			}
+			code, err := strconv.Atoi(tsdb.LabelValue(labels, "code"))
+			return err == nil && code >= 500
+		}
+	}
+	total = s.DB.CountsOverWindow("http_requests_total", match(false), from, to)
+	errs = s.DB.CountsOverWindow("http_requests_total", match(true), from, to)
+	return total, errs
+}
+
+// RouteSlow implements Source over the latency histogram: total from
+// _count, fast from the smallest bucket whose bound covers threshold
+// (so an off-bucket threshold errs toward counting requests as slow).
+func (s TSDBSource) RouteSlow(route string, threshold float64, from, to int64) (total, slow float64) {
+	routeMatch := func(labels []obs.Label) bool {
+		return route == "" || tsdb.LabelValue(labels, "route") == route
+	}
+	total = s.DB.CountsOverWindow("http_request_duration_seconds_count", routeMatch, from, to)
+
+	// Pick the per-series bucket bound: group bucket series by route,
+	// keep the smallest le >= threshold for each.
+	bests := map[string]float64{}
+	infos := s.DB.Select("http_request_duration_seconds_bucket", routeMatch)
+	for _, info := range infos {
+		le := tsdb.LabelValue(info.Labels, "le")
+		bound, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			continue // +Inf never beats a finite bound at or above threshold
+		}
+		if bound < threshold {
+			continue
+		}
+		r := tsdb.LabelValue(info.Labels, "route")
+		if cur, ok := bests[r]; !ok || bound < cur {
+			bests[r] = bound
+		}
+	}
+	var fast float64
+	for _, info := range infos {
+		le := tsdb.LabelValue(info.Labels, "le")
+		r := tsdb.LabelValue(info.Labels, "route")
+		want, ok := bests[r]
+		if !ok || le != formatBound(want) {
+			continue
+		}
+		fast += tsdb.IncreaseSamples(s.DB.SamplesBetween(info.Key, from, to))
+	}
+	slow = total - fast
+	if slow < 0 {
+		slow = 0
+	}
+	return total, slow
+}
+
+// formatBound matches tsdb's le rendering for finite bounds.
+func formatBound(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Burn computes one objective's burn rate over a window's counts:
+// the observed bad-event ratio divided by the budgeted one (1−target).
+// Zero traffic burns nothing — an idle window cannot spend budget.
+func Burn(target, total, bad float64) float64 {
+	if total <= 0 || target >= 1 {
+		return 0
+	}
+	return (bad / total) / (1 - target)
+}
+
+// WindowStatus is one window pair's evaluation for one objective.
+type WindowStatus struct {
+	Name      string  `json:"name"`
+	Threshold float64 `json:"threshold"`
+	ShortBurn float64 `json:"short_burn"`
+	LongBurn  float64 `json:"long_burn"`
+	Firing    bool    `json:"firing"`
+}
+
+// Status is one objective's full evaluation.
+type Status struct {
+	Objective Objective `json:"objective"`
+	// BudgetRemaining is the error budget fraction left over the slow
+	// pair's long window: 1 − longBurn (negative once overspent).
+	BudgetRemaining float64        `json:"budget_remaining"`
+	Windows         []WindowStatus `json:"windows"`
+}
+
+// Trip is one rising-edge alert: a window pair crossed its threshold.
+type Trip struct {
+	Objective string    `json:"objective"`
+	Window    string    `json:"window"`
+	Threshold float64   `json:"threshold"`
+	ShortBurn float64   `json:"short_burn"`
+	LongBurn  float64   `json:"long_burn"`
+	At        time.Time `json:"at"`
+}
+
+// Reason renders the flight-recorder trigger reason.
+func (t Trip) Reason() string {
+	return fmt.Sprintf("slo-burn:%s:%s (short %.2fx, long %.2fx >= %.2fx)",
+		t.Objective, t.Window, t.ShortBurn, t.LongBurn, t.Threshold)
+}
+
+// Config wires an Evaluator.
+type Config struct {
+	// Objectives to evaluate (required).
+	Objectives []Objective
+	// Windows are the burn-rate pairs; nil selects DefaultWindows.
+	Windows []WindowRule
+	// Source supplies windowed counts (required).
+	Source Source
+	// Interval is the evaluation cadence; <=0 selects 15s.
+	Interval time.Duration
+	// Registry receives the slo_* families; nil selects the process
+	// registry.
+	Registry *obs.Registry
+	// OnTrip, when non-nil, runs on each rising edge (synchronously,
+	// on the evaluation goroutine).
+	OnTrip func(Trip)
+}
+
+// Evaluator runs the burn-rate rules. Construct with New; Start/Stop
+// bound the background loop; EvalNow evaluates synchronously.
+type Evaluator struct {
+	cfg Config
+	now func() time.Time // test hook
+
+	mu       sync.Mutex
+	statuses []Status
+	firing   map[string]bool
+	trips    map[string]int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New builds an Evaluator and registers its slo_* gatherer.
+func New(cfg Config) *Evaluator {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 15 * time.Second
+	}
+	if cfg.Windows == nil {
+		cfg.Windows = DefaultWindows()
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.Metrics()
+	}
+	e := &Evaluator{
+		cfg:    cfg,
+		now:    time.Now,
+		firing: make(map[string]bool),
+		trips:  make(map[string]int64),
+	}
+	cfg.Registry.RegisterGatherer(e)
+	return e
+}
+
+// Start launches the evaluation loop (idempotent; nil-safe).
+func (e *Evaluator) Start() {
+	if e == nil || e.stop != nil {
+		return
+	}
+	e.stop = make(chan struct{})
+	e.done = make(chan struct{})
+	go func() {
+		defer close(e.done)
+		tick := time.NewTicker(e.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-e.stop:
+				return
+			case <-tick.C:
+				e.EvalNow()
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for it.
+func (e *Evaluator) Stop() {
+	if e == nil || e.stop == nil {
+		return
+	}
+	close(e.stop)
+	<-e.done
+	e.stop, e.done = nil, nil
+}
+
+// EvalNow evaluates every objective over every window pair, updates
+// the firing state (calling OnTrip on rising edges), and returns the
+// statuses. Trips fire outside the evaluator lock.
+func (e *Evaluator) EvalNow() []Status {
+	now := e.now()
+	nowMS := now.UnixMilli()
+	statuses := make([]Status, 0, len(e.cfg.Objectives))
+	var tripped []Trip
+
+	e.mu.Lock()
+	for _, obj := range e.cfg.Objectives {
+		st := Status{Objective: obj, BudgetRemaining: 1}
+		for _, w := range e.cfg.Windows {
+			ws := WindowStatus{Name: w.Name, Threshold: w.Threshold,
+				ShortBurn: e.burnOver(obj, nowMS, w.Short),
+				LongBurn:  e.burnOver(obj, nowMS, w.Long),
+			}
+			ws.Firing = ws.ShortBurn >= w.Threshold && ws.LongBurn >= w.Threshold
+			key := obj.Name + "/" + w.Name
+			if ws.Firing && !e.firing[key] {
+				e.trips[key]++
+				tripped = append(tripped, Trip{Objective: obj.Name, Window: w.Name,
+					Threshold: w.Threshold, ShortBurn: ws.ShortBurn, LongBurn: ws.LongBurn, At: now})
+			}
+			e.firing[key] = ws.Firing
+			st.Windows = append(st.Windows, ws)
+		}
+		if n := len(st.Windows); n > 0 {
+			st.BudgetRemaining = 1 - st.Windows[n-1].LongBurn
+		}
+		statuses = append(statuses, st)
+	}
+	e.statuses = statuses
+	e.mu.Unlock()
+
+	if e.cfg.OnTrip != nil {
+		for _, t := range tripped {
+			e.cfg.OnTrip(t)
+		}
+	}
+	return statuses
+}
+
+// burnOver computes one objective's burn over [now-window, now].
+func (e *Evaluator) burnOver(obj Objective, nowMS int64, window time.Duration) float64 {
+	from := nowMS - window.Milliseconds()
+	switch obj.Kind {
+	case "latency":
+		total, slow := e.cfg.Source.RouteSlow(obj.Route, obj.LatencyThreshold, from, nowMS)
+		return Burn(obj.Target, total, slow)
+	default: // availability
+		total, errs := e.cfg.Source.RouteCounts(obj.Route, from, nowMS)
+		return Burn(obj.Target, total, errs)
+	}
+}
+
+// Statuses returns the most recent evaluation (nil before the first).
+func (e *Evaluator) Statuses() []Status {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.statuses
+}
+
+// GatherMetrics implements obs.Gatherer: burn rates, firing states,
+// and trip counts as slo_* families, in deterministic order.
+func (e *Evaluator) GatherMetrics() []obs.Family {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	burn := obs.Family{Name: "slo_burn_rate", Help: "Error-budget burn rate, by objective, window pair, and span.", Type: "gauge"}
+	firing := obs.Family{Name: "slo_window_firing", Help: "Whether a window pair's burn rule currently fires (1) or not (0).", Type: "gauge"}
+	budget := obs.Family{Name: "slo_error_budget_remaining", Help: "Error budget fraction left over the slowest long window.", Type: "gauge"}
+	for _, st := range e.statuses {
+		objLabel := obs.Label{Key: "objective", Value: st.Objective.Name}
+		for _, w := range st.Windows {
+			winLabel := obs.Label{Key: "window", Value: w.Name}
+			burn.Points = append(burn.Points,
+				obs.Point{Labels: []obs.Label{objLabel, winLabel, {Key: "span", Value: "short"}}, Value: w.ShortBurn},
+				obs.Point{Labels: []obs.Label{objLabel, winLabel, {Key: "span", Value: "long"}}, Value: w.LongBurn})
+			var f float64
+			if w.Firing {
+				f = 1
+			}
+			firing.Points = append(firing.Points,
+				obs.Point{Labels: []obs.Label{objLabel, winLabel}, Value: f})
+		}
+		budget.Points = append(budget.Points, obs.Point{Labels: []obs.Label{objLabel}, Value: st.BudgetRemaining})
+	}
+	trips := obs.Family{Name: "slo_trips_total", Help: "Rising-edge burn-rate alerts, by objective/window key.", Type: "counter"}
+	keys := make([]string, 0, len(e.trips))
+	for k := range e.trips {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		trips.Points = append(trips.Points, obs.Point{Labels: []obs.Label{{Key: "rule", Value: k}}, Value: float64(e.trips[k])})
+	}
+	return []obs.Family{burn, firing, budget, trips}
+}

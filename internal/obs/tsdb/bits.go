@@ -1,0 +1,107 @@
+package tsdb
+
+import "io"
+
+// bstream is an append-only bit stream, MSB-first within each byte —
+// the substrate the Gorilla chunk encoding writes into. The zero value
+// is usable; Append-path writes never allocate while the underlying
+// slice has capacity, which is what keeps Chunk.Append at 0 allocs/op
+// in steady state (the chunk preallocates its buffer and Reset reuses
+// it).
+type bstream struct {
+	stream []byte
+	// count is how many low bits of the final byte are still writable
+	// (0 means the final byte is full, or the stream is empty).
+	count uint8
+}
+
+// writeBit appends one bit.
+func (b *bstream) writeBit(bit byte) {
+	if b.count == 0 {
+		b.stream = append(b.stream, 0)
+		b.count = 8
+	}
+	if bit != 0 {
+		b.stream[len(b.stream)-1] |= 1 << (b.count - 1)
+	}
+	b.count--
+}
+
+// writeByte appends eight bits.
+func (b *bstream) writeByte(byt byte) {
+	if b.count == 0 {
+		b.stream = append(b.stream, 0)
+		b.count = 8
+	}
+	i := len(b.stream) - 1
+	// Complete the current byte with the top bits, spill the rest into
+	// a fresh one. count is unchanged: the new byte has the same number
+	// of free low bits the old one had.
+	b.stream[i] |= byt >> (8 - b.count)
+	b.stream = append(b.stream, byt<<b.count)
+}
+
+// writeBits appends the low nbits of u, most significant first.
+func (b *bstream) writeBits(u uint64, nbits int) {
+	u <<= 64 - uint(nbits)
+	for nbits >= 8 {
+		b.writeByte(byte(u >> 56))
+		u <<= 8
+		nbits -= 8
+	}
+	for nbits > 0 {
+		b.writeBit(byte(u >> 63))
+		u <<= 1
+		nbits--
+	}
+}
+
+// reset empties the stream, keeping the allocated buffer.
+func (b *bstream) reset() {
+	b.stream = b.stream[:0]
+	b.count = 0
+}
+
+// breader reads a bstream back, MSB-first. Every method reports
+// io.ErrUnexpectedEOF instead of panicking when the stream runs dry —
+// the property the chunk-decode fuzz target leans on.
+type breader struct {
+	stream []byte
+	off    int   // byte index
+	bit    uint8 // bits consumed from stream[off] (0..7)
+}
+
+// readBit consumes one bit.
+func (r *breader) readBit() (byte, error) {
+	if r.off >= len(r.stream) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	bit := (r.stream[r.off] >> (7 - r.bit)) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.off++
+	}
+	return bit, nil
+}
+
+// readBits consumes nbits and returns them right-aligned.
+func (r *breader) readBits(nbits int) (uint64, error) {
+	var v uint64
+	for ; nbits >= 8 && r.bit == 0; nbits -= 8 {
+		// Byte-aligned fast path.
+		if r.off >= len(r.stream) {
+			return 0, io.ErrUnexpectedEOF
+		}
+		v = v<<8 | uint64(r.stream[r.off])
+		r.off++
+	}
+	for ; nbits > 0; nbits-- {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(bit)
+	}
+	return v, nil
+}

@@ -1,0 +1,56 @@
+package tsdb
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// FuzzTSDBChunkDecode drives the wire decoder with arbitrary bytes:
+// it must never panic, and whenever it accepts the input, the decoded
+// run must be valid (strictly-increasing timestamps) and survive an
+// encode→decode round trip unchanged. Corpus seeds cover well-formed
+// frames plus the truncations and bit flips the checks exist for.
+func FuzzTSDBChunkDecode(f *testing.F) {
+	seeds := [][]Sample{
+		nil,
+		{{T: 1_700_000_000_000, V: 1}},
+		{{T: 1000, V: 0}, {T: 6000, V: 3}, {T: 11000, V: 9}, {T: 16000, V: 9.5}},
+		{{T: -1 << 40, V: math.Inf(1)}, {T: 0, V: math.Inf(-1)}, {T: 1 << 40, V: math.MaxFloat64}},
+		{{T: 1, V: 0.1}, {T: 2, V: 0.1}, {T: 3, V: 0.1}, {T: 4, V: 0.2}, {T: 5, V: 0.1}},
+	}
+	for _, s := range seeds {
+		frame := Encode(s)
+		f.Add(frame)
+		if len(frame) > 2 {
+			f.Add(frame[:len(frame)/2]) // truncation
+			flipped := append([]byte(nil), frame...)
+			flipped[len(flipped)/2] ^= 0x10
+			f.Add(flipped) // CRC-violating bit flip
+		}
+	}
+	f.Add([]byte("PTC1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		samples, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decode error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		for i := 1; i < len(samples); i++ {
+			if samples[i].T <= samples[i-1].T {
+				t.Fatalf("accepted non-monotonic run: %v", samples)
+			}
+		}
+		again, err := Decode(Encode(samples))
+		if err != nil {
+			t.Fatalf("re-encode of accepted run failed to decode: %v", err)
+		}
+		if !sampleEq(again, samples) {
+			t.Fatalf("round trip drifted:\n got %v\nwant %v", again, samples)
+		}
+	})
+}

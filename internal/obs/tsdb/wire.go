@@ -1,0 +1,133 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// The on-the-wire chunk frame: a magic+version header, the sample
+// count and bitstream length as uvarints, the Gorilla bitstream, and a
+// trailing CRC32 (IEEE) over everything before it. This is the
+// cross-node federation shape — a shard can stream its chunks to the
+// router, which Merge-folds them exactly like mega.Summary.Merge folds
+// cohort partials — and the fuzz target's attack surface.
+const (
+	wireMagic   = "PTC1"  // "PBL TSDB chunk", version 1
+	wireMaxRun  = 1 << 20 // decoder bound on the declared sample count
+	crcLen      = 4
+	headerBytes = len(wireMagic)
+)
+
+// ErrCorrupt wraps every wire-decode rejection, so callers can treat
+// "bad bytes" uniformly regardless of which check tripped.
+var ErrCorrupt = errors.New("tsdb: corrupt chunk")
+
+// Encode renders samples as one wire frame. Deterministic: the same
+// run always yields the same bytes (the encoder has no state outside
+// the samples themselves).
+func Encode(samples []Sample) []byte {
+	c := NewChunk(16 + 2*len(samples)) // regular runs compress far below 2 B/sample
+	for _, s := range samples {
+		c.Append(s.T, s.V)
+	}
+	return c.appendWire(nil)
+}
+
+// appendWire appends the chunk's wire frame to dst.
+func (c *Chunk) appendWire(dst []byte) []byte {
+	dst = append(dst, wireMagic...)
+	dst = binary.AppendUvarint(dst, uint64(c.n))
+	dst = binary.AppendUvarint(dst, uint64(len(c.b.stream)))
+	dst = append(dst, c.b.stream...)
+	return binary.BigEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst))
+}
+
+// Decode parses one wire frame back into its sample run. It never
+// panics on arbitrary input: every structural violation — short or
+// trailing bytes, a bad magic, an implausible sample count, a CRC
+// mismatch, a bitstream that exhausts early or decodes to a
+// non-monotonic run — returns an error wrapping ErrCorrupt.
+func Decode(data []byte) ([]Sample, error) {
+	if len(data) < headerBytes+crcLen {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the frame header", ErrCorrupt, len(data))
+	}
+	if string(data[:headerBytes]) != wireMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, data[:headerBytes])
+	}
+	body, crcBytes := data[:len(data)-crcLen], data[len(data)-crcLen:]
+	if got, want := crc32.ChecksumIEEE(body), binary.BigEndian.Uint32(crcBytes); got != want {
+		return nil, fmt.Errorf("%w: crc mismatch (got %08x want %08x)", ErrCorrupt, got, want)
+	}
+	rest := body[headerBytes:]
+	n, sz := binary.Uvarint(rest)
+	if sz <= 0 || n > wireMaxRun {
+		return nil, fmt.Errorf("%w: implausible sample count", ErrCorrupt)
+	}
+	rest = rest[sz:]
+	blen, sz := binary.Uvarint(rest)
+	if sz <= 0 || blen != uint64(len(rest)-sz) {
+		return nil, fmt.Errorf("%w: bitstream length %d does not match frame (%d bytes remain)", ErrCorrupt, blen, len(rest)-sz)
+	}
+	it := Iter{r: breader{stream: rest[sz:]}, total: uint32(n), leading: leadingUnset}
+	out := make([]Sample, 0, min(int(n), 4096))
+	last := int64(0)
+	for it.Next() {
+		s := it.At()
+		if len(out) > 0 && s.T <= last {
+			// A valid run is strictly increasing — the sampler's clock and
+			// Merge both guarantee it, so wire bytes that decode otherwise
+			// are corrupt, not merely unusual.
+			return nil, fmt.Errorf("%w: non-monotonic timestamps (%d after %d)", ErrCorrupt, s.T, last)
+		}
+		last = s.T
+		out = append(out, s)
+	}
+	if err := it.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if uint64(len(out)) != n {
+		return nil, fmt.Errorf("%w: frame declares %d samples, bitstream held %d", ErrCorrupt, n, len(out))
+	}
+	return out, nil
+}
+
+// Merge folds two wire frames into one: the union of both runs ordered
+// by timestamp, the second frame winning on a timestamp collision (the
+// convention a router applies when re-polling a shard). Merge is
+// associative over disjoint and overlapping runs alike, which is what
+// lets a federation layer fold shard chunks in any grouping.
+func Merge(a, b []byte) ([]byte, error) {
+	as, err := Decode(a)
+	if err != nil {
+		return nil, err
+	}
+	bs, err := Decode(b)
+	if err != nil {
+		return nil, err
+	}
+	return Encode(MergeSamples(as, bs)), nil
+}
+
+// MergeSamples merges two strictly-increasing runs, b winning ties.
+func MergeSamples(a, b []Sample) []Sample {
+	out := make([]Sample, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].T < b[j].T:
+			out = append(out, a[i])
+			i++
+		case a[i].T > b[j].T:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, b[j])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

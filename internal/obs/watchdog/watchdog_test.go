@@ -1,0 +1,96 @@
+package watchdog
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"pblparallel/internal/obs"
+	"pblparallel/internal/sched"
+)
+
+func TestGoroutineLeakRisingEdge(t *testing.T) {
+	count := 10
+	var fired []string
+	w := New(Config{
+		Interval:        time.Hour,
+		GoroutineGrowth: 5,
+		Registry:        obs.NewRegistry(),
+		OnAnomaly:       func(r string) { fired = append(fired, r) },
+		goroutines:      func() int { return count },
+	})
+	if got := w.CheckNow(); len(got) != 0 {
+		t.Fatalf("healthy check fired %v", got)
+	}
+	count = 16 // 6 over baseline of 10
+	if got := w.CheckNow(); len(got) != 1 || !strings.Contains(got[0], "goroutine-leak") {
+		t.Fatalf("leak check = %v", got)
+	}
+	if got := w.CheckNow(); len(got) != 0 {
+		t.Fatalf("still-leaking check re-fired: %v", got)
+	}
+	count = 12 // back under growth bound: rearm
+	w.CheckNow()
+	count = 20
+	if got := w.CheckNow(); len(got) != 1 {
+		t.Fatalf("rearmed leak did not re-fire: %v", got)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("OnAnomaly ran %d times, want 2", len(fired))
+	}
+}
+
+func TestSchedStall(t *testing.T) {
+	// A runtime with one worker wedged on a blocking task: queued work
+	// piles up and Completed stops moving.
+	rt := sched.New(sched.WithWorkers(1), sched.WithQueueDepth(8))
+	defer rt.Close()
+	block := make(chan struct{})
+	rt.Submit(func() { <-block })
+	rt.Submit(func() {})
+	defer close(block)
+
+	// Wait for the blocking task to be in flight.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if s := rt.Introspect(); s.InFlight > 0 || s.Queued > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	w := New(Config{
+		Interval:    time.Hour,
+		StallChecks: 2,
+		Runtime:     rt,
+		Registry:    obs.NewRegistry(),
+		goroutines:  func() int { return 1 },
+	})
+	if got := w.CheckNow(); len(got) != 0 {
+		t.Fatalf("first check fired early: %v", got)
+	}
+	var fired []string
+	fired = append(fired, w.CheckNow()...)
+	fired = append(fired, w.CheckNow()...)
+	if len(fired) != 1 || !strings.Contains(fired[0], "sched-stall") {
+		t.Fatalf("stall checks fired %v, want one sched-stall", fired)
+	}
+	// Still stalled: no re-fire until progress resumes.
+	if got := w.CheckNow(); len(got) != 0 {
+		t.Fatalf("stall re-fired without progress: %v", got)
+	}
+}
+
+func TestGatherFamilies(t *testing.T) {
+	reg := obs.NewRegistry()
+	New(Config{Interval: time.Hour, Registry: reg, goroutines: func() int { return 7 }})
+	found := map[string]bool{}
+	for _, f := range reg.Gather() {
+		found[f.Name] = true
+	}
+	for _, name := range []string{"watchdog_goroutines", "watchdog_leak_firing", "watchdog_stall_firing", "watchdog_anomalies_total"} {
+		if !found[name] {
+			t.Fatalf("registry missing %s", name)
+		}
+	}
+}

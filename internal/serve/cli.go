@@ -14,6 +14,8 @@ import (
 	"pblparallel/internal/obs"
 	"pblparallel/internal/obs/flightrec"
 	"pblparallel/internal/obs/prof"
+	"pblparallel/internal/obs/slo"
+	"pblparallel/internal/obs/tsdb"
 	"pblparallel/internal/store"
 )
 
@@ -49,6 +51,13 @@ func Command(name string, args []string) error {
 	profOn := fs.Bool("prof", true, "run the continuous profiler (/debug/prof ring; postmortem bundles ship with pprof profiles)")
 	profInterval := fs.Duration("prof-interval", 30*time.Second, "continuous-profiler capture cadence")
 	profCPU := fs.Duration("prof-cpu", time.Second, "CPU sampling window per continuous-profiler cycle")
+	tsdbOn := fs.Bool("tsdb", true, "run the embedded metrics time-series store (/debug/tsdb range queries; postmortem bundles embed the history window)")
+	tsdbInterval := fs.Duration("tsdb-interval", 5*time.Second, "TSDB sampling cadence")
+	tsdbRetention := fs.Duration("tsdb-retention", time.Hour, "TSDB history bound")
+	sloOn := fs.Bool("slo", true, "evaluate the default serving SLOs (99.9% availability, 99% of requests < 250ms) with multi-window burn-rate alerts at /debug/slo (needs -tsdb)")
+	sloInterval := fs.Duration("slo-interval", 15*time.Second, "SLO burn-rate evaluation cadence")
+	wdogOn := fs.Bool("watchdog", true, "run the runtime watchdog (goroutine-leak growth and scheduler stalls trigger postmortems)")
+	wdogInterval := fs.Duration("watchdog-interval", 10*time.Second, "watchdog check cadence")
 	obsCLI := obs.BindFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,6 +134,31 @@ func Command(name string, args []string) error {
 		}()
 	}
 
+	// The TSDB samples the process registry — every subsystem's
+	// instruments gain history — and attaches to the flight recorder so
+	// postmortem bundles embed the window around each trigger.
+	var db *tsdb.DB
+	if *tsdbOn {
+		db = tsdb.New(tsdb.Config{Interval: *tsdbInterval, Retention: *tsdbRetention})
+		db.Start()
+		tsdb.Install(db)
+		flightrec.Active().AttachTSDB(db)
+		defer func() {
+			tsdb.Install(nil)
+			db.Stop()
+		}()
+		log.Info(context.Background(), "time-series store sampling",
+			"interval", *tsdbInterval, "retention", *tsdbRetention)
+	}
+	var objectives []slo.Objective
+	if *sloOn && db != nil {
+		objectives = DefaultSLOs()
+	}
+	wdog := time.Duration(0)
+	if *wdogOn {
+		wdog = *wdogInterval
+	}
+
 	var disk *store.Store
 	if *cacheDir != "" {
 		disk, err = store.Open(*cacheDir, store.Options{
@@ -142,15 +176,19 @@ func Command(name string, args []string) error {
 	}
 
 	srv := New(Config{
-		Workers:        *workers,
-		Queue:          *queue,
-		CacheEntries:   *cacheEntries,
-		DefaultTimeout: *timeout,
-		DrainTimeout:   *drain,
-		MaxSweepSeeds:  *maxSeeds,
-		Retries:        *retries,
-		Injector:       inj,
-		DiskStore:      disk,
+		Workers:          *workers,
+		Queue:            *queue,
+		CacheEntries:     *cacheEntries,
+		DefaultTimeout:   *timeout,
+		DrainTimeout:     *drain,
+		MaxSweepSeeds:    *maxSeeds,
+		Retries:          *retries,
+		Injector:         inj,
+		DiskStore:        disk,
+		TSDB:             db,
+		SLOs:             objectives,
+		SLOInterval:      *sloInterval,
+		WatchdogInterval: wdog,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -159,7 +197,7 @@ func Command(name string, args []string) error {
 	}
 	log.Info(context.Background(), "serving",
 		"addr", fmt.Sprintf("http://%s", ln.Addr()),
-		"endpoints", "/v1/run /v1/sweep /v1/cohort /v1/spring2019 /healthz /readyz /metrics /debug/trace/{id} /debug/flightrec /debug/sched /debug/prof")
+		"endpoints", "/v1/run /v1/sweep /v1/cohort /v1/spring2019 /healthz /readyz /metrics /debug/trace/{id} /debug/flightrec /debug/sched /debug/prof /debug/tsdb /debug/slo")
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

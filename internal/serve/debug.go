@@ -10,6 +10,8 @@ import (
 	"pblparallel/internal/obs"
 	"pblparallel/internal/obs/flightrec"
 	"pblparallel/internal/obs/prof"
+	"pblparallel/internal/obs/slo"
+	"pblparallel/internal/obs/tsdb"
 )
 
 // shedBurstN is the per-second shed count that triggers a flight
@@ -154,6 +156,109 @@ func (s *Server) handleDebugProf(w http.ResponseWriter, r *http.Request) {
 		Captures  int64            `json:"captures_total"`
 		Snapshots []profIndexEntry `json:"snapshots"`
 	}{Captures: p.Captures(), Snapshots: index}, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+// tsdbResponse is the /debug/tsdb range-query document.
+type tsdbResponse struct {
+	Series  string            `json:"series"`
+	Fn      string            `json:"fn"`
+	FromMS  int64             `json:"from_ms"`
+	ToMS    int64             `json:"to_ms"`
+	Results []tsdb.SeriesData `json:"results"`
+}
+
+// handleDebugTSDB serves GET /debug/tsdb: range queries over the
+// embedded time-series store. Without parameters it lists the tracked
+// series plus the store's cadence and retention; with
+// ?series=<family>&range=<dur>&fn=<raw|rate|increase|avg|quantile>
+// it evaluates the function over every matching series (quantile also
+// takes ?q=, default 0.99). 503 while the store is disabled.
+func (s *Server) handleDebugTSDB(w http.ResponseWriter, r *http.Request) {
+	db := s.cfg.TSDB
+	if db == nil {
+		writeError(w, http.StatusServiceUnavailable, "time-series store disabled; start the server with -tsdb")
+		return
+	}
+	q := r.URL.Query()
+	series := q.Get("series")
+	if series == "" {
+		w.Header().Set("Content-Type", "application/json")
+		b, _ := json.MarshalIndent(struct {
+			IntervalMS  int64    `json:"interval_ms"`
+			RetentionMS int64    `json:"retention_ms"`
+			Series      []string `json:"series"`
+		}{db.Interval().Milliseconds(), db.Retention().Milliseconds(), db.Keys()}, "", "  ")
+		w.Write(append(b, '\n'))
+		return
+	}
+	rng := 5 * time.Minute
+	if rs := q.Get("range"); rs != "" {
+		var err error
+		if rng, err = time.ParseDuration(rs); err != nil || rng <= 0 {
+			writeError(w, http.StatusBadRequest, "malformed range %q (want a positive Go duration like 5m)", rs)
+			return
+		}
+	}
+	to := time.Now().UnixMilli()
+	from := to - rng.Milliseconds()
+	fn := q.Get("fn")
+	resp := tsdbResponse{Series: series, Fn: fn, FromMS: from, ToMS: to}
+	switch fn {
+	case "", "raw", "rate", "increase", "avg":
+		if resp.Fn == "" {
+			resp.Fn = "raw"
+		}
+		resp.Results = db.RangeQuery(series, fn, from, to)
+	case "quantile":
+		quant := 0.99
+		if qs := q.Get("q"); qs != "" {
+			var err error
+			if quant, err = strconv.ParseFloat(qs, 64); err != nil || quant < 0 || quant > 1 {
+				writeError(w, http.StatusBadRequest, "malformed quantile %q (want 0..1)", qs)
+				return
+			}
+		}
+		resp.Results = db.QuantileOverTime(series, quant, from, to)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown fn %q (want raw, rate, increase, avg, or quantile)", fn)
+		return
+	}
+	if resp.Results == nil {
+		resp.Results = []tsdb.SeriesData{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(resp, "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+// handleDebugSLO serves GET /debug/slo: every objective's burn rates,
+// firing states, and remaining error budget. The response is the most
+// recent background evaluation; ?eval=1 forces a synchronous one (the
+// first request after startup also evaluates, so the endpoint never
+// answers empty). 503 while the SLO engine is disabled.
+func (s *Server) handleDebugSLO(w http.ResponseWriter, r *http.Request) {
+	if s.sloEval == nil {
+		writeError(w, http.StatusServiceUnavailable, "SLO engine disabled; start the server with -tsdb and -slo")
+		return
+	}
+	statuses := s.sloEval.Statuses()
+	if statuses == nil || r.URL.Query().Get("eval") != "" {
+		statuses = s.sloEval.EvalNow()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	b, err := json.MarshalIndent(struct {
+		At         time.Time    `json:"at"`
+		Objectives []slo.Status `json:"objectives"`
+	}{time.Now(), statuses}, "", "  ")
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return

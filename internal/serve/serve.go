@@ -10,6 +10,12 @@
 //	GET  /healthz       liveness
 //	GET  /readyz        readiness (503 while draining)
 //	GET  /metrics       Prometheus text exposition (obs registry)
+//	GET  /debug/trace/{id}  one request's span tree
+//	GET  /debug/flightrec   flight-recorder bundles (?last=1 = last postmortem)
+//	GET  /debug/sched       work-stealing scheduler introspection
+//	GET  /debug/prof        continuous-profiling ring (?seq=N downloads)
+//	GET  /debug/tsdb        metrics history range queries (rate/increase/avg/quantile)
+//	GET  /debug/slo         SLO burn rates, firing windows, error budgets
 //
 // Two scaling layers sit between the handlers and the engine. A
 // content-addressed result cache keys every response by the SHA-256 of
@@ -28,6 +34,15 @@
 // the engine's retry layer absorbs the runtime fault mix below them, so
 // `pblstudy chaos -serve` can assert that every response stays
 // byte-identical under the full mix.
+//
+// The observability judgment layer sits on top: an attached embedded
+// TSDB (internal/obs/tsdb) gives every instrument history, the SLO
+// burn-rate engine (internal/obs/slo) evaluates availability and
+// latency budgets over that history, and the runtime watchdog
+// (internal/obs/watchdog) watches for goroutine leaks and scheduler
+// stalls. All three close their loop through the flight recorder: a
+// tripped budget or an anomaly produces a postmortem bundle with the
+// TSDB window around the incident embedded.
 package serve
 
 import (
@@ -48,6 +63,9 @@ import (
 	"pblparallel/internal/fault"
 	"pblparallel/internal/obs"
 	"pblparallel/internal/obs/flightrec"
+	"pblparallel/internal/obs/slo"
+	"pblparallel/internal/obs/tsdb"
+	"pblparallel/internal/obs/watchdog"
 	"pblparallel/internal/sched"
 	"pblparallel/internal/store"
 )
@@ -101,6 +119,35 @@ type Config struct {
 	// warm set survives a restart. Nil keeps the cache memory-only.
 	// The server takes ownership — Close drains and closes it.
 	DiskStore *store.Store
+	// TSDB attaches the embedded time-series store behind GET
+	// /debug/tsdb and the SLO engine. Borrowed, not owned: the caller
+	// creates, starts, and stops it (the daemon CLI samples the
+	// process registry so every subsystem's metrics gain history).
+	TSDB *tsdb.DB
+	// SLOs arms the burn-rate engine when non-empty and TSDB is
+	// attached: statuses surface at GET /debug/slo and as slo_*
+	// families, and every rising-edge trip triggers a flight-recorder
+	// postmortem embedding the TSDB window. See DefaultSLOs.
+	SLOs []slo.Objective
+	// SLOWindows overrides the burn-rate window pairs; nil selects
+	// slo.DefaultWindows (fast 5m/1h at 14.4x, slow 6h/3d at 1x).
+	SLOWindows []slo.WindowRule
+	// SLOInterval is the evaluation cadence; <=0 selects 15s.
+	SLOInterval time.Duration
+	// WatchdogInterval, when >0, arms the runtime watchdog:
+	// goroutine-leak growth and scheduler stalls (read from the pool's
+	// scheduler introspection) trigger flight-recorder postmortems.
+	WatchdogInterval time.Duration
+}
+
+// DefaultSLOs are the serving objectives the daemon arms by default
+// when the TSDB is on: 99.9% availability and 99% of requests faster
+// than 250ms, across every route.
+func DefaultSLOs() []slo.Objective {
+	return []slo.Objective{
+		{Name: "availability", Kind: "availability", Target: 0.999},
+		{Name: "latency", Kind: "latency", Target: 0.99, LatencyThreshold: 0.25},
+	}
 }
 
 // withDefaults resolves the zero values.
@@ -160,6 +207,12 @@ type Server struct {
 	admitMu  sync.Mutex
 	admitSeq map[string]uint64 // per-key admission attempts (fault keying, armed only)
 
+	// The judgment layer, armed by Config: the SLO burn-rate evaluator
+	// and the runtime watchdog. Both are owned by the server (Close
+	// stops them); the TSDB they read is borrowed from Config.
+	sloEval *slo.Evaluator
+	wdog    *watchdog.Watchdog
+
 	closeOnce sync.Once
 
 	cacheHits, cacheMisses, cacheCoalesced, shed, corruptHealed *obs.Counter
@@ -200,44 +253,93 @@ func New(cfg Config) *Server {
 	// depths, steal/park ledgers, grain claims) through the same registry.
 	reg.RegisterGatherer(obs.SchedGatherer(s.rt))
 
-	route := func(path string, h http.HandlerFunc) {
-		s.mux.Handle(path, s.httpm.Middleware(path, h))
+	// Every endpoint — v1, health, exposition, and the whole /debug/*
+	// family — registers through the one routes() table, so middleware
+	// wiring (metrics, tracing, trace-ID propagation) is uniform by
+	// construction rather than by per-endpoint hand-wiring.
+	for _, e := range s.routes() {
+		s.mux.Handle(e.path, s.httpm.Middleware(e.path, e.handler))
 	}
-	route("/v1/run", s.handleRun)
-	route("/v1/sweep", s.handleSweep)
-	route("/v1/cohort", s.handleCohort)
-	route("/v1/spring2019", s.handleSpring2019)
-	route("/healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
-	route("/readyz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if s.ready.Load() && !s.draining.Load() {
-			fmt.Fprintln(w, "ready")
-			return
-		}
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
-	})
-	route("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		// Content negotiation: an OpenMetrics scraper gets the exemplared
-		// exposition (bucket → trace links), everyone else the classic
-		// Prometheus text format.
-		if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
-			w.Header().Set("Content-Type", obs.OpenMetricsContentType)
-			_ = reg.WriteOpenMetrics(w)
-			return
-		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = reg.WritePrometheus(w)
-	})
-	route("/debug/trace/{id}", s.handleDebugTrace)
-	route("/debug/flightrec", s.handleDebugFlightrec)
-	route("/debug/sched", s.handleDebugSched)
-	route("/debug/prof", s.handleDebugProf)
+
+	// The judgment layer: SLO burn-rate evaluation over the attached
+	// TSDB, and the runtime watchdog over the pool's scheduler. Both
+	// close their loop through the flight recorder, so a tripped
+	// budget or a stalled scheduler produces a postmortem bundle with
+	// the TSDB window embedded.
+	if cfg.TSDB != nil && len(cfg.SLOs) > 0 {
+		s.sloEval = slo.New(slo.Config{
+			Objectives: cfg.SLOs,
+			Windows:    cfg.SLOWindows,
+			Source:     slo.TSDBSource{DB: cfg.TSDB},
+			Interval:   cfg.SLOInterval,
+			Registry:   reg,
+			OnTrip: func(t slo.Trip) {
+				flightrec.Active().Trigger(t.Reason(), obs.TraceID{})
+			},
+		})
+		s.sloEval.Start()
+	}
+	if cfg.WatchdogInterval > 0 {
+		s.wdog = watchdog.New(watchdog.Config{
+			Interval: cfg.WatchdogInterval,
+			Runtime:  s.rt,
+			Registry: reg,
+			OnAnomaly: func(reason string) {
+				flightrec.Active().Trigger(reason, obs.TraceID{})
+			},
+		})
+		s.wdog.Start()
+	}
 	s.ready.Store(true)
 	return s
+}
+
+// route is one row of the server's endpoint table.
+type route struct {
+	path    string
+	handler http.HandlerFunc
+}
+
+// routes is the single registration point for every endpoint.
+func (s *Server) routes() []route {
+	reg := s.cfg.Registry
+	return []route{
+		{"/v1/run", s.handleRun},
+		{"/v1/sweep", s.handleSweep},
+		{"/v1/cohort", s.handleCohort},
+		{"/v1/spring2019", s.handleSpring2019},
+		{"/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(w, "ok")
+		}},
+		{"/readyz", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if s.ready.Load() && !s.draining.Load() {
+				fmt.Fprintln(w, "ready")
+				return
+			}
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+		}},
+		{"/metrics", func(w http.ResponseWriter, r *http.Request) {
+			// Content negotiation: an OpenMetrics scraper gets the exemplared
+			// exposition (bucket → trace links), everyone else the classic
+			// Prometheus text format.
+			if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+				w.Header().Set("Content-Type", obs.OpenMetricsContentType)
+				_ = reg.WriteOpenMetrics(w)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			_ = reg.WritePrometheus(w)
+		}},
+		{"/debug/trace/{id}", s.handleDebugTrace},
+		{"/debug/flightrec", s.handleDebugFlightrec},
+		{"/debug/sched", s.handleDebugSched},
+		{"/debug/prof", s.handleDebugProf},
+		{"/debug/tsdb", s.handleDebugTSDB},
+		{"/debug/slo", s.handleDebugSLO},
+	}
 }
 
 // gatherPool surfaces admission state in the metrics exposition.
@@ -302,6 +404,8 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		s.draining.Store(true)
+		s.sloEval.Stop()
+		s.wdog.Stop()
 		s.pool.Close()
 		if s.cfg.DiskStore != nil {
 			s.cfg.DiskStore.Close()
